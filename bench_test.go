@@ -1,0 +1,279 @@
+// Benchmarks regenerating each paper artifact (Tables 1-2, Figs. 4-15) in
+// reduced "quick" configurations, plus ablations and micro-benchmarks of
+// the pipeline's hot paths. Full-size regeneration is the job of the cmd/
+// tools (qcbench -full, fidsweep); these benches keep each iteration small
+// enough for routine `go test -bench=.` runs on one core.
+package repro
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dynamics"
+	"repro/internal/experiments"
+	"repro/internal/gates"
+	"repro/internal/optimize"
+	"repro/internal/sim"
+	"repro/internal/topology"
+	"repro/internal/transpile"
+	"repro/internal/weyl"
+	"repro/internal/workloads"
+)
+
+// ---- Tables ----
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1()
+		if len(rows) != 8 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2()
+		if len(rows) != 7 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+// runSweep executes a reduced sweep spec as a benchmark body.
+func runSweep(b *testing.B, spec experiments.SweepSpec, workloadSubset []string) {
+	b.Helper()
+	spec.Workloads = workloadSubset
+	for i := 0; i < b.N; i++ {
+		series, err := spec.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// ---- Figures 4, 11, 12: SWAP-count sweeps ----
+
+func BenchmarkFig4(b *testing.B) {
+	runSweep(b, experiments.Fig4Spec(true), []string{"QuantumVolume", "GHZ"})
+}
+
+func BenchmarkFig11(b *testing.B) {
+	runSweep(b, experiments.Fig11Spec(true), []string{"QuantumVolume", "QFT", "GHZ"})
+}
+
+func BenchmarkFig12(b *testing.B) {
+	runSweep(b, experiments.Fig12Spec(true), []string{"QuantumVolume", "GHZ"})
+}
+
+// ---- Figures 13, 14: co-design sweeps ----
+
+func BenchmarkFig13(b *testing.B) {
+	runSweep(b, experiments.Fig13Spec(true), []string{"QuantumVolume", "QFT", "GHZ"})
+}
+
+func BenchmarkFig14(b *testing.B) {
+	runSweep(b, experiments.Fig14Spec(true), []string{"QuantumVolume", "GHZ"})
+}
+
+// ---- Figure 6: chevron ----
+
+func BenchmarkFig6(b *testing.B) {
+	m := dynamics.ExchangeModel{G: 2 * math.Pi * 0.5, T1: 40}
+	for i := 0; i < b.N; i++ {
+		if _, err := dynamics.ChevronMap(m, 2.0, 48, 2*math.Pi*1.5, 33); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Figure 15: n√iSWAP fidelity study (reduced) ----
+
+func BenchmarkFig15(b *testing.B) {
+	cfg := decomp.Config{Restarts: 2, Adam: optimize.AdamConfig{MaxIter: 150, LearningRate: 0.08}}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunFig15(2, 7, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- §1/§6 headline ratios ----
+
+func BenchmarkHeadlines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		h, err := experiments.Headlines(true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.Total2QRatio <= 1 {
+			b.Fatalf("co-design advantage vanished: %+v", h)
+		}
+	}
+}
+
+// ---- Ablations (DESIGN.md) ----
+
+// BenchmarkAblationRouters compares StochasticSwap with the SABRE lookahead
+// router on the same workload/topology, reporting their swap counts.
+func BenchmarkAblationRouters(b *testing.B) {
+	g := topology.HeavyHex84()
+	c, _ := workloads.Generate("QuantumVolume", 24, rand.New(rand.NewSource(9)))
+	layout, err := transpile.DenseLayout(g, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, router := range []string{"stochastic", "sabre"} {
+		b.Run(router, func(b *testing.B) {
+			var swaps int
+			for i := 0; i < b.N; i++ {
+				rng := rand.New(rand.NewSource(int64(i)))
+				var res *transpile.RouteResult
+				var err error
+				if router == "stochastic" {
+					res, err = transpile.StochasticSwap(g, c, layout, rng, 10)
+				} else {
+					res, err = transpile.SabreSwap(g, c, layout, rng)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				swaps = res.SwapCount
+			}
+			b.ReportMetric(float64(swaps), "swaps")
+		})
+	}
+}
+
+// BenchmarkAblationSNAILParallelism quantifies the value of the SNAIL's
+// simultaneous in-neighborhood drives (paper §4.1) by scheduling the same
+// routed circuit with and without per-SNAIL serialization.
+func BenchmarkAblationSNAILParallelism(b *testing.B) {
+	hw, err := Tree84Hardware()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := core.Tree84SqrtISwap()
+	c, _ := workloads.Generate("QuantumVolume", 32, rand.New(rand.NewSource(10)))
+	tr, err := m.Transpile(c, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	dur := map[string]float64{"siswap": 0.5, "swap": 1.5, "su4": 1.0}
+	for _, mode := range []string{"parallel", "serialized"} {
+		b.Run(mode, func(b *testing.B) {
+			var makespan float64
+			for i := 0; i < b.N; i++ {
+				ms, err := hw.Schedule(tr.Routed, dur, mode == "serialized")
+				if err != nil {
+					b.Fatal(err)
+				}
+				makespan = ms
+			}
+			b.ReportMetric(makespan, "makespan")
+		})
+	}
+}
+
+// ---- Micro-benchmarks of the pipeline's hot paths ----
+
+func BenchmarkKAK(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	us := make([]*Matrix, 64)
+	for i := range us {
+		us[i] = gates.RandomSU4(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := weyl.KAK(us[i%len(us)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeylCoordinates(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	us := make([]*Matrix, 64)
+	for i := range us {
+		us[i] = gates.RandomSU4(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := weyl.Coordinates(us[i%len(us)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSynthesizeCX(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	us := make([]*Matrix, 16)
+	for i := range us {
+		us[i] = gates.RandomSU4(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := weyl.SynthesizeCX(us[i%len(us)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStochasticSwapQV(b *testing.B) {
+	for _, size := range []int{16, 32} {
+		b.Run(fmt.Sprintf("qv%d", size), func(b *testing.B) {
+			g := topology.Hypercube84()
+			c, _ := workloads.Generate("QuantumVolume", size, rand.New(rand.NewSource(14)))
+			layout, err := transpile.DenseLayout(g, c)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := transpile.StochasticSwap(g, c, layout, rand.New(rand.NewSource(int64(i))), 10); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDenseLayout(b *testing.B) {
+	g := topology.Hypercube84()
+	c, _ := workloads.Generate("QFT", 60, rand.New(rand.NewSource(15)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transpile.DenseLayout(g, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStatevector16(b *testing.B) {
+	c := workloads.QFT(16, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunCircuit(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecomposeSqrtISwapK3(b *testing.B) {
+	rng := rand.New(rand.NewSource(16))
+	target := gates.RandomSU4(rng)
+	cfg := decomp.Config{Restarts: 1, Adam: optimize.AdamConfig{MaxIter: 200, LearningRate: 0.08}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := decomp.Decompose(target, 2, 3, rng, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

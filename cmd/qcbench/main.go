@@ -1,0 +1,89 @@
+// Command qcbench regenerates the paper's transpilation sweeps:
+//
+//	qcbench -fig 4    total/critical SWAPs, 84q standard topologies (Fig. 4)
+//	qcbench -fig 11   total/critical SWAPs, 16q SNAIL topologies (Fig. 11)
+//	qcbench -fig 12   total/critical SWAPs, 84q incl. Tree/Tree-RR (Fig. 12)
+//	qcbench -fig 13   co-designed total 2Q + pulse duration, 16q (Fig. 13)
+//	qcbench -fig 14   co-designed total 2Q + pulse duration, 84q (Fig. 14)
+//	qcbench -headline the §1/§6 Heavy-Hex-vs-Hypercube summary ratios
+//
+// By default a reduced ("quick") configuration runs in seconds; -full uses
+// the paper's sizes (16..80 qubits, 20 routing trials), which takes tens of
+// minutes for the 84-qubit figures on one core.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to regenerate: 4, 11, 12, 13, or 14")
+	headline := flag.Bool("headline", false, "compute the Heavy-Hex vs Hypercube headline ratios")
+	corral := flag.Bool("corralscaling", false, "run the §7 Corral scaling study")
+	csv := flag.Bool("csv", false, "emit sweep results as CSV")
+	full := flag.Bool("full", false, "use the paper's full sizes (slow)")
+	flag.Parse()
+
+	quick := !*full
+	if *corral {
+		posts := []int{6, 8, 10, 12, 16}
+		rows, err := experiments.CorralScaling(posts, quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("Corral scaling study (paper §7 future work): ring growth with")
+		fmt.Println("the long fence at ~1/3 of the ring; QV at 80% machine fill.")
+		fmt.Print(experiments.FormatCorralScaling(rows))
+		return
+	}
+	if *headline {
+		h, err := experiments.Headlines(quick)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("QuantumVolume average ratios, Heavy-Hex+CNOT / Hypercube+sqrtISWAP (sizes %v):\n", h.Sizes)
+		fmt.Printf("  total SWAPs        %.2fx   (paper: 2.57x)\n", h.SwapRatio)
+		fmt.Printf("  critical SWAPs     %.2fx   (paper: 5.63x)\n", h.CriticalSwapRatio)
+		fmt.Printf("  total 2Q gates     %.2fx   (paper: 3.16x)\n", h.Total2QRatio)
+		fmt.Printf("  pulse duration     %.2fx   (paper: 6.11x)\n", h.DurationRatio)
+		return
+	}
+	var spec experiments.SweepSpec
+	switch *fig {
+	case 4:
+		spec = experiments.Fig4Spec(quick)
+	case 11:
+		spec = experiments.Fig11Spec(quick)
+	case 12:
+		spec = experiments.Fig12Spec(quick)
+	case 13:
+		spec = experiments.Fig13Spec(quick)
+	case 14:
+		spec = experiments.Fig14Spec(quick)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	series, err := spec.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *csv {
+		fmt.Print(experiments.SeriesCSV(series, spec.Kind))
+		return
+	}
+	fmt.Printf("Figure %d (%s mode)\n", *fig, mode(quick))
+	fmt.Print(experiments.FormatSeries(series, spec.Kind))
+}
+
+func mode(quick bool) string {
+	if quick {
+		return "quick"
+	}
+	return "full"
+}

@@ -1,0 +1,63 @@
+// Command topostat prints the measured topology properties behind the
+// paper's Table 1 (16–20 qubit machines) and Table 2 (84-qubit machines):
+// qubit count, diameter, average all-pairs distance, and average
+// connectivity for every coupling graph in the study. With -dot NAME it
+// instead emits the named coupling graph in Graphviz format.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/experiments"
+	"repro/internal/topology"
+)
+
+var graphs = map[string]func() *topology.Graph{
+	"square16":    topology.SquareLattice16,
+	"square84":    topology.SquareLattice84,
+	"hex20":       topology.HexLattice20,
+	"hex84":       topology.HexLattice84,
+	"heavyhex20":  topology.HeavyHex20,
+	"heavyhex84":  topology.HeavyHex84,
+	"altdiag84":   topology.LatticeAltDiag84,
+	"hypercube16": topology.Hypercube16,
+	"hypercube84": topology.Hypercube84,
+	"tree20":      topology.Tree20,
+	"treerr20":    topology.TreeRR20,
+	"tree84":      topology.Tree84,
+	"treerr84":    topology.TreeRR84,
+	"corral11":    topology.Corral11,
+	"corral12":    topology.Corral12,
+}
+
+func main() {
+	dot := flag.String("dot", "", "emit the named topology as Graphviz DOT (see -list)")
+	list := flag.Bool("list", false, "list topology names")
+	flag.Parse()
+	if *list {
+		var names []string
+		for k := range graphs {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Println(names)
+		return
+	}
+	if *dot != "" {
+		mk, ok := graphs[*dot]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown topology %q; try -list\n", *dot)
+			os.Exit(2)
+		}
+		fmt.Print(mk().DOT())
+		return
+	}
+	fmt.Println("Table 1: Topologies and Connectivities (16-20 qubits)")
+	fmt.Print(experiments.FormatStats(experiments.Table1()))
+	fmt.Println()
+	fmt.Println("Table 2: Scaled Topologies and Connectivities (84 qubits)")
+	fmt.Print(experiments.FormatStats(experiments.Table2()))
+}

@@ -1,0 +1,94 @@
+// Command transpile runs one workload through the full co-design pipeline
+// on a named machine and reports the paper's metrics — the downstream-user
+// tool for exploring machine/workload pairs:
+//
+//	transpile -workload QFT -n 12 -machine tree20
+//	transpile -workload QAOAVanilla -n 16 -machine corral12 -print
+//	transpile -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro"
+	"repro/internal/qasm"
+)
+
+var machines = map[string]func() repro.Machine{
+	"heavyhex20":  repro.HeavyHex20CX,
+	"square16":    repro.SquareLattice16SYC,
+	"tree20":      repro.Tree20SqrtISwap,
+	"treerr20":    repro.TreeRR20SqrtISwap,
+	"corral11":    repro.Corral11SqrtISwap,
+	"corral12":    repro.Corral12SqrtISwap,
+	"hypercube16": repro.Hypercube16SqrtISwap,
+	"heavyhex84":  repro.HeavyHex84CX,
+	"square84":    repro.SquareLattice84SYC,
+	"tree84":      repro.Tree84SqrtISwap,
+	"treerr84":    repro.TreeRR84SqrtISwap,
+	"hypercube84": repro.Hypercube84SqrtISwap,
+}
+
+func main() {
+	workload := flag.String("workload", "QuantumVolume", "benchmark name (see -list)")
+	n := flag.Int("n", 12, "circuit width in qubits")
+	machine := flag.String("machine", "tree20", "machine name (see -list)")
+	seed := flag.Int64("seed", 2022, "seed for circuit generation and routing")
+	print := flag.Bool("print", false, "print the translated physical circuit")
+	emitQASM := flag.Bool("qasm", false, "emit the routed circuit as OpenQASM 2.0 (exact gates)")
+	list := flag.Bool("list", false, "list machines and workloads")
+	flag.Parse()
+
+	if *list {
+		var names []string
+		for k := range machines {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		fmt.Println("machines: ", names)
+		fmt.Println("workloads:", repro.WorkloadNames())
+		return
+	}
+	mk, ok := machines[*machine]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown machine %q; try -list\n", *machine)
+		os.Exit(2)
+	}
+	m := mk()
+	rng := rand.New(rand.NewSource(*seed))
+	c, err := repro.GenerateWorkload(*workload, *n, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := repro.DefaultOptions()
+	opt.Seed = *seed
+	tr, err := m.Transpile(c, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *emitQASM {
+		src, err := qasm.Export(tr.Routed, qasm.Options{ExpandNonStandard: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(src)
+		return
+	}
+	met := tr.Metrics
+	fmt.Printf("%s(%d) on %s (%d qubits, basis %v)\n", *workload, *n, m.Name, m.Graph.N(), m.Basis)
+	fmt.Printf("  2Q gates before routing:  %d\n", met.PreRouting2Q)
+	fmt.Printf("  SWAPs (induced/total):    %d / %d\n", met.InducedSwaps, met.TotalSwaps)
+	fmt.Printf("  critical-path SWAPs:      %d\n", met.CriticalSwaps)
+	fmt.Printf("  total basis 2Q gates:     %d\n", met.Total2Q)
+	fmt.Printf("  critical-path 2Q gates:   %d\n", met.Critical2Q)
+	fmt.Printf("  pulse duration:           %.1f\n", met.PulseDuration)
+	if *print {
+		fmt.Println()
+		fmt.Print(tr.Translated.String())
+	}
+}

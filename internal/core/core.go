@@ -1,0 +1,219 @@
+// Package core is the paper's primary contribution as a library: the
+// co-design of a quantum machine as a (coupling topology, native basis gate)
+// pair, and the evaluation pipeline of Fig. 10 — placement, SWAP routing,
+// basis translation, and the four-dataset metrics collection (total SWAPs,
+// critical-path SWAPs, total 2Q gates, critical-path pulse duration) used
+// throughout the paper's results (Figs. 4, 11–14).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/topology"
+	"repro/internal/transpile"
+	"repro/internal/weyl"
+)
+
+// Machine is a co-designed quantum computer: a qubit-coupling topology and
+// the native two-qubit basis realized by its modulator (paper Observation 1:
+// CR→CNOT, FSIM→SYC, SNAIL→√iSWAP).
+type Machine struct {
+	Name  string
+	Graph *topology.Graph
+	Basis weyl.Basis
+}
+
+// NewMachine builds a machine with an explicit name.
+func NewMachine(name string, g *topology.Graph, b weyl.Basis) Machine {
+	return Machine{Name: name, Graph: g, Basis: b}
+}
+
+// RouterKind selects the routing algorithm.
+type RouterKind int
+
+const (
+	// RouterStochastic is Qiskit-style StochasticSwap (the paper's router).
+	RouterStochastic RouterKind = iota
+	// RouterSabre is the SABRE lookahead router (ablation).
+	RouterSabre
+)
+
+// Options controls an evaluation run.
+type Options struct {
+	Seed   int64      // RNG seed for routing (fixed per experiment)
+	Trials int        // StochasticSwap trials (0 → default 20)
+	Router RouterKind // routing algorithm
+}
+
+// DefaultOptions is the configuration used by the experiment harnesses.
+func DefaultOptions() Options { return Options{Seed: 2022, Trials: transpile.DefaultTrials} }
+
+// Metrics is the paper's four-dataset measurement of one transpiled circuit
+// (plus context). SWAP counts are taken after routing, 2Q counts and pulse
+// duration after basis translation (Fig. 10).
+type Metrics struct {
+	Machine  string
+	Workload string
+	Width    int
+
+	PreRouting2Q  int     // 2Q gates before routing
+	TotalSwaps    int     // SWAP gates in the routed circuit (induced + algorithmic)
+	InducedSwaps  int     // SWAPs inserted by the router alone
+	CriticalSwaps int     // SWAPs on the critical path
+	Total2Q       int     // basis gates after translation
+	Critical2Q    int     // basis gates on the critical path
+	PulseDuration float64 // duration-weighted critical path (1Q free)
+}
+
+// String renders a one-line summary.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%s/%s n=%d: swaps=%d critSwaps=%d 2q=%d crit2q=%d dur=%.1f",
+		m.Machine, m.Workload, m.Width, m.TotalSwaps, m.CriticalSwaps, m.Total2Q, m.Critical2Q, m.PulseDuration)
+}
+
+// Transpiled bundles the full pipeline output for callers that need the
+// physical circuit (e.g. simulation-backed examples), not just counts.
+type Transpiled struct {
+	Layout     transpile.Layout
+	Routed     *circuit.Circuit
+	Translated *circuit.Circuit
+	Metrics    Metrics
+}
+
+// Evaluate runs the full Fig. 10 flow on a logical circuit and returns the
+// paper's metrics.
+func (m Machine) Evaluate(c *circuit.Circuit, opt Options) (Metrics, error) {
+	t, err := m.Transpile(c, opt)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return t.Metrics, nil
+}
+
+// Transpile runs placement, routing, and basis translation, returning all
+// intermediate artifacts and metrics.
+func (m Machine) Transpile(c *circuit.Circuit, opt Options) (*Transpiled, error) {
+	if m.Graph == nil {
+		return nil, fmt.Errorf("core: machine %q has no topology", m.Name)
+	}
+	layout, err := transpile.DenseLayout(m.Graph, c)
+	if err != nil {
+		return nil, fmt.Errorf("core: layout on %s: %w", m.Name, err)
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	var routed *transpile.RouteResult
+	switch opt.Router {
+	case RouterStochastic:
+		routed, err = transpile.StochasticSwap(m.Graph, c, layout, rng, opt.Trials)
+	case RouterSabre:
+		routed, err = transpile.SabreSwap(m.Graph, c, layout, rng)
+	default:
+		return nil, fmt.Errorf("core: unknown router %d", opt.Router)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: routing on %s: %w", m.Name, err)
+	}
+	translated, err := transpile.TranslateToBasis(routed.Circuit, m.Basis)
+	if err != nil {
+		return nil, fmt.Errorf("core: translation on %s: %w", m.Name, err)
+	}
+	met := Metrics{
+		Machine:       m.Name,
+		Width:         c.N,
+		PreRouting2Q:  c.CountTwoQubit(),
+		TotalSwaps:    routed.Circuit.CountByName("swap"),
+		InducedSwaps:  routed.SwapCount,
+		CriticalSwaps: routed.Circuit.CriticalSwaps(),
+		Total2Q:       translated.CountTwoQubit(),
+		Critical2Q:    transpile.Critical2Q(translated),
+		PulseDuration: transpile.PulseDuration(translated, m.Basis),
+	}
+	return &Transpiled{
+		Layout:     layout,
+		Routed:     routed.Circuit,
+		Translated: translated,
+		Metrics:    met,
+	}, nil
+}
+
+// ---- Machine catalog (the paper's comparison systems) ----
+
+// HeavyHex20CX is IBM's representative small machine: Heavy-Hex + CR/CNOT.
+func HeavyHex20CX() Machine { return NewMachine("Heavy-Hex-CX", topology.HeavyHex20(), weyl.BasisCX) }
+
+// SquareLattice16SYC is Google's representative small machine:
+// Square-Lattice + FSIM/SYC.
+func SquareLattice16SYC() Machine {
+	return NewMachine("Square-Lattice-SYC", topology.SquareLattice16(), weyl.BasisSYC)
+}
+
+// Tree20SqrtISwap is the SNAIL 4-ary tree with its native √iSWAP.
+func Tree20SqrtISwap() Machine {
+	return NewMachine("Tree-sqrtISWAP", topology.Tree20(), weyl.BasisSqrtISwap)
+}
+
+// TreeRR20SqrtISwap is the round-robin tree with √iSWAP.
+func TreeRR20SqrtISwap() Machine {
+	return NewMachine("Tree-RR-sqrtISWAP", topology.TreeRR20(), weyl.BasisSqrtISwap)
+}
+
+// Corral11SqrtISwap is the stride-(1,1) corral with √iSWAP.
+func Corral11SqrtISwap() Machine {
+	return NewMachine("Corral11-sqrtISWAP", topology.Corral11(), weyl.BasisSqrtISwap)
+}
+
+// Corral12SqrtISwap is the long-stride corral with √iSWAP.
+func Corral12SqrtISwap() Machine {
+	return NewMachine("Corral12-sqrtISWAP", topology.Corral12(), weyl.BasisSqrtISwap)
+}
+
+// Hypercube16SqrtISwap is the aspirational 4-cube with √iSWAP.
+func Hypercube16SqrtISwap() Machine {
+	return NewMachine("Hypercube-sqrtISWAP", topology.Hypercube16(), weyl.BasisSqrtISwap)
+}
+
+// HeavyHex84CX, SquareLattice84SYC, Tree84SqrtISwap, TreeRR84SqrtISwap and
+// Hypercube84SqrtISwap are the scaled (Table 2 / Fig. 14) machines.
+
+func HeavyHex84CX() Machine { return NewMachine("Heavy-Hex-CX", topology.HeavyHex84(), weyl.BasisCX) }
+
+func SquareLattice84SYC() Machine {
+	return NewMachine("Square-Lattice-SYC", topology.SquareLattice84(), weyl.BasisSYC)
+}
+
+func Tree84SqrtISwap() Machine {
+	return NewMachine("Tree-sqrtISWAP", topology.Tree84(), weyl.BasisSqrtISwap)
+}
+
+func TreeRR84SqrtISwap() Machine {
+	return NewMachine("Tree-RR-sqrtISWAP", topology.TreeRR84(), weyl.BasisSqrtISwap)
+}
+
+func Hypercube84SqrtISwap() Machine {
+	return NewMachine("Hypercube-sqrtISWAP", topology.Hypercube84(), weyl.BasisSqrtISwap)
+}
+
+// Machines16 returns the co-design comparison set of Fig. 13.
+func Machines16() []Machine {
+	return []Machine{
+		HeavyHex20CX(),
+		SquareLattice16SYC(),
+		Tree20SqrtISwap(),
+		TreeRR20SqrtISwap(),
+		Hypercube16SqrtISwap(),
+		Corral11SqrtISwap(),
+	}
+}
+
+// Machines84 returns the co-design comparison set of Fig. 14.
+func Machines84() []Machine {
+	return []Machine{
+		HeavyHex84CX(),
+		SquareLattice84SYC(),
+		Tree84SqrtISwap(),
+		TreeRR84SqrtISwap(),
+		Hypercube84SqrtISwap(),
+	}
+}

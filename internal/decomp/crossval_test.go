@@ -1,0 +1,101 @@
+package decomp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/optimize"
+	"repro/internal/weyl"
+)
+
+// TestAnalyticCountMatchesNumericReachability cross-validates the two
+// decomposition systems in this repository: for Haar-random targets, the
+// analytic Weyl-chamber counting rule for √iSWAP (package weyl, Huang et
+// al.'s region) must agree with what the numerical optimizer can actually
+// achieve — k = rule reaches ≈0 infidelity and k = rule−1 cannot.
+func TestAnalyticCountMatchesNumericReachability(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cfg := Config{Restarts: 5, Adam: optimize.AdamConfig{MaxIter: 500, LearningRate: 0.08}}
+	checked2, checked3 := false, false
+	for trial := 0; trial < 12 && !(checked2 && checked3); trial++ {
+		target := gates.RandomSU4(rng)
+		coord, err := weyl.Coordinates(target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := weyl.BasisSqrtISwap.NumGates(coord)
+		switch k {
+		case 2:
+			if checked2 {
+				continue
+			}
+			checked2 = true
+		case 3:
+			if checked3 {
+				continue
+			}
+			checked3 = true
+		default:
+			t.Fatalf("Haar target claims %d √iSWAPs", k)
+		}
+		// k applications must reach the target...
+		res, err := Decompose(target, 2, k, rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Infidelity > 1e-5 {
+			t.Errorf("trial %d: rule says %d √iSWAPs but optimizer reached only %g infidelity",
+				trial, k, res.Infidelity)
+		}
+		// ... and k−1 must fall measurably short.
+		resLess, err := Decompose(target, 2, k-1, rng, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resLess.Infidelity < 1e-4 {
+			t.Errorf("trial %d: rule says %d √iSWAPs needed but k=%d reached %g — rule too pessimistic",
+				trial, k, k-1, resLess.Infidelity)
+		}
+	}
+	if !checked2 || !checked3 {
+		t.Skip("sampling did not produce both count classes (unlucky seed)")
+	}
+}
+
+// TestSYCFourIsEnough: the numerical engine confirms Observation 1's SYC
+// count — 4 applications of FSIM(π/2, π/6) with 1Q dressing reach a
+// Haar-random target. (We verify reachability with a SYC-basis template
+// built from the same machinery by composing the fixed SYC between layers.)
+func TestSYCFourIsEnough(t *testing.T) {
+	// Reuse the objective machinery with a custom basis by building the
+	// template manually: layers of U3⊗U3 around four SYC applications, and
+	// optimizing the interleaved 1Q parameters with finite differences.
+	rng := rand.New(rand.NewSource(32))
+	target := gates.RandomSU4(rng)
+	syc := gates.SYC()
+	build := func(x []float64) float64 {
+		u := gates.U3(x[0], x[1], x[2]).Kron(gates.U3(x[3], x[4], x[5]))
+		for i := 1; i <= 4; i++ {
+			p := x[6*i : 6*i+6]
+			layer := gates.U3(p[0], p[1], p[2]).Kron(gates.U3(p[3], p[4], p[5]))
+			u = layer.Mul(syc.Mul(u))
+		}
+		return 1 - HSFidelity(u, target)
+	}
+	best := 1.0
+	for restart := 0; restart < 4 && best > 1e-4; restart++ {
+		x0 := make([]float64, 30)
+		for i := range x0 {
+			x0[i] = rng.Float64() * 6.28
+		}
+		_, f := optimize.Adam(x0, optimize.FiniteDiffGrad(build, 1e-6),
+			optimize.AdamConfig{MaxIter: 600, LearningRate: 0.1})
+		if f < best {
+			best = f
+		}
+	}
+	if best > 1e-3 {
+		t.Errorf("4 SYC applications reached only %g infidelity on a Haar target", best)
+	}
+}

@@ -1,0 +1,254 @@
+// Package decomp is the numerical gate-decomposition engine used for the
+// paper's pulse-duration sensitivity study (§6.3, Fig. 15): a NuOp-style
+// template of k applications of the n-th-root-of-iSWAP interleaved with
+// parameterized single-qubit layers (Eq. 10), optimized to maximize the
+// normalized Hilbert–Schmidt fidelity (Eq. 11) against a target unitary.
+// The fidelity model of Eqs. 12–13 combines the achieved decomposition
+// fidelity with linearly-scaling decoherence to find the best template size.
+package decomp
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/gates"
+	"repro/internal/linalg"
+	"repro/internal/optimize"
+)
+
+// HSFidelity is the paper's Eq. 11: |Tr(Ud† Ut)| / dim, the phase-invariant
+// overlap of two unitaries (1.0 = equal up to global phase).
+func HSFidelity(a, b *linalg.Matrix) float64 {
+	return cmplx.Abs(a.HSInner(b)) / float64(a.Rows)
+}
+
+// BaseFidelity is Eq. 12: decoherence-limited fidelity of one n√iSWAP pulse
+// given the fidelity of a full iSWAP pulse, assuming infidelity scales
+// linearly with pulse duration: Fb(n√iSWAP) = 1 − (1 − Fb(iSWAP))/n.
+func BaseFidelity(fbISwap float64, n int) float64 {
+	return 1 - (1-fbISwap)/float64(n)
+}
+
+// TotalFidelity is Eq. 13's inner expression: Fd · Fb^k for a k-gate
+// template with per-gate base fidelity fb and decomposition fidelity fd.
+func TotalFidelity(fd, fb float64, k int) float64 {
+	return fd * math.Pow(fb, float64(k))
+}
+
+// Config controls the optimizer.
+type Config struct {
+	Restarts int                 // random restarts (default 4)
+	Adam     optimize.AdamConfig // inner optimizer settings
+}
+
+func (c Config) withDefaults() Config {
+	if c.Restarts == 0 {
+		c.Restarts = 4
+	}
+	if c.Adam.MaxIter == 0 {
+		c.Adam.MaxIter = 250
+	}
+	if c.Adam.LearningRate == 0 {
+		c.Adam.LearningRate = 0.08
+	}
+	return c
+}
+
+// Result is one optimized template.
+type Result struct {
+	Root       int       // n of the n√iSWAP basis
+	K          int       // number of basis-gate applications
+	Infidelity float64   // 1 − Fd at the optimum
+	Params     []float64 // 6(k+1) single-qubit parameters
+}
+
+// ParamsPerTemplate returns the parameter count of a k-gate template.
+func ParamsPerTemplate(k int) int { return 6 * (k + 1) }
+
+// TemplateUnitary materializes the Eq. 10 template: (U3⊗U3) layers
+// interleaved with k applications of n√iSWAP.
+func TemplateUnitary(n, k int, params []float64) (*linalg.Matrix, error) {
+	if len(params) != ParamsPerTemplate(k) {
+		return nil, fmt.Errorf("decomp: need %d params for k=%d, got %d", ParamsPerTemplate(k), k, len(params))
+	}
+	basis := gates.NRootISwap(n)
+	layer := func(i int) *linalg.Matrix {
+		p := params[6*i : 6*i+6]
+		return gates.U3(p[0], p[1], p[2]).Kron(gates.U3(p[3], p[4], p[5]))
+	}
+	t := layer(0)
+	for i := 1; i <= k; i++ {
+		t = layer(i).Mul(basis.Mul(t))
+	}
+	return t, nil
+}
+
+// Decompose optimizes a k-application n√iSWAP template against the target
+// and returns the best result over Config.Restarts random restarts.
+// The objective 1 − |Tr(T†U)|/4 is minimized with Adam using analytic
+// gradients backpropagated through the template's matrix chain.
+func Decompose(target *linalg.Matrix, n, k int, rng *rand.Rand, cfg Config) (Result, error) {
+	if target.Rows != 4 || target.Cols != 4 {
+		return Result{}, fmt.Errorf("decomp: target must be 4x4")
+	}
+	if n < 1 || k < 0 {
+		return Result{}, fmt.Errorf("decomp: invalid template n=%d k=%d", n, k)
+	}
+	cfg = cfg.withDefaults()
+	obj := newObjective(target, n, k)
+	np := ParamsPerTemplate(k)
+	best := Result{Root: n, K: k, Infidelity: math.Inf(1)}
+	for r := 0; r < cfg.Restarts; r++ {
+		x0 := make([]float64, np)
+		for i := range x0 {
+			x0[i] = rng.Float64() * 2 * math.Pi
+		}
+		x, f := optimize.Adam(x0, obj.fg, cfg.Adam)
+		if f < best.Infidelity {
+			best.Infidelity = f
+			best.Params = x
+		}
+		if best.Infidelity < 1e-10 {
+			break
+		}
+	}
+	if best.Infidelity < 0 {
+		best.Infidelity = 0 // numerical floor
+	}
+	return best, nil
+}
+
+// objective carries the preallocated state for gradient evaluation.
+type objective struct {
+	udg   *linalg.Matrix // U†
+	basis *linalg.Matrix // n√iSWAP
+	n, k  int
+}
+
+func newObjective(target *linalg.Matrix, n, k int) *objective {
+	return &objective{udg: target.Dagger(), basis: gates.NRootISwap(n), n: n, k: k}
+}
+
+// u3WithGrads returns U3(θ,φ,λ) and its three parameter derivatives.
+func u3WithGrads(th, ph, lm float64) (u *linalg.Matrix, d [3]*linalg.Matrix) {
+	c, s := math.Cos(th/2), math.Sin(th/2)
+	eip := cmplx.Exp(complex(0, ph))
+	eil := cmplx.Exp(complex(0, lm))
+	eipl := cmplx.Exp(complex(0, ph+lm))
+	u = linalg.FromRows([][]complex128{
+		{complex(c, 0), -eil * complex(s, 0)},
+		{eip * complex(s, 0), eipl * complex(c, 0)},
+	})
+	d[0] = linalg.FromRows([][]complex128{ // ∂θ
+		{complex(-s/2, 0), -eil * complex(c/2, 0)},
+		{eip * complex(c/2, 0), eipl * complex(-s/2, 0)},
+	})
+	d[1] = linalg.FromRows([][]complex128{ // ∂φ
+		{0, 0},
+		{1i * eip * complex(s, 0), 1i * eipl * complex(c, 0)},
+	})
+	d[2] = linalg.FromRows([][]complex128{ // ∂λ
+		{0, -1i * eil * complex(s, 0)},
+		{0, 1i * eipl * complex(c, 0)},
+	})
+	return u, d
+}
+
+// fg computes the infidelity and its analytic gradient.
+func (o *objective) fg(x []float64) (float64, []float64) {
+	k := o.k
+	nLayers := k + 1
+	// Build the 1Q layers with per-parameter derivative blocks.
+	layers := make([]*linalg.Matrix, nLayers)
+	var dLeft, dRight [][3]*linalg.Matrix
+	left := make([]*linalg.Matrix, nLayers)
+	right := make([]*linalg.Matrix, nLayers)
+	dLeft = make([][3]*linalg.Matrix, nLayers)
+	dRight = make([][3]*linalg.Matrix, nLayers)
+	for i := 0; i < nLayers; i++ {
+		p := x[6*i : 6*i+6]
+		l, dl := u3WithGrads(p[0], p[1], p[2])
+		r, dr := u3WithGrads(p[3], p[4], p[5])
+		left[i], right[i] = l, r
+		dLeft[i], dRight[i] = dl, dr
+		layers[i] = l.Kron(r)
+	}
+	// Matrix chain: mats[0]=layers[0], mats[1]=B, mats[2]=layers[1], ...
+	total := 2*k + 1
+	mats := make([]*linalg.Matrix, total)
+	for i := 0; i < nLayers; i++ {
+		mats[2*i] = layers[i]
+		if i < k {
+			mats[2*i+1] = o.basis
+		}
+	}
+	// suffix[j] = mats[j-1]···mats[0] (identity at j=0);
+	// prefix[j] = mats[total-1]···mats[j+1] (identity at j=total-1).
+	suffix := make([]*linalg.Matrix, total+1)
+	suffix[0] = linalg.Identity(4)
+	for j := 0; j < total; j++ {
+		suffix[j+1] = mats[j].Mul(suffix[j])
+	}
+	prefix := make([]*linalg.Matrix, total+1)
+	prefix[total] = linalg.Identity(4)
+	for j := total - 1; j >= 0; j-- {
+		prefix[j] = prefix[j+1].Mul(mats[j])
+	}
+	t := suffix[total] // the full template
+	sTr := traceProduct(o.udg, t)
+	sAbs := cmplx.Abs(sTr)
+	f := 1 - sAbs/4
+	grad := make([]float64, len(x))
+	if sAbs < 1e-15 {
+		return f, grad // gradient undefined at |s|=0; flat response
+	}
+	coeff := cmplx.Conj(sTr) / complex(sAbs, 0)
+	for i := 0; i < nLayers; i++ {
+		j := 2 * i // position of layer i in the chain
+		// G = S_j · U† · P_j; ∂s/∂p = tr(G · ∂M_j/∂p).
+		g := suffix[j].Mul(o.udg).Mul(prefix[j+1])
+		for pi := 0; pi < 3; pi++ {
+			dm := dLeft[i][pi].Kron(right[i])
+			ds := traceProduct(g, dm)
+			grad[6*i+pi] = -real(coeff*ds) / 4
+			dm = left[i].Kron(dRight[i][pi])
+			ds = traceProduct(g, dm)
+			grad[6*i+3+pi] = -real(coeff*ds) / 4
+		}
+	}
+	return f, grad
+}
+
+// traceProduct computes tr(a·b) without materializing the product.
+func traceProduct(a, b *linalg.Matrix) complex128 {
+	var s complex128
+	n := a.Rows
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s += a.At(i, j) * b.At(j, i)
+		}
+	}
+	return s
+}
+
+// BestTemplate sweeps k = 0..kMax and returns the template maximizing the
+// Eq. 13 total fidelity Ft = Fd(k)·Fb^k for the given iSWAP base fidelity.
+func BestTemplate(target *linalg.Matrix, n, kMax int, fbISwap float64, rng *rand.Rand, cfg Config) (Result, float64, error) {
+	fb := BaseFidelity(fbISwap, n)
+	bestFt := -1.0
+	var best Result
+	for k := 0; k <= kMax; k++ {
+		res, err := Decompose(target, n, k, rng, cfg)
+		if err != nil {
+			return Result{}, 0, err
+		}
+		ft := TotalFidelity(1-res.Infidelity, fb, k)
+		if ft > bestFt {
+			bestFt = ft
+			best = res
+		}
+	}
+	return best, bestFt, nil
+}

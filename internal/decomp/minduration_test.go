@@ -1,0 +1,95 @@
+package decomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/optimize"
+	"repro/internal/weyl"
+)
+
+func minDurCfg() Config {
+	return Config{Restarts: 4, Adam: optimize.AdamConfig{MaxIter: 700, LearningRate: 0.08}}
+}
+
+func TestMinDurationSqrtISwapClass(t *testing.T) {
+	// √iSWAP itself: one half pulse (n=2, k=1, duration 0.5).
+	rng := rand.New(rand.NewSource(1))
+	res, err := MinDurationExact(gates.SqrtISwap(), 4, 1e-6, rng, minDurCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Duration-0.5) > 1e-12 {
+		t.Errorf("√iSWAP min duration = %g (n=%d k=%d), want 0.5", res.Duration, res.Root, res.K)
+	}
+}
+
+func TestMinDurationISwapClass(t *testing.T) {
+	// iSWAP: one full pulse (n=1, k=1) — duration 1.0.
+	rng := rand.New(rand.NewSource(2))
+	res, err := MinDurationExact(gates.ISwap(), 4, 1e-6, rng, minDurCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Duration-1.0) > 1e-12 {
+		t.Errorf("iSWAP min duration = %g (n=%d k=%d), want 1.0", res.Duration, res.Root, res.K)
+	}
+}
+
+func TestMinDurationLocalIsFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	local := gates.RandomSU2(rng).Kron(gates.RandomSU2(rng))
+	res, err := MinDurationExact(local, 3, 1e-6, rng, minDurCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration != 0 {
+		t.Errorf("local gate min duration = %g, want 0", res.Duration)
+	}
+}
+
+func TestMinDurationThreeSqrtTargetBeats1p5(t *testing.T) {
+	// A class outside the 2-√iSWAP region costs 1.5 iSWAP pulses at n=2,
+	// but fractional pulses do better — discrete n√iSWAP sequences approach
+	// the continuous-control interaction-cost bound t = (x+y+|z|)/(π/2)
+	// (Vidal–Hammerer–Cirac), which for this target is ≈ 0.57. The search
+	// finds three quarter-pulses (duration 0.75), strengthening the paper's
+	// §6.3 argument beyond its own 4/3 example.
+	rng := rand.New(rand.NewSource(4))
+	target := gates.Canonical(0.35, 0.3, 0.25) // X < Y + |Z| → 3 √iSWAPs
+	coord, err := weyl.Coordinates(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weyl.BasisSqrtISwap.NumGates(coord) != 3 {
+		t.Fatalf("test target should need 3 √iSWAPs, got %d", weyl.BasisSqrtISwap.NumGates(coord))
+	}
+	res, err := MinDurationExact(target, 4, 1e-6, rng, minDurCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Duration > 4.0/3.0+1e-9 {
+		t.Errorf("min duration = %g (n=%d k=%d), want ≤ 4/3", res.Duration, res.Root, res.K)
+	}
+	bound := (coord.X + coord.Y + math.Abs(coord.Z)) / (math.Pi / 2)
+	if res.Duration < bound-1e-9 {
+		t.Errorf("min duration %g beats the continuous interaction-cost bound %g — impossible", res.Duration, bound)
+	}
+	// Independently verify the returned template really is exact.
+	u, err := TemplateUnitary(res.Root, res.K, res.Params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := HSFidelity(u, target); f < 1-1e-6 {
+		t.Errorf("claimed-exact template has fidelity %g", f)
+	}
+}
+
+func TestMinDurationValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	if _, err := MinDurationExact(gates.CX(), 0, 1e-7, rng, minDurCfg()); err == nil {
+		t.Fatal("maxN=0 accepted")
+	}
+}

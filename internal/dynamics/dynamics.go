@@ -1,0 +1,145 @@
+// Package dynamics models the parametrically driven photon exchange that
+// underlies the SNAIL's n√iSWAP gates (paper §4.1–4.2, Fig. 6): pumping the
+// SNAIL at the difference of two qubit frequencies creates the effective
+// interaction g(a1†a2 + a1a2†) (Eq. 8), producing Rabi-style excitation
+// exchange whose rate and contrast depend on pump detuning — the "chevron"
+// pattern of Fig. 6. A closed-form solution and an RK4 Schrödinger
+// integrator cross-validate each other, and an optional T1 envelope models
+// the decoherence that limits the demonstrated router (§4.2).
+package dynamics
+
+import (
+	"fmt"
+	"math"
+)
+
+// ExchangeModel describes one driven qubit pair.
+type ExchangeModel struct {
+	// G is the exchange coupling rate in angular frequency units (rad per
+	// time unit). A resonant π-exchange (full transfer) takes t = π/(2G).
+	G float64
+	// T1 is the amplitude-damping time constant; 0 disables decay.
+	T1 float64
+}
+
+// RabiRate returns the generalized Rabi frequency Ω = √(g² + (Δ/2)²) for a
+// pump detuned by Δ from the qubit difference frequency.
+func (m ExchangeModel) RabiRate(detuning float64) float64 {
+	return math.Hypot(m.G, detuning/2)
+}
+
+// TransferProbability returns the probability that an excitation starting
+// in qubit A is found in qubit B after drive time t at the given detuning:
+//
+//	P(t) = (g²/Ω²)·sin²(Ωt) · e^{-t/T1}.
+//
+// The detuning reduces both the oscillation contrast (g²/Ω²) and slews the
+// rate, producing the chevron of Fig. 6.
+func (m ExchangeModel) TransferProbability(t, detuning float64) float64 {
+	om := m.RabiRate(detuning)
+	contrast := (m.G * m.G) / (om * om)
+	p := contrast * math.Pow(math.Sin(om*t), 2)
+	return p * m.decay(t)
+}
+
+// SurvivalProbability returns the probability the excitation remains in
+// qubit A (with decay, probability also leaks to the joint ground state).
+func (m ExchangeModel) SurvivalProbability(t, detuning float64) float64 {
+	om := m.RabiRate(detuning)
+	contrast := (m.G * m.G) / (om * om)
+	p := 1 - contrast*math.Pow(math.Sin(om*t), 2)
+	return p * m.decay(t)
+}
+
+func (m ExchangeModel) decay(t float64) float64 {
+	if m.T1 <= 0 {
+		return 1
+	}
+	return math.Exp(-t / m.T1)
+}
+
+// PiPulseDuration returns the resonant full-transfer (iSWAP) pulse length
+// π/(2g). The n-th root pulse is proportionally shorter (paper §4.1).
+func (m ExchangeModel) PiPulseDuration() float64 { return math.Pi / (2 * m.G) }
+
+// NRootPulseDuration returns the pulse length of an n√iSWAP exchange.
+func (m ExchangeModel) NRootPulseDuration(n int) float64 {
+	return m.PiPulseDuration() / float64(n)
+}
+
+// Evolve integrates the two-level Schrödinger equation
+//
+//	i dψ/dt = H ψ,   H = [[-Δ/2, g], [g, +Δ/2]]
+//
+// from ψ = (1, 0) (excitation in qubit A) using fixed-step RK4 and returns
+// the transfer probability |ψ_B(t)|² (with the same decay envelope as the
+// closed form). Used to validate the analytic solution.
+func (m ExchangeModel) Evolve(t, detuning float64, steps int) (float64, error) {
+	if steps < 1 {
+		return 0, fmt.Errorf("dynamics: need at least one step")
+	}
+	if t < 0 {
+		return 0, fmt.Errorf("dynamics: negative time")
+	}
+	h := t / float64(steps)
+	// ψ = (a, b) complex.
+	a, b := complex(1, 0), complex(0, 0)
+	d := complex(detuning/2, 0)
+	g := complex(m.G, 0)
+	// dψ/dt = -i H ψ.
+	deriv := func(a, b complex128) (complex128, complex128) {
+		da := complex(0, -1) * (-d*a + g*b)
+		db := complex(0, -1) * (g*a + d*b)
+		return da, db
+	}
+	for s := 0; s < steps; s++ {
+		k1a, k1b := deriv(a, b)
+		k2a, k2b := deriv(a+complex(h/2, 0)*k1a, b+complex(h/2, 0)*k1b)
+		k3a, k3b := deriv(a+complex(h/2, 0)*k2a, b+complex(h/2, 0)*k2b)
+		k4a, k4b := deriv(a+complex(h, 0)*k3a, b+complex(h, 0)*k3b)
+		a += complex(h/6, 0) * (k1a + 2*k2a + 2*k3a + k4a)
+		b += complex(h/6, 0) * (k1b + 2*k2b + 2*k3b + k4b)
+	}
+	pb := real(b)*real(b) + imag(b)*imag(b)
+	return pb * m.decay(t), nil
+}
+
+// Chevron is a sampled |excitation-in-B| map over pulse length × detuning,
+// the data behind Fig. 6.
+type Chevron struct {
+	Times     []float64
+	Detunings []float64
+	// TransferB[i][j] is the transfer probability at Times[i], Detunings[j];
+	// GroundA is the probability qubit A has returned to (or decayed into)
+	// its ground state.
+	TransferB [][]float64
+	GroundA   [][]float64
+}
+
+// ChevronMap samples the chevron pattern on a regular grid.
+func ChevronMap(m ExchangeModel, tMax float64, nT int, detMax float64, nD int) (*Chevron, error) {
+	if nT < 2 || nD < 2 {
+		return nil, fmt.Errorf("dynamics: chevron grid needs ≥2 points per axis")
+	}
+	ch := &Chevron{
+		Times:     make([]float64, nT),
+		Detunings: make([]float64, nD),
+	}
+	for i := range ch.Times {
+		ch.Times[i] = tMax * float64(i) / float64(nT-1)
+	}
+	for j := range ch.Detunings {
+		ch.Detunings[j] = -detMax + 2*detMax*float64(j)/float64(nD-1)
+	}
+	ch.TransferB = make([][]float64, nT)
+	ch.GroundA = make([][]float64, nT)
+	for i, t := range ch.Times {
+		ch.TransferB[i] = make([]float64, nD)
+		ch.GroundA[i] = make([]float64, nD)
+		for j, det := range ch.Detunings {
+			ch.TransferB[i][j] = m.TransferProbability(t, det)
+			ch.GroundA[i][j] = 1 - m.SurvivalProbability(t, det)
+		}
+	}
+	return ch, nil
+}

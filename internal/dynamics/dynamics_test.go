@@ -1,0 +1,137 @@
+package dynamics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestResonantFullTransfer(t *testing.T) {
+	m := ExchangeModel{G: 2 * math.Pi * 0.5} // 0.5 MHz-style coupling
+	tPi := m.PiPulseDuration()
+	if p := m.TransferProbability(tPi, 0); math.Abs(p-1) > 1e-12 {
+		t.Fatalf("resonant π pulse transfer = %g, want 1", p)
+	}
+	if p := m.TransferProbability(2*tPi, 0); p > 1e-12 {
+		t.Fatalf("resonant 2π pulse transfer = %g, want 0 (excitation returns)", p)
+	}
+	// Half pulse: 50/50.
+	if p := m.TransferProbability(tPi/2, 0); math.Abs(p-0.5) > 1e-12 {
+		t.Fatalf("half pulse transfer = %g, want 0.5", p)
+	}
+}
+
+func TestDetuningReducesContrast(t *testing.T) {
+	m := ExchangeModel{G: 1}
+	// Peak transfer at detuning Δ is g²/(g²+(Δ/2)²) < 1.
+	for _, det := range []float64{0.5, 1, 2, 5} {
+		want := 1 / (1 + (det/2)*(det/2))
+		om := m.RabiRate(det)
+		tPeak := math.Pi / (2 * om)
+		if p := m.TransferProbability(tPeak, det); math.Abs(p-want) > 1e-12 {
+			t.Fatalf("detuned peak at Δ=%g: %g, want %g", det, p, want)
+		}
+	}
+}
+
+func TestChevronSymmetry(t *testing.T) {
+	m := ExchangeModel{G: 1}
+	f := func(tt, det float64) bool {
+		tt = math.Abs(math.Mod(tt, 10))
+		det = math.Mod(det, 3)
+		return math.Abs(m.TransferProbability(tt, det)-m.TransferProbability(tt, -det)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbabilityConservationNoDecay(t *testing.T) {
+	m := ExchangeModel{G: 1.3}
+	f := func(tt, det float64) bool {
+		tt = math.Abs(math.Mod(tt, 10))
+		det = math.Mod(det, 4)
+		sum := m.TransferProbability(tt, det) + m.SurvivalProbability(tt, det)
+		return math.Abs(sum-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRK4MatchesClosedForm(t *testing.T) {
+	m := ExchangeModel{G: 2 * math.Pi * 0.8}
+	for _, det := range []float64{0, 0.7, -2.2, 4.1} {
+		for _, tt := range []float64{0.1, 0.37, 1.5} {
+			want := m.TransferProbability(tt, det)
+			got, err := m.Evolve(tt, det, 4000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-want) > 1e-6 {
+				t.Fatalf("RK4 vs closed form at (t=%g, Δ=%g): %g vs %g", tt, det, got, want)
+			}
+		}
+	}
+}
+
+func TestDecayEnvelope(t *testing.T) {
+	noDecay := ExchangeModel{G: 1}
+	decay := ExchangeModel{G: 1, T1: 2}
+	tPi := noDecay.PiPulseDuration()
+	p0 := noDecay.TransferProbability(tPi, 0)
+	p1 := decay.TransferProbability(tPi, 0)
+	want := p0 * math.Exp(-tPi/2)
+	if math.Abs(p1-want) > 1e-12 {
+		t.Fatalf("decayed transfer = %g, want %g", p1, want)
+	}
+}
+
+func TestNRootPulseScaling(t *testing.T) {
+	// Paper §4.1: n√iSWAP pulses are 1/n of the iSWAP pulse.
+	m := ExchangeModel{G: 3}
+	for n := 1; n <= 8; n++ {
+		if d := m.NRootPulseDuration(n); math.Abs(d-m.PiPulseDuration()/float64(n)) > 1e-15 {
+			t.Fatalf("n=%d pulse duration wrong", n)
+		}
+	}
+}
+
+func TestChevronMapShape(t *testing.T) {
+	m := ExchangeModel{G: 2 * math.Pi * 1.0, T1: 50}
+	ch, err := ChevronMap(m, 2.0, 41, 3.0, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.TransferB) != 41 || len(ch.TransferB[0]) != 21 {
+		t.Fatalf("grid shape %dx%d", len(ch.TransferB), len(ch.TransferB[0]))
+	}
+	// The resonant column has the deepest oscillation: its max transfer
+	// must exceed the most-detuned column's.
+	mid := 10 // Δ=0 column
+	maxMid, maxEdge := 0.0, 0.0
+	for i := range ch.Times {
+		if p := ch.TransferB[i][mid]; p > maxMid {
+			maxMid = p
+		}
+		if p := ch.TransferB[i][0]; p > maxEdge {
+			maxEdge = p
+		}
+	}
+	if maxMid <= maxEdge {
+		t.Fatalf("chevron contrast inverted: resonant %g vs edge %g", maxMid, maxEdge)
+	}
+	if _, err := ChevronMap(m, 1, 1, 1, 5); err == nil {
+		t.Fatal("degenerate grid accepted")
+	}
+}
+
+func TestEvolveErrors(t *testing.T) {
+	m := ExchangeModel{G: 1}
+	if _, err := m.Evolve(1, 0, 0); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if _, err := m.Evolve(-1, 0, 10); err == nil {
+		t.Fatal("negative time accepted")
+	}
+}

@@ -1,0 +1,382 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation: Table 1/2 (topology properties), Fig. 4/11/12 (SWAP-count
+// sweeps), Fig. 13/14 (co-designed 2Q-gate and pulse-duration sweeps),
+// Fig. 15 (the n√iSWAP fidelity study), the §6 headline ratios, and the
+// ablations called out in DESIGN.md. Every experiment is deterministic via
+// fixed seeds; `quick` variants shrink sizes for tests and benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/weyl"
+	"repro/internal/workloads"
+)
+
+// SweepKind selects which pair of metrics a sweep reports.
+type SweepKind int
+
+const (
+	// SwapCounts reports (total SWAPs, critical-path SWAPs) — the
+	// gate-agnostic topology comparison of Figs. 4, 11, 12.
+	SwapCounts SweepKind = iota
+	// Codesign reports (total 2Q gates, pulse duration) after basis
+	// translation — the co-design comparison of Figs. 13, 14.
+	Codesign
+)
+
+// Point is one (circuit size → metrics) sample.
+type Point struct {
+	Size     int
+	Total    float64
+	Critical float64
+}
+
+// Series is one curve of a figure: a machine/topology on a workload.
+type Series struct {
+	Label    string
+	Workload string
+	Points   []Point
+}
+
+// SweepSpec describes one figure's sweep.
+type SweepSpec struct {
+	ID        string
+	Kind      SweepKind
+	Machines  []core.Machine
+	Workloads []string
+	Sizes     []int
+	Seed      int64
+	Trials    int
+}
+
+// circuitFor builds the benchmark circuit deterministically per
+// (workload, size), independent of machine, so every machine routes the
+// exact same logical circuit.
+func circuitFor(name string, size int, baseSeed int64) (*circuit.Circuit, error) {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%d/%d", name, size, baseSeed)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	return workloads.Generate(name, size, rng)
+}
+
+// Run executes the sweep, returning one Series per (machine, workload).
+func (s SweepSpec) Run() ([]Series, error) {
+	var out []Series
+	for _, w := range s.Workloads {
+		circs := make(map[int]*circuit.Circuit, len(s.Sizes))
+		for _, size := range s.Sizes {
+			c, err := circuitFor(w, size, s.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: %s/%s(%d): %w", s.ID, w, size, err)
+			}
+			circs[size] = c
+		}
+		for _, m := range s.Machines {
+			ser := Series{Label: m.Name, Workload: w}
+			for _, size := range s.Sizes {
+				if size > m.Graph.N() {
+					continue
+				}
+				opt := core.Options{Seed: s.Seed, Trials: s.Trials}
+				met, err := m.Evaluate(circs[size], opt)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: %s/%s/%s(%d): %w", s.ID, m.Name, w, size, err)
+				}
+				p := Point{Size: size}
+				switch s.Kind {
+				case SwapCounts:
+					p.Total = float64(met.TotalSwaps)
+					p.Critical = float64(met.CriticalSwaps)
+				case Codesign:
+					p.Total = float64(met.Total2Q)
+					p.Critical = met.PulseDuration
+				}
+				ser.Points = append(ser.Points, p)
+			}
+			out = append(out, ser)
+		}
+	}
+	return out, nil
+}
+
+// sizes16 and sizes84 are the x-axes for small and scaled machines.
+func sizes16(quick bool) []int {
+	if quick {
+		return []int{6, 10, 16}
+	}
+	return []int{4, 6, 8, 10, 12, 14, 16}
+}
+
+func sizes84(quick bool) []int {
+	if quick {
+		return []int{16, 32}
+	}
+	return []int{16, 32, 48, 64, 80}
+}
+
+func trials(quick bool) int {
+	if quick {
+		return 5
+	}
+	return 20
+}
+
+// machinesTopoOnly wraps bare topologies with the CX basis: SWAP counting
+// is basis-independent (the paper: "independent of choice of basis gate").
+func machinesTopoOnly(graphs ...*topology.Graph) []core.Machine {
+	out := make([]core.Machine, len(graphs))
+	for i, g := range graphs {
+		out[i] = core.NewMachine(g.Name, g, weyl.BasisCX)
+	}
+	return out
+}
+
+// Fig4Spec is the 84-qubit topology SWAP sweep over the standard lattices
+// plus the hypercube (paper Fig. 4).
+func Fig4Spec(quick bool) SweepSpec {
+	return SweepSpec{
+		ID:   "fig4",
+		Kind: SwapCounts,
+		Machines: machinesTopoOnly(
+			topology.HeavyHex84(),
+			topology.HexLattice84(),
+			topology.SquareLattice84(),
+			topology.LatticeAltDiag84(),
+			topology.Hypercube84(),
+		),
+		Workloads: workloads.Names(),
+		Sizes:     sizes84(quick),
+		Seed:      2022,
+		Trials:    trials(quick),
+	}
+}
+
+// Fig11Spec is the 16-qubit SNAIL-topology SWAP sweep (paper Fig. 11).
+func Fig11Spec(quick bool) SweepSpec {
+	return SweepSpec{
+		ID:   "fig11",
+		Kind: SwapCounts,
+		Machines: machinesTopoOnly(
+			topology.SquareLattice16(),
+			topology.Hypercube16(),
+			topology.Tree20(),
+			topology.TreeRR20(),
+			topology.Corral11(),
+			topology.Corral12(),
+		),
+		Workloads: workloads.Names(),
+		Sizes:     sizes16(quick),
+		Seed:      2022,
+		Trials:    trials(quick),
+	}
+}
+
+// Fig12Spec is the 84-qubit sweep including the SNAIL trees (paper Fig. 12).
+func Fig12Spec(quick bool) SweepSpec {
+	return SweepSpec{
+		ID:   "fig12",
+		Kind: SwapCounts,
+		Machines: machinesTopoOnly(
+			topology.HeavyHex84(),
+			topology.SquareLattice84(),
+			topology.Tree84(),
+			topology.TreeRR84(),
+			topology.Hypercube84(),
+		),
+		Workloads: workloads.Names(),
+		Sizes:     sizes84(quick),
+		Seed:      2022,
+		Trials:    trials(quick),
+	}
+}
+
+// Fig13Spec is the 16-20 qubit co-design sweep (paper Fig. 13): each
+// topology paired with its modulator's native basis.
+func Fig13Spec(quick bool) SweepSpec {
+	return SweepSpec{
+		ID:        "fig13",
+		Kind:      Codesign,
+		Machines:  core.Machines16(),
+		Workloads: workloads.Names(),
+		Sizes:     sizes16(quick),
+		Seed:      2022,
+		Trials:    trials(quick),
+	}
+}
+
+// Fig14Spec is the 84-qubit co-design sweep (paper Fig. 14).
+func Fig14Spec(quick bool) SweepSpec {
+	return SweepSpec{
+		ID:        "fig14",
+		Kind:      Codesign,
+		Machines:  core.Machines84(),
+		Workloads: workloads.Names(),
+		Sizes:     sizes84(quick),
+		Seed:      2022,
+		Trials:    trials(quick),
+	}
+}
+
+// Table1 returns the measured topology properties of the paper's Table 1.
+func Table1() []topology.Stats {
+	gs := []*topology.Graph{
+		topology.HeavyHex20(),
+		topology.HexLattice20(),
+		topology.SquareLattice16(),
+		topology.Tree20(),
+		topology.TreeRR20(),
+		topology.Corral11(),
+		topology.Corral12(),
+		topology.Hypercube16(),
+	}
+	out := make([]topology.Stats, len(gs))
+	for i, g := range gs {
+		out[i] = g.Stats()
+	}
+	return out
+}
+
+// Table2 returns the measured topology properties of the paper's Table 2.
+func Table2() []topology.Stats {
+	gs := []*topology.Graph{
+		topology.HeavyHex84(),
+		topology.HexLattice84(),
+		topology.SquareLattice84(),
+		topology.LatticeAltDiag84(),
+		topology.Tree84(),
+		topology.TreeRR84(),
+		topology.Hypercube84(),
+	}
+	out := make([]topology.Stats, len(gs))
+	for i, g := range gs {
+		out[i] = g.Stats()
+	}
+	return out
+}
+
+// Headline holds the §1/§6 summary ratios comparing Heavy-Hex+CNOT against
+// Hypercube+√iSWAP averaged over QuantumVolume sizes.
+type Headline struct {
+	Sizes []int
+	// S2 (§6.1): total and critical-path SWAP ratios (topology only).
+	SwapRatio         float64
+	CriticalSwapRatio float64
+	// S1 (§1/§6.2): total 2Q and pulse-duration ratios (co-design).
+	Total2QRatio  float64
+	DurationRatio float64
+}
+
+// Headlines computes the headline ratios on QuantumVolume circuits.
+func Headlines(quick bool) (Headline, error) {
+	sizes := sizes84(quick)
+	hh := core.HeavyHex84CX()
+	hc := core.Hypercube84SqrtISwap()
+	res := Headline{Sizes: sizes}
+	var sw, cs, tq, du float64
+	n := 0
+	for _, size := range sizes {
+		c, err := circuitFor("QuantumVolume", size, 2022)
+		if err != nil {
+			return Headline{}, err
+		}
+		opt := core.Options{Seed: 2022, Trials: trials(quick)}
+		a, err := hh.Evaluate(c, opt)
+		if err != nil {
+			return Headline{}, err
+		}
+		b, err := hc.Evaluate(c, opt)
+		if err != nil {
+			return Headline{}, err
+		}
+		sw += float64(a.TotalSwaps) / float64(b.TotalSwaps)
+		cs += float64(a.CriticalSwaps) / float64(b.CriticalSwaps)
+		tq += float64(a.Total2Q) / float64(b.Total2Q)
+		du += a.PulseDuration / b.PulseDuration
+		n++
+	}
+	res.SwapRatio = sw / float64(n)
+	res.CriticalSwapRatio = cs / float64(n)
+	res.Total2QRatio = tq / float64(n)
+	res.DurationRatio = du / float64(n)
+	return res, nil
+}
+
+// FormatSeries renders sweep results as an aligned text table, one block
+// per workload, one row per machine, matching the paper's figure layout.
+func FormatSeries(series []Series, kind SweepKind) string {
+	totalName, critName := "totalSwaps", "critSwaps"
+	if kind == Codesign {
+		totalName, critName = "total2Q", "pulseDur"
+	}
+	byWorkload := map[string][]Series{}
+	var order []string
+	for _, s := range series {
+		if _, ok := byWorkload[s.Workload]; !ok {
+			order = append(order, s.Workload)
+		}
+		byWorkload[s.Workload] = append(byWorkload[s.Workload], s)
+	}
+	var sb strings.Builder
+	for _, w := range order {
+		fmt.Fprintf(&sb, "== %s ==\n", w)
+		group := byWorkload[w]
+		// Collect sizes across the group.
+		sizeSet := map[int]bool{}
+		for _, s := range group {
+			for _, p := range s.Points {
+				sizeSet[p.Size] = true
+			}
+		}
+		var sizes []int
+		for sz := range sizeSet {
+			sizes = append(sizes, sz)
+		}
+		sort.Ints(sizes)
+		for _, metric := range []string{totalName, critName} {
+			fmt.Fprintf(&sb, "  [%s]\n", metric)
+			fmt.Fprintf(&sb, "  %-24s", "machine\\n")
+			for _, sz := range sizes {
+				fmt.Fprintf(&sb, "%10d", sz)
+			}
+			sb.WriteString("\n")
+			for _, s := range group {
+				fmt.Fprintf(&sb, "  %-24s", s.Label)
+				vals := map[int]float64{}
+				for _, p := range s.Points {
+					if metric == totalName {
+						vals[p.Size] = p.Total
+					} else {
+						vals[p.Size] = p.Critical
+					}
+				}
+				for _, sz := range sizes {
+					if v, ok := vals[sz]; ok {
+						fmt.Fprintf(&sb, "%10.1f", v)
+					} else {
+						fmt.Fprintf(&sb, "%10s", "-")
+					}
+				}
+				sb.WriteString("\n")
+			}
+		}
+	}
+	return sb.String()
+}
+
+// FormatStats renders Table 1/2 rows.
+func FormatStats(rows []topology.Stats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-20s %7s %6s %7s %7s\n", "Topology", "Qubits", "Dia", "AvgD", "AvgC")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-20s %7d %6d %7.2f %7.2f\n", r.Name, r.Qubits, r.Diameter, r.AvgDist, r.AvgConn)
+	}
+	return sb.String()
+}

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/decomp"
+	"repro/internal/gates"
+	"repro/internal/linalg"
+)
+
+// Fig15Roots and Fig15Ks are the paper's sweep axes: n√iSWAP for n = 2..7
+// and template sizes k = 2..8 (Fig. 15).
+var Fig15Roots = []int{2, 3, 4, 5, 6, 7}
+var Fig15Ks = []int{2, 3, 4, 5, 6, 7, 8}
+
+// Fig15Result holds the pulse-duration sensitivity study data.
+type Fig15Result struct {
+	Samples int
+	Roots   []int
+	Ks      []int
+
+	// AvgInfidelity[ni][ki] is the mean decomposition infidelity 1−Fd of
+	// Haar-random targets for root Roots[ni] with Ks[ki] template gates
+	// (Fig. 15 top-left; top-right uses duration = k/n on the x-axis).
+	AvgInfidelity [][]float64
+
+	// FbGrid spans iSWAP base fidelities 0.90..1.00; AvgTotalFidelity[ni][f]
+	// is the mean over targets of max_k Fd·Fb^k (Eq. 13; Fig. 15 bottom).
+	FbGrid           []float64
+	AvgTotalFidelity [][]float64
+}
+
+// Duration returns the pulse-duration x-coordinate k/n for a root and
+// template size (Fig. 15 top-right).
+func Duration(n, k int) float64 { return float64(k) / float64(n) }
+
+// RunFig15 reproduces the Fig. 15 study: decompose `samples` Haar-random 2Q
+// unitaries into every (n, k) template, then evaluate the
+// decoherence-vs-approximation trade-off across base fidelities.
+// The paper uses N=50; tests use fewer.
+func RunFig15(samples int, seed int64, cfg decomp.Config) (*Fig15Result, error) {
+	if samples < 1 {
+		return nil, fmt.Errorf("experiments: fig15 needs ≥1 sample")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	targets := make([]*linalg.Matrix, samples)
+	for i := range targets {
+		targets[i] = gates.RandomSU4(rng)
+	}
+	res := &Fig15Result{
+		Samples: samples,
+		Roots:   Fig15Roots,
+		Ks:      Fig15Ks,
+	}
+	// fidelity[ni][ki][sample] = Fd.
+	fid := make([][][]float64, len(res.Roots))
+	res.AvgInfidelity = make([][]float64, len(res.Roots))
+	for ni, n := range res.Roots {
+		fid[ni] = make([][]float64, len(res.Ks))
+		res.AvgInfidelity[ni] = make([]float64, len(res.Ks))
+		for ki, k := range res.Ks {
+			fid[ni][ki] = make([]float64, samples)
+			sum := 0.0
+			for si, target := range targets {
+				r, err := decomp.Decompose(target, n, k, rng, cfg)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: fig15 n=%d k=%d: %w", n, k, err)
+				}
+				fid[ni][ki][si] = 1 - r.Infidelity
+				sum += r.Infidelity
+			}
+			res.AvgInfidelity[ni][ki] = sum / float64(samples)
+		}
+	}
+	// Base-fidelity grid 0.90 .. 1.00.
+	const gridN = 21
+	res.FbGrid = make([]float64, gridN)
+	for i := range res.FbGrid {
+		res.FbGrid[i] = 0.90 + 0.10*float64(i)/float64(gridN-1)
+	}
+	res.AvgTotalFidelity = make([][]float64, len(res.Roots))
+	for ni, n := range res.Roots {
+		res.AvgTotalFidelity[ni] = make([]float64, gridN)
+		for fi, fbISwap := range res.FbGrid {
+			fb := decomp.BaseFidelity(fbISwap, n)
+			sum := 0.0
+			for si := 0; si < samples; si++ {
+				best := 0.0
+				for ki, k := range res.Ks {
+					ft := decomp.TotalFidelity(fid[ni][ki][si], fb, k)
+					if ft > best {
+						best = ft
+					}
+				}
+				sum += best
+			}
+			res.AvgTotalFidelity[ni][fi] = sum / float64(samples)
+		}
+	}
+	return res, nil
+}
+
+// TotalFidelityAt interpolates the bottom-panel curve for root n at an
+// iSWAP base fidelity.
+func (r *Fig15Result) TotalFidelityAt(n int, fbISwap float64) (float64, error) {
+	ni := -1
+	for i, root := range r.Roots {
+		if root == n {
+			ni = i
+		}
+	}
+	if ni < 0 {
+		return 0, fmt.Errorf("experiments: root %d not in study", n)
+	}
+	if fbISwap < r.FbGrid[0] || fbISwap > r.FbGrid[len(r.FbGrid)-1] {
+		return 0, fmt.Errorf("experiments: fb %g outside grid", fbISwap)
+	}
+	// Linear interpolation on the grid.
+	for i := 1; i < len(r.FbGrid); i++ {
+		if fbISwap <= r.FbGrid[i]+1e-12 {
+			t := (fbISwap - r.FbGrid[i-1]) / (r.FbGrid[i] - r.FbGrid[i-1])
+			return r.AvgTotalFidelity[ni][i-1]*(1-t) + r.AvgTotalFidelity[ni][i]*t, nil
+		}
+	}
+	return r.AvgTotalFidelity[ni][len(r.FbGrid)-1], nil
+}
+
+// InfidelityImprovement returns the relative reduction in total infidelity
+// of root n versus √iSWAP (n=2) at the given iSWAP base fidelity — the §6.3
+// claim: at Fb=0.99, n = 3, 4, 5 reduce infidelity by ≈14%, 25%, 11%.
+func (r *Fig15Result) InfidelityImprovement(n int, fbISwap float64) (float64, error) {
+	base, err := r.TotalFidelityAt(2, fbISwap)
+	if err != nil {
+		return 0, err
+	}
+	ft, err := r.TotalFidelityAt(n, fbISwap)
+	if err != nil {
+		return 0, err
+	}
+	if 1-base <= 0 {
+		return 0, fmt.Errorf("experiments: baseline infidelity is zero")
+	}
+	return ((1 - base) - (1 - ft)) / (1 - base), nil
+}
+
+// FormatFig15 renders the study as text tables.
+func (r *Fig15Result) Format() string {
+	out := "== Fig 15 (top): avg decomposition infidelity 1-Fd ==\n"
+	out += fmt.Sprintf("%-10s", "n\\k")
+	for _, k := range r.Ks {
+		out += fmt.Sprintf("%12d", k)
+	}
+	out += "\n"
+	for ni, n := range r.Roots {
+		out += fmt.Sprintf("%d√iSWAP   ", n)
+		for ki := range r.Ks {
+			out += fmt.Sprintf("%12.2e", r.AvgInfidelity[ni][ki])
+		}
+		out += "\n"
+	}
+	out += "== Fig 15 (bottom): avg total fidelity Ft vs Fb(iSWAP) ==\n"
+	out += fmt.Sprintf("%-10s", "n\\Fb")
+	for i := 0; i < len(r.FbGrid); i += 4 {
+		out += fmt.Sprintf("%10.3f", r.FbGrid[i])
+	}
+	out += "\n"
+	for ni, n := range r.Roots {
+		out += fmt.Sprintf("%d√iSWAP   ", n)
+		for i := 0; i < len(r.FbGrid); i += 4 {
+			out += fmt.Sprintf("%10.4f", r.AvgTotalFidelity[ni][i])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// assertFinite is a tiny internal consistency check used by tests.
+func (r *Fig15Result) assertFinite() error {
+	for ni := range r.Roots {
+		for ki := range r.Ks {
+			if v := r.AvgInfidelity[ni][ki]; math.IsNaN(v) || v < 0 || v > 1 {
+				return fmt.Errorf("experiments: infidelity out of range: %g", v)
+			}
+		}
+		for fi := range r.FbGrid {
+			if v := r.AvgTotalFidelity[ni][fi]; math.IsNaN(v) || v <= 0 || v > 1+1e-9 {
+				return fmt.Errorf("experiments: total fidelity out of range: %g", v)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/internal/weyl"
+)
+
+// CorralScalingRow is one entry of the Corral scaling study: the paper's
+// §7 future work asks how Corral-style rings compete with hypercubes as
+// qubit counts grow. We scale the ring by adding posts (each post carries
+// len(strides) qubits) and track both structural metrics and routed
+// QuantumVolume cost.
+type CorralScalingRow struct {
+	Posts   int
+	Strides []int
+	Stats   topology.Stats
+	// QVSwaps is the total SWAP count for a QuantumVolume circuit filling
+	// ~80% of the machine, with the fixed study seed.
+	QVSwaps int
+	// QVDuration is the √iSWAP pulse-duration critical path.
+	QVDuration float64
+}
+
+// CorralScaling grows the Corral ring and measures structure + routed cost.
+// Strides follow the Corral(1,k) pattern with the long fence at roughly a
+// third of the ring (the stride-3-of-8 ratio that realizes the paper's
+// Corral 1,2), so the design keeps its low-diameter property as it scales.
+func CorralScaling(posts []int, quick bool) ([]CorralScalingRow, error) {
+	var out []CorralScalingRow
+	for _, p := range posts {
+		if p < 5 {
+			return nil, fmt.Errorf("experiments: corral scaling needs ≥5 posts")
+		}
+		long := p/3 + 1
+		strides := []int{1, long}
+		g := topology.CorralRing(p, strides)
+		g.Name = fmt.Sprintf("Corral-%dp(1,%d)", p, long)
+		row := CorralScalingRow{Posts: p, Strides: strides, Stats: g.Stats()}
+		width := g.N() * 4 / 5
+		c, err := circuitFor("QuantumVolume", width, 2022)
+		if err != nil {
+			return nil, err
+		}
+		m := core.NewMachine(g.Name, g, weyl.BasisSqrtISwap)
+		met, err := m.Evaluate(c, core.Options{Seed: 2022, Trials: trials(quick)})
+		if err != nil {
+			return nil, err
+		}
+		row.QVSwaps = met.TotalSwaps
+		row.QVDuration = met.PulseDuration
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// FormatCorralScaling renders the scaling study as a table.
+func FormatCorralScaling(rows []CorralScalingRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %7s %5s %7s %7s %9s %10s\n",
+		"design", "qubits", "dia", "avgD", "avgC", "QVswaps", "QVdur")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-18s %7d %5d %7.2f %7.2f %9d %10.1f\n",
+			r.Stats.Name, r.Stats.Qubits, r.Stats.Diameter, r.Stats.AvgDist,
+			r.Stats.AvgConn, r.QVSwaps, r.QVDuration)
+	}
+	return sb.String()
+}
+
+// SeriesCSV renders sweep results as CSV with columns
+// workload,machine,size,total,critical.
+func SeriesCSV(series []Series, kind SweepKind) string {
+	totalName, critName := "total_swaps", "critical_swaps"
+	if kind == Codesign {
+		totalName, critName = "total_2q", "pulse_duration"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "workload,machine,size,%s,%s\n", totalName, critName)
+	for _, s := range series {
+		for _, p := range s.Points {
+			fmt.Fprintf(&sb, "%s,%s,%d,%g,%g\n", s.Workload, s.Label, p.Size, p.Total, p.Critical)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,284 @@
+// Package gates defines the quantum gate library used across the repository:
+// exact unitaries for the standard 1Q and 2Q gates, the SNAIL-native
+// n-th-root-of-iSWAP family (paper Eq. 2), the FSIM/Sycamore family (Eq. 6),
+// the cross-resonance ZX gate (Eq. 4), and Haar-random unitary sampling.
+//
+// Conventions: two-qubit unitaries act on basis |q0 q1⟩ ordered
+// |00⟩,|01⟩,|10⟩,|11⟩ with the first qubit as the most significant bit; in
+// controlled gates the first qubit is the control.
+package gates
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// ---- 1Q constant gates ----
+
+// I2 returns the 2x2 identity.
+func I2() *linalg.Matrix { return linalg.Identity(2) }
+
+// X returns the Pauli-X gate.
+func X() *linalg.Matrix {
+	return linalg.FromRows([][]complex128{{0, 1}, {1, 0}})
+}
+
+// Y returns the Pauli-Y gate.
+func Y() *linalg.Matrix {
+	return linalg.FromRows([][]complex128{{0, -1i}, {1i, 0}})
+}
+
+// Z returns the Pauli-Z gate.
+func Z() *linalg.Matrix {
+	return linalg.FromRows([][]complex128{{1, 0}, {0, -1}})
+}
+
+// H returns the Hadamard gate.
+func H() *linalg.Matrix {
+	s := complex(1/math.Sqrt2, 0)
+	return linalg.FromRows([][]complex128{{s, s}, {s, -s}})
+}
+
+// S returns the phase gate diag(1, i).
+func S() *linalg.Matrix {
+	return linalg.FromRows([][]complex128{{1, 0}, {0, 1i}})
+}
+
+// Sdg returns S†.
+func Sdg() *linalg.Matrix {
+	return linalg.FromRows([][]complex128{{1, 0}, {0, -1i}})
+}
+
+// T returns the π/8 gate diag(1, e^{iπ/4}).
+func T() *linalg.Matrix {
+	return linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(complex(0, math.Pi/4))}})
+}
+
+// Tdg returns T†.
+func Tdg() *linalg.Matrix {
+	return linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(complex(0, -math.Pi/4))}})
+}
+
+// SX returns √X (up to the usual global phase convention e^{iπ/4}).
+func SX() *linalg.Matrix {
+	p, m := complex(0.5, 0.5), complex(0.5, -0.5)
+	return linalg.FromRows([][]complex128{{p, m}, {m, p}})
+}
+
+// ---- 1Q parameterized gates ----
+
+// RX returns exp(-iθX/2).
+func RX(theta float64) *linalg.Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return linalg.FromRows([][]complex128{{c, s}, {s, c}})
+}
+
+// RY returns exp(-iθY/2).
+func RY(theta float64) *linalg.Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(math.Sin(theta/2), 0)
+	return linalg.FromRows([][]complex128{{c, -s}, {s, c}})
+}
+
+// RZ returns exp(-iθZ/2).
+func RZ(theta float64) *linalg.Matrix {
+	return linalg.FromRows([][]complex128{
+		{cmplx.Exp(complex(0, -theta/2)), 0},
+		{0, cmplx.Exp(complex(0, theta/2))},
+	})
+}
+
+// Phase returns diag(1, e^{iλ}).
+func Phase(lambda float64) *linalg.Matrix {
+	return linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(complex(0, lambda))}})
+}
+
+// U3 returns the generic single-qubit rotation
+//
+//	U3(θ,φ,λ) = [[cos(θ/2), -e^{iλ}sin(θ/2)], [e^{iφ}sin(θ/2), e^{i(φ+λ)}cos(θ/2)]].
+func U3(theta, phi, lambda float64) *linalg.Matrix {
+	c := math.Cos(theta / 2)
+	s := math.Sin(theta / 2)
+	return linalg.FromRows([][]complex128{
+		{complex(c, 0), -cmplx.Exp(complex(0, lambda)) * complex(s, 0)},
+		{cmplx.Exp(complex(0, phi)) * complex(s, 0), cmplx.Exp(complex(0, phi+lambda)) * complex(c, 0)},
+	})
+}
+
+// ---- 2Q gates ----
+
+// CX returns the controlled-NOT with the first qubit as control (paper Eq. 1).
+func CX() *linalg.Matrix {
+	return linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+		{0, 0, 1, 0},
+	})
+}
+
+// CZ returns the controlled-Z gate.
+func CZ() *linalg.Matrix {
+	return linalg.Diag(1, 1, 1, -1)
+}
+
+// CPhase returns the controlled-phase gate diag(1,1,1,e^{iθ}).
+func CPhase(theta float64) *linalg.Matrix {
+	return linalg.Diag(1, 1, 1, cmplx.Exp(complex(0, theta)))
+}
+
+// SWAP returns the qubit-exchange gate.
+func SWAP() *linalg.Matrix {
+	return linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+	})
+}
+
+// ISwap returns the iSWAP gate.
+func ISwap() *linalg.Matrix { return NRootISwap(1) }
+
+// SqrtISwap returns √iSWAP, the SNAIL-native basis gate studied in the paper.
+func SqrtISwap() *linalg.Matrix { return NRootISwap(2) }
+
+// NRootISwap returns the n-th root of iSWAP (paper Eq. 2):
+//
+//	[[1,0,0,0],
+//	 [0,cos(π/2n), i·sin(π/2n),0],
+//	 [0,i·sin(π/2n), cos(π/2n),0],
+//	 [0,0,0,1]].
+func NRootISwap(n int) *linalg.Matrix {
+	if n < 1 {
+		panic("gates: NRootISwap requires n >= 1")
+	}
+	a := math.Pi / (2 * float64(n))
+	c := complex(math.Cos(a), 0)
+	s := complex(0, math.Sin(a))
+	return linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, c, s, 0},
+		{0, s, c, 0},
+		{0, 0, 0, 1},
+	})
+}
+
+// FSIM returns the fermionic-simulation gate (paper Eq. 6):
+//
+//	[[1,0,0,0],
+//	 [0,cosθ, -i·sinθ,0],
+//	 [0,-i·sinθ, cosθ,0],
+//	 [0,0,0,e^{-iφ}]].
+func FSIM(theta, phi float64) *linalg.Matrix {
+	c := complex(math.Cos(theta), 0)
+	s := complex(0, -math.Sin(theta))
+	return linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, c, s, 0},
+		{0, s, c, 0},
+		{0, 0, 0, cmplx.Exp(complex(0, -phi))},
+	})
+}
+
+// SYC returns Google's Sycamore gate, FSIM(π/2, π/6).
+func SYC() *linalg.Matrix { return FSIM(math.Pi/2, math.Pi/6) }
+
+// ZX returns the cross-resonance interaction unitary (paper Eq. 4),
+// exp(-iθ/2 · Z⊗X):
+//
+//	[[cos θ/2, -i·sin θ/2, 0, 0], ...
+//
+// with the block structure of Eq. 4. ZX(π/2) is the CR pulse that IBM
+// machines convert to CNOT with 1Q dressing (Eq. 5).
+func ZX(theta float64) *linalg.Matrix {
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, math.Sin(theta/2))
+	return linalg.FromRows([][]complex128{
+		{c, -s, 0, 0},
+		{-s, c, 0, 0},
+		{0, 0, c, s},
+		{0, 0, s, c},
+	})
+}
+
+// RXX returns exp(-iθ/2 · X⊗X).
+func RXX(theta float64) *linalg.Matrix { return twoPauliRotation(theta, X()) }
+
+// RYY returns exp(-iθ/2 · Y⊗Y).
+func RYY(theta float64) *linalg.Matrix { return twoPauliRotation(theta, Y()) }
+
+// RZZ returns exp(-iθ/2 · Z⊗Z).
+func RZZ(theta float64) *linalg.Matrix {
+	e := cmplx.Exp(complex(0, -theta/2))
+	ec := cmplx.Exp(complex(0, theta/2))
+	return linalg.Diag(e, ec, ec, e)
+}
+
+func twoPauliRotation(theta float64, p *linalg.Matrix) *linalg.Matrix {
+	pp := p.Kron(p)
+	c := complex(math.Cos(theta/2), 0)
+	s := complex(0, -math.Sin(theta/2))
+	return linalg.Identity(4).Scale(c).Add(pp.Scale(s))
+}
+
+// Canonical returns the canonical (Cartan) two-qubit gate
+//
+//	CAN(a,b,c) = exp(i(a·XX + b·YY + c·ZZ)),
+//
+// the representative of the local-equivalence class with Weyl-chamber
+// coordinates (a,b,c). Every two-qubit unitary is K1·CAN(a,b,c)·K2 for some
+// single-qubit K1, K2.
+func Canonical(a, b, c float64) *linalg.Matrix {
+	// XX, YY, ZZ commute, so the exponential factorizes exactly.
+	ga := twoPauliRotation(-2*a, X()) // exp(i a XX)
+	gb := twoPauliRotation(-2*b, Y())
+	gc := RZZ(-2 * c)
+	return ga.Mul(gb).Mul(gc)
+}
+
+// ---- Haar-random sampling ----
+
+// RandomUnitary returns an n x n Haar-distributed unitary drawn from rng,
+// via QR of a complex Ginibre matrix with phase-fixed R diagonal.
+func RandomUnitary(rng *rand.Rand, n int) *linalg.Matrix {
+	g := linalg.New(n, n)
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	q, r, err := g.QR()
+	if err != nil {
+		// A Ginibre matrix is full rank with probability 1; retry on the
+		// measure-zero failure rather than surfacing an error to callers.
+		return RandomUnitary(rng, n)
+	}
+	for j := 0; j < n; j++ {
+		d := r.At(j, j)
+		ph := d / complex(cmplx.Abs(d), 0)
+		for i := 0; i < n; i++ {
+			q.Set(i, j, q.At(i, j)*ph)
+		}
+	}
+	return q
+}
+
+// RandomSU4 returns a Haar-random two-qubit unitary normalized to det = 1.
+func RandomSU4(rng *rand.Rand) *linalg.Matrix {
+	u := RandomUnitary(rng, 4)
+	det := u.Det()
+	// Divide by det^(1/4) to land in SU(4).
+	phase := cmplx.Exp(complex(0, -cmplx.Phase(det)/4))
+	return u.Scale(phase)
+}
+
+// RandomSU2 returns a Haar-random single-qubit unitary with det = 1.
+func RandomSU2(rng *rand.Rand) *linalg.Matrix {
+	u := RandomUnitary(rng, 2)
+	det := u.Det()
+	phase := cmplx.Exp(complex(0, -cmplx.Phase(det)/2))
+	return u.Scale(phase)
+}

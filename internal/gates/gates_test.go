@@ -1,0 +1,242 @@
+package gates
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linalg"
+)
+
+func TestAllConstantGatesUnitary(t *testing.T) {
+	cases := map[string]*linalg.Matrix{
+		"I": I2(), "X": X(), "Y": Y(), "Z": Z(), "H": H(),
+		"S": S(), "Sdg": Sdg(), "T": T(), "Tdg": Tdg(), "SX": SX(),
+		"CX": CX(), "CZ": CZ(), "SWAP": SWAP(), "iSWAP": ISwap(),
+		"sqrtISWAP": SqrtISwap(), "SYC": SYC(),
+	}
+	for name, g := range cases {
+		if !g.IsUnitary(1e-12) {
+			t.Errorf("%s is not unitary", name)
+		}
+	}
+}
+
+func TestParameterizedGatesUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		th := rng.Float64()*4*math.Pi - 2*math.Pi
+		ph := rng.Float64()*4*math.Pi - 2*math.Pi
+		lm := rng.Float64()*4*math.Pi - 2*math.Pi
+		for name, g := range map[string]*linalg.Matrix{
+			"RX": RX(th), "RY": RY(th), "RZ": RZ(th), "Phase": Phase(th),
+			"U3": U3(th, ph, lm), "CPhase": CPhase(th), "FSIM": FSIM(th, ph),
+			"ZX": ZX(th), "RXX": RXX(th), "RYY": RYY(th), "RZZ": RZZ(th),
+			"CAN": Canonical(th, ph, lm),
+		} {
+			if !g.IsUnitary(1e-10) {
+				t.Fatalf("%s(%g,...) not unitary", name, th)
+			}
+		}
+	}
+}
+
+func TestPauliAlgebra(t *testing.T) {
+	// X² = Y² = Z² = I; XY = iZ.
+	for name, g := range map[string]*linalg.Matrix{"X": X(), "Y": Y(), "Z": Z(), "H": H()} {
+		if !g.Mul(g).EqualWithin(I2(), 1e-14) {
+			t.Errorf("%s² != I", name)
+		}
+	}
+	if !X().Mul(Y()).EqualWithin(Z().Scale(1i), 1e-14) {
+		t.Error("XY != iZ")
+	}
+	if !S().Mul(S()).EqualWithin(Z(), 1e-14) {
+		t.Error("S² != Z")
+	}
+	if !T().Mul(T()).EqualWithin(S(), 1e-14) {
+		t.Error("T² != S")
+	}
+	if !SX().Mul(SX()).EqualWithin(X(), 1e-14) {
+		t.Error("SX² != X")
+	}
+}
+
+func TestRotationComposition(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Mod(a, math.Pi)
+		b = math.Mod(b, math.Pi)
+		return RZ(a).Mul(RZ(b)).EqualWithin(RZ(a+b), 1e-10) &&
+			RX(a).Mul(RX(b)).EqualWithin(RX(a+b), 1e-10) &&
+			RY(a).Mul(RY(b)).EqualWithin(RY(a+b), 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestU3SpecialCases(t *testing.T) {
+	if !U3(0, 0, 0).EqualWithin(I2(), 1e-14) {
+		t.Error("U3(0,0,0) != I")
+	}
+	if !U3(math.Pi, 0, math.Pi).EqualWithin(X(), 1e-14) {
+		t.Error("U3(π,0,π) != X")
+	}
+	if !U3(math.Pi/2, 0, math.Pi).EqualWithin(H(), 1e-14) {
+		t.Error("U3(π/2,0,π) != H")
+	}
+	// U3(θ,φ,λ) equals RZ(φ)RY(θ)RZ(λ) up to global phase.
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		th, ph, lm := rng.Float64()*6, rng.Float64()*6, rng.Float64()*6
+		a := U3(th, ph, lm)
+		b := RZ(ph).Mul(RY(th)).Mul(RZ(lm))
+		if !a.EqualUpToPhase(b, 1e-10) {
+			t.Fatalf("U3 != RZ·RY·RZ at (%g,%g,%g)", th, ph, lm)
+		}
+	}
+}
+
+func TestCXTruthTable(t *testing.T) {
+	cx := CX()
+	// |10⟩ → |11⟩ and |11⟩ → |10⟩; |00⟩,|01⟩ unchanged.
+	basis := []int{0, 1, 3, 2}
+	for in, out := range basis {
+		v := make([]complex128, 4)
+		v[in] = 1
+		got := cx.MulVec(v)
+		for k := range got {
+			want := complex128(0)
+			if k == out {
+				want = 1
+			}
+			if cmplx.Abs(got[k]-want) > 1e-14 {
+				t.Fatalf("CX|%02b⟩: amp[%d]=%v want %v", in, k, got[k], want)
+			}
+		}
+	}
+}
+
+func TestSwapConjugation(t *testing.T) {
+	// SWAP (A⊗B) SWAP = B⊗A.
+	rng := rand.New(rand.NewSource(3))
+	a, b := RandomSU2(rng), RandomSU2(rng)
+	lhs := SWAP().Mul(a.Kron(b)).Mul(SWAP())
+	if !lhs.EqualWithin(b.Kron(a), 1e-12) {
+		t.Fatal("SWAP(A⊗B)SWAP != B⊗A")
+	}
+}
+
+func TestNRootISwapFamily(t *testing.T) {
+	// n applications of n√iSWAP give iSWAP (paper: pulse scaling).
+	for n := 1; n <= 8; n++ {
+		g := NRootISwap(n)
+		acc := linalg.Identity(4)
+		for k := 0; k < n; k++ {
+			acc = acc.Mul(g)
+		}
+		if !acc.EqualWithin(ISwap(), 1e-10) {
+			t.Fatalf("(%d√iSWAP)^%d != iSWAP", n, n)
+		}
+	}
+	// √iSWAP² = iSWAP explicitly.
+	if !SqrtISwap().Mul(SqrtISwap()).EqualWithin(ISwap(), 1e-12) {
+		t.Fatal("√iSWAP² != iSWAP")
+	}
+}
+
+func TestFSIMFamilyRelations(t *testing.T) {
+	// FSIM(-π/4, 0) = √iSWAP (paper §2.4.2).
+	if !FSIM(-math.Pi/4, 0).EqualWithin(SqrtISwap(), 1e-12) {
+		t.Fatal("FSIM(-π/4,0) != √iSWAP")
+	}
+	// FSIM(-π/2, 0) = iSWAP.
+	if !FSIM(-math.Pi/2, 0).EqualWithin(ISwap(), 1e-12) {
+		t.Fatal("FSIM(-π/2,0) != iSWAP")
+	}
+	// SYC parameters: θ=π/2, φ=π/6.
+	if !SYC().EqualWithin(FSIM(math.Pi/2, math.Pi/6), 0) {
+		t.Fatal("SYC != FSIM(π/2, π/6)")
+	}
+}
+
+func TestZXToCNOT(t *testing.T) {
+	// Paper Eq. 5: CNOT = (I⊗√X†) · ZX(π/2) · (S†⊗I) up to global phase,
+	// with the CR pulse dressed by 1Q gates.
+	zx := ZX(math.Pi / 2)
+	dressed := Sdg().Kron(SX().Dagger()).Mul(zx)
+	// Validate local equivalence by checking the unitary maps computational
+	// products to the right entangled structure: CX† · dressed must be a
+	// tensor product of 1Q unitaries up to phase. Here we verify directly
+	// that dressed equals CX up to global phase after fixing 1Q frames.
+	if !dressed.EqualUpToPhase(CX(), 1e-10) {
+		t.Fatalf("ZX(π/2) with 1Q dressing != CNOT:\n%v", dressed)
+	}
+}
+
+func TestRZZDiagonal(t *testing.T) {
+	g := RZZ(0.7)
+	want := linalg.Diag(
+		cmplx.Exp(complex(0, -0.35)),
+		cmplx.Exp(complex(0, 0.35)),
+		cmplx.Exp(complex(0, 0.35)),
+		cmplx.Exp(complex(0, -0.35)),
+	)
+	if !g.EqualWithin(want, 1e-14) {
+		t.Fatal("RZZ values wrong")
+	}
+}
+
+func TestCanonicalKnownPoints(t *testing.T) {
+	// CAN(0,0,0) = I.
+	if !Canonical(0, 0, 0).EqualWithin(linalg.Identity(4), 1e-14) {
+		t.Fatal("CAN(0,0,0) != I")
+	}
+	// CAN(π/4,0,0) is locally equivalent to CNOT: check it is a perfect
+	// entangler by verifying it maps |00⟩ to an entangled state after local
+	// pre-rotation. Simpler invariant: CAN(π/4,0,0) = exp(iπ/4 XX), whose
+	// square is iXX (local).
+	c := Canonical(math.Pi/4, 0, 0)
+	sq := c.Mul(c)
+	if !sq.EqualUpToPhase(X().Kron(X()), 1e-12) {
+		t.Fatal("CAN(π/4,0,0)² != XX up to phase")
+	}
+	// CAN(π/4,π/4,π/4) is the SWAP class.
+	sw := Canonical(math.Pi/4, math.Pi/4, math.Pi/4)
+	if !sw.EqualUpToPhase(SWAP(), 1e-12) {
+		t.Fatal("CAN(π/4,π/4,π/4) != SWAP up to phase")
+	}
+	// CAN(π/4,π/4,0) is the iSWAP class: equal to iSWAP up to phase & locals.
+	isw := Canonical(math.Pi/4, math.Pi/4, 0)
+	if !isw.EqualUpToPhase(ISwap(), 1e-12) {
+		t.Fatal("CAN(π/4,π/4,0) != iSWAP up to phase")
+	}
+}
+
+func TestRandomUnitaryProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		u := RandomUnitary(rng, 4)
+		if !u.IsUnitary(1e-9) {
+			t.Fatal("RandomUnitary not unitary")
+		}
+	}
+	su4 := RandomSU4(rng)
+	if d := su4.Det(); cmplx.Abs(d-1) > 1e-9 {
+		t.Fatalf("RandomSU4 det = %v", d)
+	}
+	su2 := RandomSU2(rng)
+	if d := su2.Det(); cmplx.Abs(d-1) > 1e-9 {
+		t.Fatalf("RandomSU2 det = %v", d)
+	}
+}
+
+func TestRandomUnitaryDeterministicWithSeed(t *testing.T) {
+	a := RandomSU4(rand.New(rand.NewSource(99)))
+	b := RandomSU4(rand.New(rand.NewSource(99)))
+	if !a.EqualWithin(b, 0) {
+		t.Fatal("same seed produced different unitaries")
+	}
+}

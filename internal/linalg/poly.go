@@ -1,0 +1,111 @@
+package linalg
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// PolyRoots returns all complex roots of the polynomial
+//
+//	c[0] + c[1] x + ... + c[n] xⁿ
+//
+// using Durand–Kerner (Weierstrass) iteration. The leading coefficient must
+// be nonzero. Roots are returned in no particular order.
+//
+// This is used for characteristic-polynomial spot checks of the 4x4 matrices
+// appearing in gate invariants; it is robust for the low degrees (≤ 8) used
+// in this repository.
+func PolyRoots(c []complex128) ([]complex128, error) {
+	n := len(c) - 1
+	if n < 1 {
+		return nil, fmt.Errorf("linalg: PolyRoots needs degree >= 1")
+	}
+	if c[n] == 0 {
+		return nil, fmt.Errorf("linalg: PolyRoots leading coefficient is zero")
+	}
+	// Normalize to monic.
+	monic := make([]complex128, n+1)
+	for i := range monic {
+		monic[i] = c[i] / c[n]
+	}
+	eval := func(x complex128) complex128 {
+		v := monic[n]
+		for i := n - 1; i >= 0; i-- {
+			v = v*x + monic[i]
+		}
+		return v
+	}
+	// Initial guesses on a non-real circle (avoids symmetric stagnation).
+	roots := make([]complex128, n)
+	seed := complex(0.4, 0.9)
+	p := seed
+	for i := range roots {
+		roots[i] = p
+		p *= seed
+	}
+	next := make([]complex128, n)
+	for iter := 0; iter < 500; iter++ {
+		var worst float64
+		for i := range roots {
+			num := eval(roots[i])
+			den := complex128(1)
+			for j := range roots {
+				if j != i {
+					den *= roots[i] - roots[j]
+				}
+			}
+			if den == 0 {
+				den = complex(1e-18, 0)
+			}
+			delta := num / den
+			next[i] = roots[i] - delta
+			if d := cmplx.Abs(delta); d > worst {
+				worst = d
+			}
+		}
+		copy(roots, next)
+		if worst < 1e-13 {
+			return roots, nil
+		}
+	}
+	// Accept if residuals are small even without step convergence.
+	for _, r := range roots {
+		if cmplx.Abs(eval(r)) > 1e-8 {
+			return nil, fmt.Errorf("linalg: PolyRoots did not converge")
+		}
+	}
+	return roots, nil
+}
+
+// CharPoly4 returns the coefficients (constant term first) of the
+// characteristic polynomial det(xI - m) of a 4x4 matrix, computed with the
+// Faddeev–LeVerrier recurrence.
+func CharPoly4(m *Matrix) ([]complex128, error) {
+	if m.Rows != 4 || m.Cols != 4 {
+		return nil, fmt.Errorf("linalg: CharPoly4 requires 4x4, got %dx%d", m.Rows, m.Cols)
+	}
+	n := 4
+	coeff := make([]complex128, n+1)
+	coeff[n] = 1
+	mk := Identity(n)
+	for k := 1; k <= n; k++ {
+		mk = m.Mul(mk)
+		ck := -mk.Trace() / complex(float64(k), 0)
+		coeff[n-k] = ck
+		for i := 0; i < n; i++ {
+			mk.Set(i, i, mk.At(i, i)+ck)
+		}
+	}
+	return coeff, nil
+}
+
+// Eigenvalues4 returns the four eigenvalues of a 4x4 complex matrix via its
+// characteristic polynomial. Intended for unitary-invariant computations
+// where eigenvectors are not needed.
+func Eigenvalues4(m *Matrix) ([]complex128, error) {
+	cp, err := CharPoly4(m)
+	if err != nil {
+		return nil, err
+	}
+	return PolyRoots(cp)
+}

@@ -1,0 +1,127 @@
+package noise
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func TestNoiselessIsPerfect(t *testing.T) {
+	c := workloads.GHZ(6)
+	f, err := MonteCarloFidelity(c, Model{Durations: StandardDurations()}, 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-12 {
+		t.Fatalf("noiseless fidelity = %g", f)
+	}
+}
+
+func TestGateErrorDegradesWithCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := Model{GateError: 0.02, Durations: StandardDurations()}
+	short := workloads.GHZ(6) // 5 CX
+	long := circuit.New(6)
+	for i := 0; i < 4; i++ {
+		long.AppendCircuit(workloads.GHZ(6))
+	}
+	fShort, err := MonteCarloFidelity(short, m, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fLong, err := MonteCarloFidelity(long, m, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fLong >= fShort {
+		t.Fatalf("more gates should mean lower fidelity: %g vs %g", fLong, fShort)
+	}
+	// Closed-form count model is a reasonable predictor for small p.
+	pred := CountModelFidelity(short, m)
+	if math.Abs(fShort-pred) > 0.08 {
+		t.Errorf("MC %g vs count model %g diverge too far", fShort, pred)
+	}
+}
+
+func TestDecoherenceChargesDuration(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	durs := StandardDurations()
+	// Same gate count, different durations: 4 CX vs 4 √iSWAP.
+	cx := circuit.New(2)
+	si := circuit.New(2)
+	for i := 0; i < 4; i++ {
+		cx.CX(0, 1)
+		si.SqrtISwap(0, 1)
+	}
+	m := Model{DecoherenceRate: 0.05, Durations: durs}
+	fCX, err := MonteCarloFidelity(cx, m, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fSI, err := MonteCarloFidelity(si, m, 400, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fSI <= fCX {
+		t.Fatalf("half-length pulses should decohere less: √iSWAP %g vs CX %g", fSI, fCX)
+	}
+}
+
+func TestCompactionAllowsWideMachines(t *testing.T) {
+	// A physical circuit on an 84-qubit machine that touches ~12 qubits
+	// must simulate fine after compaction.
+	m := core.Tree84SqrtISwap()
+	tr, err := m.Transpile(workloads.GHZ(8), core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := MonteCarloFidelity(tr.Translated, Model{Durations: StandardDurations()}, 3, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f-1) > 1e-9 {
+		t.Fatalf("noiseless physical circuit fidelity = %g", f)
+	}
+}
+
+// TestCodesignFidelityAdvantage is the paper's bottom line as a simulation:
+// the same workload transpiled to the SNAIL tree survives noise better than
+// on Heavy-Hex, in BOTH error regimes.
+func TestCodesignFidelityAdvantage(t *testing.T) {
+	ghz := workloads.GHZ(8)
+	hh, err := core.HeavyHex20CX().Transpile(ghz, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := core.Tree20SqrtISwap().Transpile(ghz, core.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range map[string]Model{
+		"control":     {GateError: 0.01, Durations: StandardDurations()},
+		"decoherence": {DecoherenceRate: 0.01, Durations: StandardDurations()},
+	} {
+		rng := rand.New(rand.NewSource(5))
+		fHH, err := MonteCarloFidelity(hh.Translated, m, 200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fTree, err := MonteCarloFidelity(tree.Translated, m, 200, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fTree <= fHH {
+			t.Errorf("%s regime: tree fidelity %g should beat heavy-hex %g", name, fTree, fHH)
+		}
+	}
+}
+
+func TestShotValidation(t *testing.T) {
+	if _, err := MonteCarloFidelity(workloads.GHZ(3), Model{}, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("zero shots accepted")
+	}
+}

@@ -1,0 +1,193 @@
+// Package optimize provides the gradient-based and derivative-free
+// optimizers used by the numerical gate-decomposition engine (package
+// decomp): Adam with user-supplied gradients and Nelder–Mead simplex search.
+// Both are deterministic given their inputs.
+package optimize
+
+import (
+	"math"
+	"sort"
+)
+
+// AdamConfig tunes the Adam optimizer.
+type AdamConfig struct {
+	LearningRate float64 // step size (default 0.05)
+	Beta1, Beta2 float64 // moment decays (defaults 0.9, 0.999)
+	Epsilon      float64 // numerical floor (default 1e-8)
+	MaxIter      int     // iteration budget (default 300)
+	Tol          float64 // stop when |f - fPrev| < Tol (default 1e-12)
+}
+
+func (c AdamConfig) withDefaults() AdamConfig {
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.05
+	}
+	if c.Beta1 == 0 {
+		c.Beta1 = 0.9
+	}
+	if c.Beta2 == 0 {
+		c.Beta2 = 0.999
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 1e-8
+	}
+	if c.MaxIter == 0 {
+		c.MaxIter = 300
+	}
+	if c.Tol == 0 {
+		c.Tol = 1e-12
+	}
+	return c
+}
+
+// Adam minimizes f starting from x0, using the provided objective+gradient
+// function. Returns the best point and value seen.
+func Adam(x0 []float64, fg func(x []float64) (float64, []float64), cfg AdamConfig) ([]float64, float64) {
+	cfg = cfg.withDefaults()
+	n := len(x0)
+	x := append([]float64(nil), x0...)
+	m := make([]float64, n)
+	v := make([]float64, n)
+	bestX := append([]float64(nil), x...)
+	bestF := math.Inf(1)
+	prevF := math.Inf(1)
+	for t := 1; t <= cfg.MaxIter; t++ {
+		f, g := fg(x)
+		if f < bestF {
+			bestF = f
+			copy(bestX, x)
+		}
+		if math.Abs(prevF-f) < cfg.Tol {
+			break
+		}
+		prevF = f
+		b1t := 1 - math.Pow(cfg.Beta1, float64(t))
+		b2t := 1 - math.Pow(cfg.Beta2, float64(t))
+		for i := 0; i < n; i++ {
+			m[i] = cfg.Beta1*m[i] + (1-cfg.Beta1)*g[i]
+			v[i] = cfg.Beta2*v[i] + (1-cfg.Beta2)*g[i]*g[i]
+			mhat := m[i] / b1t
+			vhat := v[i] / b2t
+			x[i] -= cfg.LearningRate * mhat / (math.Sqrt(vhat) + cfg.Epsilon)
+		}
+	}
+	// Final evaluation (the loop may end on a step we never scored).
+	if f, _ := fg(x); f < bestF {
+		bestF = f
+		copy(bestX, x)
+	}
+	return bestX, bestF
+}
+
+// FiniteDiffGrad wraps a plain objective into an objective+gradient via
+// central differences with step h.
+func FiniteDiffGrad(f func([]float64) float64, h float64) func([]float64) (float64, []float64) {
+	if h == 0 {
+		h = 1e-6
+	}
+	return func(x []float64) (float64, []float64) {
+		fx := f(x)
+		g := make([]float64, len(x))
+		xp := append([]float64(nil), x...)
+		for i := range x {
+			xp[i] = x[i] + h
+			fp := f(xp)
+			xp[i] = x[i] - h
+			fm := f(xp)
+			xp[i] = x[i]
+			g[i] = (fp - fm) / (2 * h)
+		}
+		return fx, g
+	}
+}
+
+// NelderMeadConfig tunes the simplex search.
+type NelderMeadConfig struct {
+	MaxIter int     // default 400·dim
+	Step    float64 // initial simplex spread (default 0.5)
+	Tol     float64 // spread tolerance (default 1e-10)
+}
+
+// NelderMead minimizes f from x0 with the standard simplex moves
+// (reflection, expansion, contraction, shrink).
+func NelderMead(x0 []float64, f func([]float64) float64, cfg NelderMeadConfig) ([]float64, float64) {
+	n := len(x0)
+	if cfg.MaxIter == 0 {
+		cfg.MaxIter = 400 * (n + 1)
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 0.5
+	}
+	if cfg.Tol == 0 {
+		cfg.Tol = 1e-10
+	}
+	const (
+		alpha = 1.0 // reflect
+		gamma = 2.0 // expand
+		rho   = 0.5 // contract
+		sigma = 0.5 // shrink
+	)
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	simplex := make([]vertex, n+1)
+	for i := range simplex {
+		x := append([]float64(nil), x0...)
+		if i > 0 {
+			x[i-1] += cfg.Step
+		}
+		simplex[i] = vertex{x, f(x)}
+	}
+	centroid := make([]float64, n)
+	xr := make([]float64, n)
+	xe := make([]float64, n)
+	xc := make([]float64, n)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		if simplex[n].f-simplex[0].f < cfg.Tol {
+			break
+		}
+		for j := 0; j < n; j++ {
+			centroid[j] = 0
+			for i := 0; i < n; i++ {
+				centroid[j] += simplex[i].x[j]
+			}
+			centroid[j] /= float64(n)
+		}
+		worst := simplex[n]
+		for j := 0; j < n; j++ {
+			xr[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		fr := f(xr)
+		switch {
+		case fr < simplex[0].f:
+			for j := 0; j < n; j++ {
+				xe[j] = centroid[j] + gamma*(xr[j]-centroid[j])
+			}
+			if fe := f(xe); fe < fr {
+				simplex[n] = vertex{append([]float64(nil), xe...), fe}
+			} else {
+				simplex[n] = vertex{append([]float64(nil), xr...), fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{append([]float64(nil), xr...), fr}
+		default:
+			for j := 0; j < n; j++ {
+				xc[j] = centroid[j] + rho*(worst.x[j]-centroid[j])
+			}
+			if fc := f(xc); fc < worst.f {
+				simplex[n] = vertex{append([]float64(nil), xc...), fc}
+			} else {
+				for i := 1; i <= n; i++ {
+					for j := 0; j < n; j++ {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = f(simplex[i].x)
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return simplex[0].x, simplex[0].f
+}

@@ -1,0 +1,289 @@
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/circuit"
+)
+
+// Import parses the OpenQASM 2.0 subset this package emits (plus common
+// aliases: u1→p, cu1→cp, u→u3). Unsupported statements (creg, measure,
+// barrier, comments) are skipped or rejected with a clear error.
+func Import(src string) (*circuit.Circuit, error) {
+	var c *circuit.Circuit
+	regName := ""
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		for _, stmt := range strings.Split(line, ";") {
+			stmt = strings.TrimSpace(stmt)
+			if stmt == "" {
+				continue
+			}
+			if err := parseStatement(stmt, &c, &regName); err != nil {
+				return nil, fmt.Errorf("qasm: line %d: %w", lineNo+1, err)
+			}
+		}
+	}
+	if c == nil {
+		return nil, fmt.Errorf("qasm: no qreg declaration found")
+	}
+	return c, nil
+}
+
+func parseStatement(stmt string, c **circuit.Circuit, regName *string) error {
+	switch {
+	case strings.HasPrefix(stmt, "OPENQASM"),
+		strings.HasPrefix(stmt, "include"),
+		strings.HasPrefix(stmt, "creg"),
+		strings.HasPrefix(stmt, "barrier"),
+		strings.HasPrefix(stmt, "measure"):
+		return nil
+	case strings.HasPrefix(stmt, "qreg"):
+		rest := strings.TrimSpace(strings.TrimPrefix(stmt, "qreg"))
+		open := strings.Index(rest, "[")
+		closeB := strings.Index(rest, "]")
+		if open < 0 || closeB < open {
+			return fmt.Errorf("malformed qreg %q", stmt)
+		}
+		n, err := strconv.Atoi(rest[open+1 : closeB])
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad qreg size in %q", stmt)
+		}
+		if *c != nil {
+			return fmt.Errorf("multiple qreg declarations")
+		}
+		*regName = strings.TrimSpace(rest[:open])
+		*c = circuit.New(n)
+		return nil
+	}
+	if *c == nil {
+		return fmt.Errorf("gate before qreg: %q", stmt)
+	}
+	// gate[(params)] qubits
+	name := stmt
+	params := ""
+	if i := strings.Index(stmt, "("); i >= 0 {
+		j := strings.LastIndex(stmt, ")")
+		if j < i {
+			return fmt.Errorf("unbalanced parens in %q", stmt)
+		}
+		name = strings.TrimSpace(stmt[:i])
+		params = stmt[i+1 : j]
+		stmt = name + " " + strings.TrimSpace(stmt[j+1:])
+	}
+	fields := strings.Fields(stmt)
+	if len(fields) < 2 {
+		return fmt.Errorf("missing operands in %q", stmt)
+	}
+	name = fields[0]
+	// Aliases.
+	switch name {
+	case "u1":
+		name = "p"
+	case "cu1":
+		name = "cp"
+	case "u", "U":
+		name = "u3"
+	case "CX":
+		name = "cx"
+	}
+	var pvals []float64
+	if params != "" {
+		for _, expr := range splitTopLevel(params) {
+			v, err := evalExpr(expr)
+			if err != nil {
+				return err
+			}
+			pvals = append(pvals, v)
+		}
+	}
+	var qubits []int
+	for _, qref := range splitTopLevel(strings.Join(fields[1:], "")) {
+		qref = strings.TrimSpace(qref)
+		open := strings.Index(qref, "[")
+		closeB := strings.Index(qref, "]")
+		if open < 0 || closeB < open {
+			return fmt.Errorf("malformed qubit ref %q", qref)
+		}
+		if got := strings.TrimSpace(qref[:open]); got != *regName {
+			return fmt.Errorf("unknown register %q", got)
+		}
+		q, err := strconv.Atoi(qref[open+1 : closeB])
+		if err != nil {
+			return fmt.Errorf("bad qubit index in %q", qref)
+		}
+		qubits = append(qubits, q)
+	}
+	want, ok := direct[name]
+	if !ok {
+		return fmt.Errorf("unsupported gate %q", name)
+	}
+	if len(pvals) != want {
+		return fmt.Errorf("gate %q: %d params, want %d", name, len(pvals), want)
+	}
+	(*c).Append(circuit.Op{Name: name, Qubits: qubits, Params: pvals})
+	return nil
+}
+
+// splitTopLevel splits on commas not nested in parentheses.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth, start := 0, 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+// evalExpr evaluates the arithmetic subset appearing in QASM parameters:
+// floats, pi, + - * /, unary minus, parentheses.
+func evalExpr(s string) (float64, error) {
+	p := &exprParser{src: strings.TrimSpace(s)}
+	v, err := p.parseSum()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("trailing input in expression %q", s)
+	}
+	return v, nil
+}
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) parseSum() (float64, error) {
+	v, err := p.parseProduct()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '+':
+			p.pos++
+			w, err := p.parseProduct()
+			if err != nil {
+				return 0, err
+			}
+			v += w
+		case '-':
+			p.pos++
+			w, err := p.parseProduct()
+			if err != nil {
+				return 0, err
+			}
+			v -= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseProduct() (float64, error) {
+	v, err := p.parseAtom()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			return v, nil
+		}
+		switch p.src[p.pos] {
+		case '*':
+			p.pos++
+			w, err := p.parseAtom()
+			if err != nil {
+				return 0, err
+			}
+			v *= w
+		case '/':
+			p.pos++
+			w, err := p.parseAtom()
+			if err != nil {
+				return 0, err
+			}
+			if w == 0 {
+				return 0, fmt.Errorf("division by zero")
+			}
+			v /= w
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseAtom() (float64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("unexpected end of expression")
+	}
+	switch {
+	case p.src[p.pos] == '-':
+		p.pos++
+		v, err := p.parseAtom()
+		return -v, err
+	case p.src[p.pos] == '(':
+		p.pos++
+		v, err := p.parseSum()
+		if err != nil {
+			return 0, err
+		}
+		p.skipSpace()
+		if p.pos >= len(p.src) || p.src[p.pos] != ')' {
+			return 0, fmt.Errorf("missing closing paren")
+		}
+		p.pos++
+		return v, nil
+	case strings.HasPrefix(p.src[p.pos:], "pi"):
+		p.pos += 2
+		return math.Pi, nil
+	default:
+		start := p.pos
+		for p.pos < len(p.src) && (isDigit(p.src[p.pos]) || p.src[p.pos] == '.' ||
+			p.src[p.pos] == 'e' || p.src[p.pos] == 'E' ||
+			((p.src[p.pos] == '+' || p.src[p.pos] == '-') && p.pos > start &&
+				(p.src[p.pos-1] == 'e' || p.src[p.pos-1] == 'E'))) {
+			p.pos++
+		}
+		if start == p.pos {
+			return 0, fmt.Errorf("unexpected character %q", p.src[p.pos])
+		}
+		return strconv.ParseFloat(p.src[start:p.pos], 64)
+	}
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }

@@ -1,0 +1,138 @@
+// Package qasm provides OpenQASM 2.0 interoperability for the circuit IR:
+// an exporter (with optional exact expansion of non-qelib gates — the
+// SNAIL's iSWAP family, SYC, Haar SU(4) blocks — into u3+cx via the
+// repository's minimal-CNOT synthesis) and an importer for the emitted
+// subset. Round-tripping preserves circuit semantics up to global phase.
+package qasm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"strings"
+
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+	"repro/internal/weyl"
+)
+
+// qelib gates we can emit directly, with their parameter counts.
+var direct = map[string]int{
+	"h": 0, "x": 0, "y": 0, "z": 0, "s": 0, "sdg": 0, "t": 0, "tdg": 0, "sx": 0,
+	"rx": 1, "ry": 1, "rz": 1, "p": 1, "u3": 3,
+	"cx": 0, "cz": 0, "cp": 1, "swap": 0, "rzz": 1, "rxx": 1, "id": 0,
+}
+
+// Options controls export behavior.
+type Options struct {
+	// ExpandNonStandard synthesizes gates outside qelib1 (iswap, siswap,
+	// syc, su4, can, explicit-unitary "u") into exact u3 + cx sequences.
+	// When false, such gates are an error.
+	ExpandNonStandard bool
+}
+
+// Export renders a circuit as OpenQASM 2.0.
+func Export(c *circuit.Circuit, opt Options) (string, error) {
+	var sb strings.Builder
+	sb.WriteString("OPENQASM 2.0;\n")
+	sb.WriteString("include \"qelib1.inc\";\n")
+	fmt.Fprintf(&sb, "qreg q[%d];\n", c.N)
+	for _, op := range c.Ops {
+		if err := writeOp(&sb, op, opt); err != nil {
+			return "", err
+		}
+	}
+	return sb.String(), nil
+}
+
+func writeOp(sb *strings.Builder, op circuit.Op, opt Options) error {
+	if nparams, ok := direct[op.Name]; ok && op.U == nil {
+		if len(op.Params) != nparams {
+			return fmt.Errorf("qasm: gate %q has %d params, want %d", op.Name, len(op.Params), nparams)
+		}
+		sb.WriteString(op.Name)
+		if nparams > 0 {
+			sb.WriteString("(")
+			for i, p := range op.Params {
+				if i > 0 {
+					sb.WriteString(",")
+				}
+				fmt.Fprintf(sb, "%.17g", p)
+			}
+			sb.WriteString(")")
+		}
+		sb.WriteString(" ")
+		for i, q := range op.Qubits {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(sb, "q[%d]", q)
+		}
+		sb.WriteString(";\n")
+		return nil
+	}
+	if !opt.ExpandNonStandard {
+		return fmt.Errorf("qasm: gate %q is not in qelib1 (set ExpandNonStandard)", op.Name)
+	}
+	u, err := circuit.Unitary(op)
+	if err != nil {
+		return err
+	}
+	switch len(op.Qubits) {
+	case 1:
+		th, ph, lm := ZYZAngles(u)
+		return writeOp(sb, circuit.Op{Name: "u3", Qubits: op.Qubits, Params: []float64{th, ph, lm}}, opt)
+	case 2:
+		syn, err := weyl.SynthesizeCX(u)
+		if err != nil {
+			return fmt.Errorf("qasm: expanding %q: %w", op.Name, err)
+		}
+		a, b := op.Qubits[0], op.Qubits[1]
+		for _, g := range syn.Gates {
+			if g.CX {
+				if err := writeOp(sb, circuit.Op{Name: "cx", Qubits: []int{a, b}}, opt); err != nil {
+					return err
+				}
+				continue
+			}
+			for i, m := range []*linalg.Matrix{g.L, g.R} {
+				if m.EqualUpToPhase(linalg.Identity(2), 1e-12) {
+					continue
+				}
+				th, ph, lm := ZYZAngles(m)
+				q := a
+				if i == 1 {
+					q = b
+				}
+				if err := writeOp(sb, circuit.Op{Name: "u3", Qubits: []int{q}, Params: []float64{th, ph, lm}}, opt); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("qasm: unsupported arity for %q", op.Name)
+}
+
+// ZYZAngles extracts (θ, φ, λ) with U ≡ u3(θ,φ,λ) up to global phase.
+func ZYZAngles(u *linalg.Matrix) (theta, phi, lambda float64) {
+	// Normalize to SU(2): su = u / sqrt(det).
+	det := u.Det()
+	s := cmplx.Sqrt(det)
+	a := u.At(0, 0) / s
+	b := u.At(1, 0) / s
+	absA, absB := cmplx.Abs(a), cmplx.Abs(b)
+	theta = 2 * math.Atan2(absB, absA)
+	switch {
+	case absB < 1e-12: // diagonal: only φ+λ matters
+		phi = -2 * cmplx.Phase(a)
+		lambda = 0
+	case absA < 1e-12: // anti-diagonal: only φ−λ matters
+		phi = 2 * cmplx.Phase(b)
+		lambda = 0
+	default:
+		phi = cmplx.Phase(b) - cmplx.Phase(a)
+		lambda = -cmplx.Phase(a) - cmplx.Phase(b)
+	}
+	return theta, phi, lambda
+}

@@ -1,0 +1,211 @@
+// Package sim is a dense statevector simulator used to validate circuit
+// generators, gate decompositions, and synthesized circuits. It is exact
+// (up to float64) and practical to ~20 qubits.
+//
+// Bit convention: qubit 0 is the most significant bit of the state index,
+// so the amplitude of |q0 q1 ... q(n-1)⟩ sits at index q0·2^(n-1) + ... .
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+)
+
+// MaxQubits caps the simulator size (2^22 amplitudes ≈ 64 MB).
+const MaxQubits = 22
+
+// State is an n-qubit pure state.
+type State struct {
+	N   int
+	Amp []complex128
+}
+
+// NewState returns |0...0⟩ on n qubits.
+func NewState(n int) (*State, error) {
+	if n < 1 || n > MaxQubits {
+		return nil, fmt.Errorf("sim: qubit count %d outside [1, %d]", n, MaxQubits)
+	}
+	s := &State{N: n, Amp: make([]complex128, 1<<n)}
+	s.Amp[0] = 1
+	return s, nil
+}
+
+// NewBasisState returns the computational basis state |bits⟩, where bits'
+// most significant (2^(n-1)) bit is qubit 0.
+func NewBasisState(n int, bits int) (*State, error) {
+	s, err := NewState(n)
+	if err != nil {
+		return nil, err
+	}
+	if bits < 0 || bits >= 1<<n {
+		return nil, fmt.Errorf("sim: basis index %d outside [0, 2^%d)", bits, n)
+	}
+	s.Amp[0] = 0
+	s.Amp[bits] = 1
+	return s, nil
+}
+
+// Copy returns a deep copy of the state.
+func (s *State) Copy() *State {
+	out := &State{N: s.N, Amp: make([]complex128, len(s.Amp))}
+	copy(out.Amp, s.Amp)
+	return out
+}
+
+// bitPos maps qubit index to its bit position in amplitude indices.
+func (s *State) bitPos(q int) uint { return uint(s.N - 1 - q) }
+
+// Apply1Q applies a 2x2 unitary to qubit q.
+func (s *State) Apply1Q(q int, u *linalg.Matrix) error {
+	if q < 0 || q >= s.N {
+		return fmt.Errorf("sim: qubit %d out of range", q)
+	}
+	if u.Rows != 2 || u.Cols != 2 {
+		return fmt.Errorf("sim: Apply1Q needs a 2x2 matrix")
+	}
+	mask := 1 << s.bitPos(q)
+	u00, u01 := u.At(0, 0), u.At(0, 1)
+	u10, u11 := u.At(1, 0), u.At(1, 1)
+	for i := range s.Amp {
+		if i&mask != 0 {
+			continue
+		}
+		j := i | mask
+		a0, a1 := s.Amp[i], s.Amp[j]
+		s.Amp[i] = u00*a0 + u01*a1
+		s.Amp[j] = u10*a0 + u11*a1
+	}
+	return nil
+}
+
+// Apply2Q applies a 4x4 unitary to (qa, qb), with qa as the most significant
+// bit of the gate's 2-bit basis (matching package gates conventions).
+func (s *State) Apply2Q(qa, qb int, u *linalg.Matrix) error {
+	if qa < 0 || qa >= s.N || qb < 0 || qb >= s.N || qa == qb {
+		return fmt.Errorf("sim: invalid qubit pair (%d,%d)", qa, qb)
+	}
+	if u.Rows != 4 || u.Cols != 4 {
+		return fmt.Errorf("sim: Apply2Q needs a 4x4 matrix")
+	}
+	maskA := 1 << s.bitPos(qa)
+	maskB := 1 << s.bitPos(qb)
+	var m [4][4]complex128
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m[i][j] = u.At(i, j)
+		}
+	}
+	for i := range s.Amp {
+		if i&maskA != 0 || i&maskB != 0 {
+			continue
+		}
+		i00 := i
+		i01 := i | maskB
+		i10 := i | maskA
+		i11 := i | maskA | maskB
+		a := [4]complex128{s.Amp[i00], s.Amp[i01], s.Amp[i10], s.Amp[i11]}
+		for r, idx := range [4]int{i00, i01, i10, i11} {
+			s.Amp[idx] = m[r][0]*a[0] + m[r][1]*a[1] + m[r][2]*a[2] + m[r][3]*a[3]
+		}
+	}
+	return nil
+}
+
+// Run applies every op of the circuit in order.
+func (s *State) Run(c *circuit.Circuit) error {
+	if c.N > s.N {
+		return fmt.Errorf("sim: circuit has %d qubits, state has %d", c.N, s.N)
+	}
+	for i, op := range c.Ops {
+		u, err := circuit.Unitary(op)
+		if err != nil {
+			return fmt.Errorf("sim: op %d: %w", i, err)
+		}
+		switch len(op.Qubits) {
+		case 1:
+			err = s.Apply1Q(op.Qubits[0], u)
+		case 2:
+			err = s.Apply2Q(op.Qubits[0], op.Qubits[1], u)
+		default:
+			err = fmt.Errorf("unsupported arity %d", len(op.Qubits))
+		}
+		if err != nil {
+			return fmt.Errorf("sim: op %d (%s): %w", i, op, err)
+		}
+	}
+	return nil
+}
+
+// RunCircuit is a convenience wrapper: simulate c from |0...0⟩.
+func RunCircuit(c *circuit.Circuit) (*State, error) {
+	s, err := NewState(c.N)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Run(c); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Probability returns |⟨bits|ψ⟩|².
+func (s *State) Probability(bits int) float64 {
+	a := s.Amp[bits]
+	return real(a)*real(a) + imag(a)*imag(a)
+}
+
+// Probabilities returns the full measurement distribution.
+func (s *State) Probabilities() []float64 {
+	p := make([]float64, len(s.Amp))
+	for i, a := range s.Amp {
+		p[i] = real(a)*real(a) + imag(a)*imag(a)
+	}
+	return p
+}
+
+// Inner returns ⟨s|t⟩.
+func (s *State) Inner(t *State) (complex128, error) {
+	if s.N != t.N {
+		return 0, fmt.Errorf("sim: inner product across %d and %d qubits", s.N, t.N)
+	}
+	var acc complex128
+	for i, a := range s.Amp {
+		acc += cmplx.Conj(a) * t.Amp[i]
+	}
+	return acc, nil
+}
+
+// Fidelity returns |⟨s|t⟩|².
+func (s *State) Fidelity(t *State) (float64, error) {
+	ip, err := s.Inner(t)
+	if err != nil {
+		return 0, err
+	}
+	return real(ip)*real(ip) + imag(ip)*imag(ip), nil
+}
+
+// Norm returns ‖ψ‖ (should be 1 for valid evolutions).
+func (s *State) Norm() float64 {
+	var acc float64
+	for _, a := range s.Amp {
+		acc += real(a)*real(a) + imag(a)*imag(a)
+	}
+	return math.Sqrt(acc)
+}
+
+// DominantBasisState returns the basis index with the highest probability
+// and that probability. Useful for checking classical (reversible) circuits
+// such as the ripple-carry adder.
+func (s *State) DominantBasisState() (int, float64) {
+	best, bestP := 0, 0.0
+	for i := range s.Amp {
+		if p := s.Probability(i); p > bestP {
+			best, bestP = i, p
+		}
+	}
+	return best, bestP
+}

@@ -1,0 +1,328 @@
+// Package snail models the physical organization of the paper's machines:
+// modules of qubits attached to SNAIL couplers (paper §4.2–4.3). It
+// validates that a topology is SNAIL-realizable (each SNAIL couples at most
+// MaxCouplings elements to avoid frequency crowding), allocates parametric
+// drive frequencies so every coupling in a SNAIL's scope has a unique
+// difference frequency (the addressing requirement of §4.1), and schedules
+// gates under configurable modulator-parallelism assumptions (the SNAIL
+// permits simultaneous gates in one neighborhood; the ablation serializes
+// them).
+package snail
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/topology"
+)
+
+// MaxCouplings is the number of elements one SNAIL can address without
+// frequency crowding ("a SNAIL can typically interact among as many as six
+// qubits", paper §4.3).
+const MaxCouplings = 6
+
+// Module is one SNAIL and the (global) qubit indices attached to it. Every
+// pair of attached qubits is a usable coupling.
+type Module struct {
+	Name   string
+	Qubits []int
+}
+
+// Hardware is a SNAIL-modular machine: a set of modules over n qubits.
+type Hardware struct {
+	Name    string
+	N       int
+	Modules []Module
+
+	graph *topology.Graph
+}
+
+// Build validates and assembles a hardware description.
+func Build(name string, n int, modules []Module) (*Hardware, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("snail: need at least one qubit")
+	}
+	seenAny := make([]bool, n)
+	for mi, m := range modules {
+		if len(m.Qubits) < 2 {
+			return nil, fmt.Errorf("snail: module %d (%s) couples %d elements; need ≥ 2", mi, m.Name, len(m.Qubits))
+		}
+		if len(m.Qubits) > MaxCouplings {
+			return nil, fmt.Errorf("snail: module %d (%s) couples %d elements; SNAIL limit is %d (frequency crowding)",
+				mi, m.Name, len(m.Qubits), MaxCouplings)
+		}
+		seen := make(map[int]bool)
+		for _, q := range m.Qubits {
+			if q < 0 || q >= n {
+				return nil, fmt.Errorf("snail: module %d references qubit %d outside [0,%d)", mi, q, n)
+			}
+			if seen[q] {
+				return nil, fmt.Errorf("snail: module %d repeats qubit %d", mi, q)
+			}
+			seen[q] = true
+			seenAny[q] = true
+		}
+	}
+	for q, ok := range seenAny {
+		if !ok {
+			return nil, fmt.Errorf("snail: qubit %d belongs to no module", q)
+		}
+	}
+	h := &Hardware{Name: name, N: n, Modules: modules}
+	g := topology.NewGraph(name, n)
+	for _, m := range modules {
+		for i := 0; i < len(m.Qubits); i++ {
+			for j := i + 1; j < len(m.Qubits); j++ {
+				g.AddEdge(m.Qubits[i], m.Qubits[j])
+			}
+		}
+	}
+	h.graph = g
+	return h, nil
+}
+
+// Graph returns the coupling graph realized by the modules (all pairs
+// within each SNAIL scope).
+func (h *Hardware) Graph() *topology.Graph { return h.graph }
+
+// ModulesWithPair returns the indices of modules whose SNAIL can drive the
+// coupling (a, b).
+func (h *Hardware) ModulesWithPair(a, b int) []int {
+	var out []int
+	for i, m := range h.Modules {
+		hasA, hasB := false, false
+		for _, q := range m.Qubits {
+			if q == a {
+				hasA = true
+			}
+			if q == b {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ---- Catalog: the paper's hardware builds ----
+
+// TreeHardware returns the two-level 20-qubit tree (paper Fig. 5a/7a):
+// a central router SNAIL over four W qubits plus four 5-element modules.
+// Qubit numbering matches topology.Tree20.
+func TreeHardware() (*Hardware, error) {
+	modules := []Module{{Name: "router", Qubits: []int{0, 1, 2, 3}}}
+	for k := 0; k < 4; k++ {
+		m := Module{Name: fmt.Sprintf("module-%d", k), Qubits: []int{k}}
+		for j := 0; j < 4; j++ {
+			m.Qubits = append(m.Qubits, 4+4*k+j)
+		}
+		modules = append(modules, m)
+	}
+	return Build("Tree", 20, modules)
+}
+
+// Tree84Hardware returns the three-level 84-qubit tree (paper Fig. 8),
+// numbering as in topology.Tree84.
+func Tree84Hardware() (*Hardware, error) {
+	modules := []Module{{Name: "router", Qubits: []int{0, 1, 2, 3}}}
+	for k := 0; k < 4; k++ {
+		m := Module{Name: fmt.Sprintf("router-%d", k), Qubits: []int{k}}
+		for j := 0; j < 4; j++ {
+			m.Qubits = append(m.Qubits, 4+4*k+j)
+		}
+		modules = append(modules, m)
+	}
+	for p := 0; p < 16; p++ {
+		m := Module{Name: fmt.Sprintf("leaf-%d", p), Qubits: []int{4 + p}}
+		for j := 0; j < 4; j++ {
+			m.Qubits = append(m.Qubits, 20+4*p+j)
+		}
+		modules = append(modules, m)
+	}
+	return Build("Tree-84", 84, modules)
+}
+
+// CorralHardware returns the fence-post ring (paper Fig. 9): one SNAIL per
+// post, coupling every fence qubit that touches it. Numbering matches
+// topology.CorralRing.
+func CorralHardware(posts int, strides []int) (*Hardware, error) {
+	if posts < 3 {
+		return nil, fmt.Errorf("snail: corral needs ≥3 posts")
+	}
+	n := posts * len(strides)
+	attached := make([][]int, posts)
+	for l, s := range strides {
+		for i := 0; i < posts; i++ {
+			q := l*posts + i
+			a, b := i, (i+s)%posts
+			attached[a] = append(attached[a], q)
+			attached[b] = append(attached[b], q)
+		}
+	}
+	modules := make([]Module, posts)
+	for p := 0; p < posts; p++ {
+		modules[p] = Module{Name: fmt.Sprintf("post-%d", p), Qubits: attached[p]}
+	}
+	return Build(fmt.Sprintf("Corral-%d", posts), n, modules)
+}
+
+// ---- Frequency allocation ----
+
+// AllocateFrequencies assigns each qubit a frequency f = base + k·spacing
+// (k a non-negative integer) such that within every module all pairwise
+// difference frequencies are distinct — the SNAIL's parametric addressing
+// requirement: each gate is selected purely by its pump frequency
+// (paper §4.1). Greedy search over integer offsets; deterministic.
+func (h *Hardware) AllocateFrequencies(base, spacing float64) ([]float64, error) {
+	if spacing <= 0 {
+		return nil, fmt.Errorf("snail: spacing must be positive")
+	}
+	offsets := make([]int, h.N)
+	for i := range offsets {
+		offsets[i] = -1
+	}
+	// Modules touching each qubit.
+	byQubit := make([][]int, h.N)
+	for mi, m := range h.Modules {
+		for _, q := range m.Qubits {
+			byQubit[q] = append(byQubit[q], mi)
+		}
+	}
+	ok := func(q, cand int) bool {
+		for _, mi := range byQubit[q] {
+			diffs := make(map[int]bool)
+			var assigned []int
+			for _, p := range h.Modules[mi].Qubits {
+				if p == q || offsets[p] < 0 {
+					continue
+				}
+				assigned = append(assigned, offsets[p])
+			}
+			// Existing pairwise differences in this module.
+			for i := 0; i < len(assigned); i++ {
+				for j := i + 1; j < len(assigned); j++ {
+					d := assigned[i] - assigned[j]
+					if d < 0 {
+						d = -d
+					}
+					diffs[d] = true
+				}
+			}
+			for _, a := range assigned {
+				d := cand - a
+				if d < 0 {
+					d = -d
+				}
+				if d == 0 || diffs[d] {
+					return false
+				}
+				diffs[d] = true
+			}
+		}
+		return true
+	}
+	for q := 0; q < h.N; q++ {
+		assigned := false
+		for cand := 0; cand < 64*h.N; cand++ {
+			if ok(q, cand) {
+				offsets[q] = cand
+				assigned = true
+				break
+			}
+		}
+		if !assigned {
+			return nil, fmt.Errorf("snail: frequency allocation failed for qubit %d", q)
+		}
+	}
+	freqs := make([]float64, h.N)
+	for q, k := range offsets {
+		freqs[q] = base + float64(k)*spacing
+	}
+	return freqs, nil
+}
+
+// VerifyFrequencies checks the parametric addressing property: within each
+// module, all pairwise |fi−fj| are distinct (within tol).
+func (h *Hardware) VerifyFrequencies(freqs []float64, tol float64) error {
+	if len(freqs) != h.N {
+		return fmt.Errorf("snail: %d frequencies for %d qubits", len(freqs), h.N)
+	}
+	for mi, m := range h.Modules {
+		var diffs []float64
+		for i := 0; i < len(m.Qubits); i++ {
+			for j := i + 1; j < len(m.Qubits); j++ {
+				d := freqs[m.Qubits[i]] - freqs[m.Qubits[j]]
+				if d < 0 {
+					d = -d
+				}
+				if d < tol {
+					return fmt.Errorf("snail: module %d: qubits %d,%d share a frequency", mi, m.Qubits[i], m.Qubits[j])
+				}
+				diffs = append(diffs, d)
+			}
+		}
+		sort.Float64s(diffs)
+		for i := 1; i < len(diffs); i++ {
+			if diffs[i]-diffs[i-1] < tol {
+				return fmt.Errorf("snail: module %d: duplicate difference frequency %g", mi, diffs[i])
+			}
+		}
+	}
+	return nil
+}
+
+// ---- Scheduling ----
+
+// Schedule computes the makespan of a physical circuit on this hardware.
+// durations maps op names to pulse lengths (missing names cost 0, e.g. 1Q
+// gates). If serializePerSNAIL is true, two-qubit gates driven by the same
+// SNAIL cannot overlap in time — the ablation for the SNAIL's
+// parallel-drive capability ("multiple gates in parallel in the same
+// neighborhood", paper §4.1); with false, only qubit conflicts serialize.
+func (h *Hardware) Schedule(c *circuit.Circuit, durations map[string]float64, serializePerSNAIL bool) (float64, error) {
+	if c.N > h.N {
+		return 0, fmt.Errorf("snail: circuit uses %d qubits, hardware has %d", c.N, h.N)
+	}
+	qubitFree := make([]float64, h.N)
+	moduleFree := make([]float64, len(h.Modules))
+	makespan := 0.0
+	for _, op := range c.Ops {
+		start := 0.0
+		for _, q := range op.Qubits {
+			if qubitFree[q] > start {
+				start = qubitFree[q]
+			}
+		}
+		var mod = -1
+		if op.Is2Q() {
+			mods := h.ModulesWithPair(op.Qubits[0], op.Qubits[1])
+			if len(mods) == 0 {
+				return 0, fmt.Errorf("snail: no SNAIL can drive op %v", op)
+			}
+			// Pick the module that frees earliest.
+			mod = mods[0]
+			for _, mi := range mods[1:] {
+				if moduleFree[mi] < moduleFree[mod] {
+					mod = mi
+				}
+			}
+			if serializePerSNAIL && moduleFree[mod] > start {
+				start = moduleFree[mod]
+			}
+		}
+		end := start + durations[op.Name]
+		for _, q := range op.Qubits {
+			qubitFree[q] = end
+		}
+		if mod >= 0 && serializePerSNAIL {
+			moduleFree[mod] = end
+		}
+		if end > makespan {
+			makespan = end
+		}
+	}
+	return makespan, nil
+}

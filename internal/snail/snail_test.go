@@ -1,0 +1,209 @@
+package snail
+
+import (
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/topology"
+)
+
+func TestTreeHardwareMatchesTopology(t *testing.T) {
+	h, err := TreeHardware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topology.Tree20()
+	g := h.Graph()
+	if g.N() != want.N() || g.NumEdges() != want.NumEdges() {
+		t.Fatalf("tree hardware graph %d/%d, want %d/%d", g.N(), g.NumEdges(), want.N(), want.NumEdges())
+	}
+	for _, e := range want.Edges() {
+		if !g.HasEdge(e[0], e[1]) {
+			t.Fatalf("missing edge %v", e)
+		}
+	}
+}
+
+func TestTree84HardwareMatchesTopology(t *testing.T) {
+	h, err := Tree84Hardware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := topology.Tree84()
+	g := h.Graph()
+	if g.N() != want.N() || g.NumEdges() != want.NumEdges() {
+		t.Fatalf("tree84 hardware graph %d/%d, want %d/%d", g.N(), g.NumEdges(), want.N(), want.NumEdges())
+	}
+}
+
+func TestCorralHardwareMatchesTopology(t *testing.T) {
+	for _, tc := range []struct {
+		strides []int
+		want    *topology.Graph
+	}{
+		{[]int{1, 1}, topology.Corral11()},
+		{[]int{1, 3}, topology.Corral12()},
+	} {
+		h, err := CorralHardware(8, tc.strides)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := h.Graph()
+		if g.N() != tc.want.N() || g.NumEdges() != tc.want.NumEdges() {
+			t.Fatalf("corral%v hardware graph %d/%d, want %d/%d",
+				tc.strides, g.N(), g.NumEdges(), tc.want.N(), tc.want.NumEdges())
+		}
+		for _, e := range tc.want.Edges() {
+			if !g.HasEdge(e[0], e[1]) {
+				t.Fatalf("corral%v missing edge %v", tc.strides, e)
+			}
+		}
+	}
+}
+
+func TestSNAILCapEnforced(t *testing.T) {
+	// 7 elements on one SNAIL exceeds the frequency-crowding limit.
+	_, err := Build("bad", 7, []Module{{Name: "overfull", Qubits: []int{0, 1, 2, 3, 4, 5, 6}}})
+	if err == nil {
+		t.Fatal("7-element module accepted (limit is 6)")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		n       int
+		modules []Module
+	}{
+		{"uncovered qubit", 3, []Module{{Qubits: []int{0, 1}}}},
+		{"repeated qubit", 2, []Module{{Qubits: []int{0, 0}}}},
+		{"out of range", 2, []Module{{Qubits: []int{0, 5}}}},
+		{"single element", 2, []Module{{Qubits: []int{0}}, {Qubits: []int{0, 1}}}},
+	}
+	for _, tc := range cases {
+		if _, err := Build(tc.name, tc.n, tc.modules); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestFrequencyAllocationTree(t *testing.T) {
+	h, err := TreeHardware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs, err := h.AllocateFrequencies(4.0, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VerifyFrequencies(freqs, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrequencyAllocationCorralAndTree84(t *testing.T) {
+	for _, build := range []func() (*Hardware, error){
+		Tree84Hardware,
+		func() (*Hardware, error) { return CorralHardware(8, []int{1, 3}) },
+		func() (*Hardware, error) { return CorralHardware(8, []int{1, 1}) },
+	} {
+		h, err := build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		freqs, err := h.AllocateFrequencies(4.0, 0.05)
+		if err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+		if err := h.VerifyFrequencies(freqs, 1e-9); err != nil {
+			t.Fatalf("%s: %v", h.Name, err)
+		}
+	}
+}
+
+func TestVerifyFrequenciesCatchesDuplicates(t *testing.T) {
+	h, err := Build("pair", 3, []Module{{Qubits: []int{0, 1, 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equally spaced frequencies have duplicate differences.
+	if err := h.VerifyFrequencies([]float64{1.0, 2.0, 3.0}, 1e-9); err == nil {
+		t.Fatal("arithmetic progression accepted (differences collide)")
+	}
+	if err := h.VerifyFrequencies([]float64{1.0, 2.0, 4.0}, 1e-9); err != nil {
+		t.Fatalf("Sidon triple rejected: %v", err)
+	}
+}
+
+func TestScheduleParallelVsSerialized(t *testing.T) {
+	h, err := TreeHardware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two disjoint gates inside module 0 (qubits 4,5 and 6,7 share a SNAIL).
+	c := circuit.New(20)
+	c.SqrtISwap(4, 5)
+	c.SqrtISwap(6, 7)
+	dur := map[string]float64{"siswap": 0.5}
+	par, err := h.Schedule(c, dur, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ser, err := h.Schedule(c, dur, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != 0.5 {
+		t.Errorf("parallel makespan = %g, want 0.5", par)
+	}
+	if ser != 1.0 {
+		t.Errorf("serialized makespan = %g, want 1.0 (same SNAIL)", ser)
+	}
+}
+
+func TestScheduleQubitConflicts(t *testing.T) {
+	h, err := TreeHardware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New(20)
+	c.SqrtISwap(4, 5)
+	c.SqrtISwap(5, 6) // shares qubit 5: must serialize regardless
+	dur := map[string]float64{"siswap": 0.5}
+	par, err := h.Schedule(c, dur, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par != 1.0 {
+		t.Errorf("qubit-conflict makespan = %g, want 1.0", par)
+	}
+}
+
+func TestScheduleRejectsUndriveableGate(t *testing.T) {
+	h, err := TreeHardware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := circuit.New(20)
+	c.SqrtISwap(4, 8) // different leaf modules, no shared SNAIL
+	if _, err := h.Schedule(c, map[string]float64{"siswap": 0.5}, false); err == nil {
+		t.Fatal("cross-module gate without shared SNAIL accepted")
+	}
+}
+
+func TestModulesWithPair(t *testing.T) {
+	h, err := TreeHardware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// W0-W1 is driven by the router SNAIL only.
+	mods := h.ModulesWithPair(0, 1)
+	if len(mods) != 1 || h.Modules[mods[0]].Name != "router" {
+		t.Fatalf("W0-W1 modules = %v", mods)
+	}
+	// W0 with its leaf is driven by module-0.
+	mods = h.ModulesWithPair(0, 4)
+	if len(mods) != 1 || h.Modules[mods[0]].Name != "module-0" {
+		t.Fatalf("W0-leaf modules = %v", mods)
+	}
+}

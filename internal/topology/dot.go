@@ -1,0 +1,32 @@
+package topology
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the coupling graph in Graphviz format for visual inspection
+// of the paper's topologies (e.g. `go run ./cmd/topostat -dot tree20 | dot
+// -Tpng`). Vertices are labeled with their index; the graph name becomes
+// the Graphviz graph ID.
+func (g *Graph) DOT() string {
+	var sb strings.Builder
+	id := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, g.Name)
+	fmt.Fprintf(&sb, "graph %s {\n", id)
+	sb.WriteString("  layout=neato;\n  node [shape=circle, fontsize=10];\n")
+	for v := 0; v < g.n; v++ {
+		fmt.Fprintf(&sb, "  %d;\n", v)
+	}
+	for _, e := range g.edges {
+		fmt.Fprintf(&sb, "  %d -- %d;\n", e[0], e[1])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,207 @@
+// Package topology models qubit-coupling graphs G={V,E} (paper §2.4) and
+// provides generators for every topology in the paper's comparison: the
+// commercial baselines (Square-Lattice, Hex-Lattice, Heavy-Hex,
+// Lattice+AltDiagonals), the aspirational Hypercube, and the SNAIL-enabled
+// modular designs (4-ary Tree, Round-Robin Tree, and the Corral family).
+// Structural metrics (diameter, average distance, average connectivity)
+// reproduce Tables 1 and 2.
+package topology
+
+import "fmt"
+
+// Graph is an undirected simple graph over vertices 0..n-1.
+type Graph struct {
+	Name string
+
+	n     int
+	adj   [][]int
+	edges [][2]int
+
+	dist [][]int // all-pairs BFS distances, computed lazily
+}
+
+// NewGraph returns an empty graph with n vertices.
+func NewGraph(name string, n int) *Graph {
+	if n < 1 {
+		panic("topology: graph needs at least one vertex")
+	}
+	return &Graph{Name: name, n: n, adj: make([][]int, n)}
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts an undirected edge; duplicate and self edges are rejected.
+func (g *Graph) AddEdge(a, b int) {
+	if a < 0 || a >= g.n || b < 0 || b >= g.n {
+		panic(fmt.Sprintf("topology: edge (%d,%d) out of range [0,%d)", a, b, g.n))
+	}
+	if a == b {
+		panic(fmt.Sprintf("topology: self edge at %d", a))
+	}
+	if g.HasEdge(a, b) {
+		return
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	if a > b {
+		a, b = b, a
+	}
+	g.edges = append(g.edges, [2]int{a, b})
+	g.dist = nil
+}
+
+// HasEdge reports whether (a,b) is an edge.
+func (g *Graph) HasEdge(a, b int) bool {
+	for _, v := range g.adj[a] {
+		if v == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of v (shared slice; do not modify).
+func (g *Graph) Neighbors(v int) []int { return g.adj[v] }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Edges returns all edges as (low, high) pairs (shared; do not modify).
+func (g *Graph) Edges() [][2]int { return g.edges }
+
+// NumEdges returns the edge count.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Distances returns the all-pairs shortest-path matrix (hops), computing and
+// caching it on first use. Unreachable pairs are -1.
+func (g *Graph) Distances() [][]int {
+	if g.dist != nil {
+		return g.dist
+	}
+	d := make([][]int, g.n)
+	for s := 0; s < g.n; s++ {
+		row := make([]int, g.n)
+		for i := range row {
+			row[i] = -1
+		}
+		row[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.adj[v] {
+				if row[w] < 0 {
+					row[w] = row[v] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		d[s] = row
+	}
+	g.dist = d
+	return d
+}
+
+// Dist returns the hop distance between a and b (-1 if disconnected).
+func (g *Graph) Dist(a, b int) int { return g.Distances()[a][b] }
+
+// IsConnected reports whether every vertex is reachable from vertex 0.
+func (g *Graph) IsConnected() bool {
+	row := g.Distances()[0]
+	for _, d := range row {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Diameter returns the maximum finite pairwise distance. Disconnected
+// graphs return -1.
+func (g *Graph) Diameter() int {
+	if !g.IsConnected() {
+		return -1
+	}
+	d := g.Distances()
+	worst := 0
+	for i := 0; i < g.n; i++ {
+		for j := 0; j < g.n; j++ {
+			if d[i][j] > worst {
+				worst = d[i][j]
+			}
+		}
+	}
+	return worst
+}
+
+// AvgDistance returns the mean distance over all ordered vertex pairs
+// including self-pairs (the normalization that reproduces the paper's
+// Table 1/2 values, e.g. 2.5 for the 4x4 lattice and 2.0 for the 4-cube).
+func (g *Graph) AvgDistance() float64 {
+	if !g.IsConnected() {
+		return -1
+	}
+	d := g.Distances()
+	sum := 0
+	for i := 0; i < g.n; i++ {
+		for j := 0; j < g.n; j++ {
+			sum += d[i][j]
+		}
+	}
+	return float64(sum) / float64(g.n*g.n)
+}
+
+// AvgDegree returns the mean vertex degree (the paper's "AvgC").
+func (g *Graph) AvgDegree() float64 {
+	return 2 * float64(len(g.edges)) / float64(g.n)
+}
+
+// InducedSubgraph returns the subgraph on the kept vertices, relabeled
+// 0..len(keep)-1 in the order given.
+func (g *Graph) InducedSubgraph(name string, keep []int) *Graph {
+	idx := make(map[int]int, len(keep))
+	for i, v := range keep {
+		if v < 0 || v >= g.n {
+			panic(fmt.Sprintf("topology: keep vertex %d out of range", v))
+		}
+		if _, dup := idx[v]; dup {
+			panic(fmt.Sprintf("topology: keep vertex %d repeated", v))
+		}
+		idx[v] = i
+	}
+	out := NewGraph(name, len(keep))
+	for _, e := range g.edges {
+		a, oka := idx[e[0]]
+		b, okb := idx[e[1]]
+		if oka && okb {
+			out.AddEdge(a, b)
+		}
+	}
+	return out
+}
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("%s{n=%d, e=%d}", g.Name, g.n, len(g.edges))
+}
+
+// Stats bundles the Table 1/2 row for a topology.
+type Stats struct {
+	Name     string
+	Qubits   int
+	Diameter int
+	AvgDist  float64
+	AvgConn  float64
+}
+
+// Stats computes the paper's per-topology properties.
+func (g *Graph) Stats() Stats {
+	return Stats{
+		Name:     g.Name,
+		Qubits:   g.n,
+		Diameter: g.Diameter(),
+		AvgDist:  g.AvgDistance(),
+		AvgConn:  g.AvgDegree(),
+	}
+}

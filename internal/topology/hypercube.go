@@ -1,0 +1,62 @@
+package topology
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Hypercube returns the n-dimensional binary hypercube Q_n: 2^n vertices,
+// edges between words at Hamming distance one. Both the per-vertex degree
+// and the diameter equal n (paper §2.4.4, Fig. 3).
+func Hypercube(dim int) *Graph {
+	if dim < 1 || dim > 20 {
+		panic(fmt.Sprintf("topology: hypercube dimension %d out of range", dim))
+	}
+	n := 1 << dim
+	g := NewGraph(fmt.Sprintf("Hypercube(%d)", dim), n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			w := v ^ (1 << b)
+			if w > v {
+				g.AddEdge(v, w)
+			}
+		}
+	}
+	g.Name = "Hypercube"
+	return g
+}
+
+// Hypercube16 is the 4-cube of Table 1 (16 qubits, diameter 4, average
+// distance 2.0, 4 couplings per qubit).
+func Hypercube16() *Graph { return Hypercube(4) }
+
+// HypercubeTrimmed returns the induced subgraph of Q_dim on the first n
+// binary words {0, 1, ..., n-1}. By the edge-isoperimetric inequality
+// (Harper's theorem) initial segments of the binary order maximize the
+// number of retained edges, keeping the trimmed cube as dense and regular
+// as possible.
+func HypercubeTrimmed(dim, n int) *Graph {
+	full := 1 << dim
+	if n < 1 || n > full {
+		panic(fmt.Sprintf("topology: trimmed size %d outside (0, 2^%d]", n, dim))
+	}
+	g := NewGraph("Hypercube", n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			w := v ^ (1 << b)
+			if w > v && w < n {
+				g.AddEdge(v, w)
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube84 is the 84-qubit trimmed 7-cube of Table 2. The Harper segment
+// {0..83} retains exactly 252 edges, reproducing the paper's average
+// connectivity of 6.0 and diameter 7.
+func Hypercube84() *Graph { return HypercubeTrimmed(7, 84) }
+
+// HammingDistance counts differing bits — exported for tests and for
+// hypercube-aware routing heuristics.
+func HammingDistance(a, b int) int { return bits.OnesCount(uint(a ^ b)) }

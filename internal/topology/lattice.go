@@ -1,0 +1,135 @@
+package topology
+
+import "fmt"
+
+// SquareLattice returns the rows x cols grid graph (paper Fig. 2a), the
+// coupling pattern of Google's Sycamore-class machines.
+func SquareLattice(rows, cols int) *Graph {
+	g := NewGraph(fmt.Sprintf("Square-Lattice(%dx%d)", rows, cols), rows*cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	g.Name = "Square-Lattice"
+	return g
+}
+
+// SquareLattice16 is the 16-qubit 4x4 lattice of Table 1.
+func SquareLattice16() *Graph { return SquareLattice(4, 4) }
+
+// SquareLattice84 is the 84-qubit 7x12 lattice of Table 2 (its diameter 17,
+// average distance 6.26 and average connectivity 3.55 match the paper
+// exactly).
+func SquareLattice84() *Graph { return SquareLattice(7, 12) }
+
+// HexLattice returns a brick-wall honeycomb on a rows x cols grid
+// (paper Fig. 2d): all horizontal edges, plus vertical edges where the cell
+// parity (r+c) is even — giving every vertex degree ≤ 3.
+func HexLattice(rows, cols int) *Graph {
+	g := NewGraph("Hex-Lattice", rows*cols)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows && (r+c)%2 == 0 {
+				g.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// HexLattice20 is the 20-qubit hex lattice of Table 1 (4x5 brick-wall).
+func HexLattice20() *Graph { return HexLattice(4, 5) }
+
+// HexLattice84 is the 84-qubit hex lattice of Table 2 (7x12 brick-wall).
+func HexLattice84() *Graph { return HexLattice(7, 12) }
+
+// LatticeAltDiag returns the square lattice with both diagonals added on
+// alternating (checkerboard) tiles — IBM's early "Penguin" connectivity
+// (paper Fig. 2c).
+func LatticeAltDiag(rows, cols int) *Graph {
+	g := SquareLattice(rows, cols)
+	g.Name = "Lattice+AltDiag"
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r+1 < rows; r++ {
+		for c := 0; c+1 < cols; c++ {
+			if (r+c)%2 == 0 {
+				g.AddEdge(id(r, c), id(r+1, c+1))
+				g.AddEdge(id(r, c+1), id(r+1, c))
+			}
+		}
+	}
+	return g
+}
+
+// LatticeAltDiag84 is the 84-qubit alternating-diagonal lattice of Table 2
+// (7x12 + 66 diagonal couplings; average connectivity 5.12 as in the paper).
+func LatticeAltDiag84() *Graph { return LatticeAltDiag(7, 12) }
+
+// HeavyHexRows builds a heavy-hex lattice in IBM's row form: `rows`
+// horizontal chains of `cols` qubits, with bridge qubits linking vertical
+// neighbors every 4 columns, offset alternating by 2 between gaps (the
+// Falcon/Eagle pattern, paper Fig. 2b). Bridge qubits are appended after the
+// row qubits.
+func HeavyHexRows(rows, cols int) *Graph {
+	type bridge struct{ gap, col int }
+	var bridges []bridge
+	for gap := 0; gap+1 < rows; gap++ {
+		offset := 0
+		if gap%2 == 1 {
+			offset = 2
+		}
+		for c := offset; c < cols; c += 4 {
+			bridges = append(bridges, bridge{gap, c})
+		}
+	}
+	n := rows*cols + len(bridges)
+	g := NewGraph("Heavy-Hex", n)
+	id := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c+1 < cols; c++ {
+			g.AddEdge(id(r, c), id(r, c+1))
+		}
+	}
+	for i, b := range bridges {
+		v := rows*cols + i
+		g.AddEdge(id(b.gap, b.col), v)
+		g.AddEdge(v, id(b.gap+1, b.col))
+	}
+	return g
+}
+
+// HeavyHex20 is a 20-qubit heavy-hex fragment used for Table 1: two fused
+// heavy hexagons — a pair of 13-cycles sharing a five-edge path. This is the
+// densest 20-qubit/21-coupling heavy-hex-style fragment (cyclomatic number
+// 2, max degree 3) and matches the paper's diameter 8 and AvgC 2.1; its
+// average distance measures 3.94 vs the paper's 3.77 (see EXPERIMENTS.md).
+func HeavyHex20() *Graph {
+	const la, lb, share = 13, 13, 5
+	g := NewGraph("Heavy-Hex", la+lb-(share+1))
+	for i := 0; i < la; i++ {
+		g.AddEdge(i, (i+1)%la)
+	}
+	prev, next := share, la
+	for k := 0; k < lb-(share+1); k++ {
+		g.AddEdge(prev, next)
+		prev = next
+		next++
+	}
+	g.AddEdge(prev, 0)
+	return g
+}
+
+// HeavyHex84 is the 84-qubit heavy-hex lattice of Table 2: 5 rows of 14
+// qubits plus 14 bridge qubits (the Eagle pattern cut to 84 qubits).
+func HeavyHex84() *Graph { return HeavyHexRows(5, 14) }

@@ -1,0 +1,117 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allGraphs returns the full topology catalog for property checks.
+func allGraphs() []*Graph {
+	return []*Graph{
+		SquareLattice16(), SquareLattice84(), HexLattice20(), HexLattice84(),
+		HeavyHex20(), HeavyHex84(), LatticeAltDiag84(), Hypercube16(),
+		Hypercube84(), Tree20(), TreeRR20(), Tree84(), TreeRR84(),
+		Corral11(), Corral12(),
+	}
+}
+
+// TestPropertyDistanceMetricAxioms: BFS distances are a metric — symmetric,
+// zero on the diagonal, and satisfying the triangle inequality.
+func TestPropertyDistanceMetricAxioms(t *testing.T) {
+	graphs := allGraphs()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graphs[int(uint64(seed)%uint64(len(graphs)))]
+		d := g.Distances()
+		n := g.N()
+		a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+		if d[a][a] != 0 {
+			return false
+		}
+		if d[a][b] != d[b][a] {
+			return false
+		}
+		return d[a][c] <= d[a][b]+d[b][c]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyEdgesAreDistanceOne: edges and distance-1 pairs coincide.
+func TestPropertyEdgesAreDistanceOne(t *testing.T) {
+	for _, g := range allGraphs() {
+		d := g.Distances()
+		for _, e := range g.Edges() {
+			if d[e[0]][e[1]] != 1 {
+				t.Fatalf("%s: edge %v has distance %d", g.Name, e, d[e[0]][e[1]])
+			}
+		}
+		// Sample some non-edges.
+		rng := rand.New(rand.NewSource(1))
+		for trial := 0; trial < 50; trial++ {
+			a, b := rng.Intn(g.N()), rng.Intn(g.N())
+			if a != b && !g.HasEdge(a, b) && d[a][b] == 1 {
+				t.Fatalf("%s: non-edge (%d,%d) has distance 1", g.Name, a, b)
+			}
+		}
+	}
+}
+
+// TestPropertyDegreeSumIsTwiceEdges: handshake lemma on every generator.
+func TestPropertyDegreeSumIsTwiceEdges(t *testing.T) {
+	for _, g := range allGraphs() {
+		sum := 0
+		for v := 0; v < g.N(); v++ {
+			sum += g.Degree(v)
+		}
+		if sum != 2*g.NumEdges() {
+			t.Fatalf("%s: degree sum %d != 2x%d edges", g.Name, sum, g.NumEdges())
+		}
+	}
+}
+
+// TestPropertyDiameterBoundsAvgDistance: avg ≤ diameter, and avg > 0 for
+// any graph with at least one edge.
+func TestPropertyDiameterBoundsAvgDistance(t *testing.T) {
+	for _, g := range allGraphs() {
+		avg, dia := g.AvgDistance(), g.Diameter()
+		if avg > float64(dia) {
+			t.Fatalf("%s: avg distance %g exceeds diameter %d", g.Name, avg, dia)
+		}
+		if avg <= 0 {
+			t.Fatalf("%s: degenerate avg distance %g", g.Name, avg)
+		}
+	}
+}
+
+// TestPropertySNAILDegreeCap: the SNAIL-realizable topologies never ask a
+// qubit for more couplings than two shared six-element SNAIL scopes allow.
+func TestPropertySNAILDegreeCap(t *testing.T) {
+	for _, g := range []*Graph{Tree20(), TreeRR20(), Tree84(), TreeRR84(), Corral11(), Corral12()} {
+		for v := 0; v < g.N(); v++ {
+			if g.Degree(v) > 10 { // two scopes × (6-1) partners
+				t.Fatalf("%s: vertex %d degree %d exceeds two-SNAIL capacity", g.Name, v, g.Degree(v))
+			}
+		}
+	}
+}
+
+// TestCorralRingGeneric checks the parameterized generator at several sizes.
+func TestCorralRingGeneric(t *testing.T) {
+	for _, posts := range []int{5, 8, 12, 16} {
+		for _, strides := range [][]int{{1, 1}, {1, 2}, {1, 3}} {
+			if strides[1] >= posts {
+				continue
+			}
+			g := CorralRing(posts, strides)
+			if g.N() != 2*posts {
+				t.Fatalf("corral(%d,%v): %d qubits", posts, strides, g.N())
+			}
+			if !g.IsConnected() {
+				t.Fatalf("corral(%d,%v) disconnected", posts, strides)
+			}
+		}
+	}
+}

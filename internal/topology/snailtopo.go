@@ -1,0 +1,214 @@
+package topology
+
+import "fmt"
+
+// The SNAIL-enabled modular topologies of paper §4.3. A "module" is a SNAIL
+// coupler plus the qubits attached to it; a SNAIL makes every pair of its
+// attached elements a usable coupling, so a module with k attached qubits
+// contributes a K_k clique to the coupling graph.
+
+// addClique couples every pair among the vertices.
+func addClique(g *Graph, vs []int) {
+	for i := 0; i < len(vs); i++ {
+		for j := i + 1; j < len(vs); j++ {
+			g.AddEdge(vs[i], vs[j])
+		}
+	}
+}
+
+// Tree20 is the two-level modular 4-ary tree (paper Fig. 7a): a central
+// router SNAIL couples four router qubits W0..W3 (a K4), and each Wk joins a
+// module SNAIL coupling {Wk, 4 module qubits} all-to-all (a K5).
+// Qubit layout: W qubits are 0..3; module k's leaves are 4+4k .. 7+4k.
+func Tree20() *Graph {
+	g := NewGraph("Tree", 20)
+	w := []int{0, 1, 2, 3}
+	addClique(g, w)
+	for k := 0; k < 4; k++ {
+		module := []int{w[k]}
+		for j := 0; j < 4; j++ {
+			module = append(module, 4+4*k+j)
+		}
+		addClique(g, module)
+	}
+	return g
+}
+
+// TreeRR20 is the Round-Robin tree (paper Fig. 7b): module qubits couple
+// all-to-all within their module (K4 via the module SNAIL), and qubit j of
+// every module couples to router qubit Wj (via Wj's SNAIL), eliminating the
+// per-module router bottleneck. W qubits are 0..3; module k's qubits are
+// 4+4k .. 7+4k.
+func TreeRR20() *Graph {
+	g := NewGraph("Tree-RR", 20)
+	w := []int{0, 1, 2, 3}
+	addClique(g, w)
+	for k := 0; k < 4; k++ {
+		var module []int
+		for j := 0; j < 4; j++ {
+			q := 4 + 4*k + j
+			module = append(module, q)
+			g.AddEdge(q, w[j]) // round-robin link to router qubit j
+		}
+		addClique(g, module)
+	}
+	return g
+}
+
+// Tree84 is the three-router-level 4-ary tree of Table 2 (paper Fig. 8):
+// central K4 over four level-1 router qubits; each level-1 qubit in a K5
+// router module with four level-2 qubits; each level-2 qubit in a K5 leaf
+// module with four leaf qubits. 4 + 16 + 64 = 84 qubits.
+//
+// Layout: level-1 routers 0..3; level-2 qubits 4..19 (level-1 router k owns
+// 4+4k..7+4k); leaves 20..83 (level-2 qubit m owns 20+4m..23+4m with
+// m = vertex-20 ... i.e. level-2 vertex v owns 20+4*(v-4)..).
+func Tree84() *Graph {
+	g := NewGraph("Tree", 84)
+	w := []int{0, 1, 2, 3}
+	addClique(g, w)
+	for k := 0; k < 4; k++ {
+		module := []int{w[k]}
+		for j := 0; j < 4; j++ {
+			module = append(module, 4+4*k+j)
+		}
+		addClique(g, module)
+	}
+	for m := 0; m < 16; m++ {
+		parent := 4 + m
+		module := []int{parent}
+		for j := 0; j < 4; j++ {
+			module = append(module, 20+4*m+j)
+		}
+		addClique(g, module)
+	}
+	return g
+}
+
+// TreeRR84 is the 84-qubit Round-Robin tree of Table 2: 16 leaf modules
+// (K4), four level-2 router modules (K4), and the central level-1 K4. Each
+// leaf-module qubit j couples to its group's level-2 router qubit j, and
+// level-2 router qubit j of every group couples to level-1 router qubit j
+// (paper §4.3: "each module couples to a different second-level router
+// qubit, and each second-level router qubit is coupled to a different
+// first-level router qubit").
+//
+// Layout: level-1 routers 0..3; level-2 routers 4..19 (group g at
+// 4+4g..7+4g); leaves 20..83 (leaf module m = (g,i) at 20+16g+4i..).
+func TreeRR84() *Graph {
+	g := NewGraph("Tree-RR", 84)
+	w := []int{0, 1, 2, 3}
+	addClique(g, w)
+	for grp := 0; grp < 4; grp++ {
+		var routers []int
+		for j := 0; j < 4; j++ {
+			r := 4 + 4*grp + j
+			routers = append(routers, r)
+			g.AddEdge(r, w[j])
+		}
+		addClique(g, routers)
+		for i := 0; i < 4; i++ {
+			var module []int
+			for j := 0; j < 4; j++ {
+				q := 20 + 16*grp + 4*i + j
+				module = append(module, q)
+				g.AddEdge(q, routers[j])
+			}
+			addClique(g, module)
+		}
+	}
+	return g
+}
+
+// CorralRing builds a Corral (paper §4.3, Fig. 9): a ring of `posts` SNAILs
+// with one qubit per fence level spanning from post i to post i+stride.
+// Qubit (level l, post i) is vertex l*posts+i; the SNAIL at each post
+// couples all qubits touching it pairwise.
+func CorralRing(posts int, strides []int) *Graph {
+	if posts < 3 {
+		panic("topology: corral needs at least 3 posts")
+	}
+	for _, s := range strides {
+		if s < 1 || s >= posts {
+			panic(fmt.Sprintf("topology: corral stride %d out of range", s))
+		}
+	}
+	n := posts * len(strides)
+	g := NewGraph("Corral", n)
+	// Qubits attached to each post.
+	attached := make([][]int, posts)
+	for l, s := range strides {
+		for i := 0; i < posts; i++ {
+			q := l*posts + i
+			a := i
+			b := (i + s) % posts
+			attached[a] = append(attached[a], q)
+			attached[b] = append(attached[b], q)
+		}
+	}
+	for p := 0; p < posts; p++ {
+		addClique(g, attached[p])
+	}
+	return g
+}
+
+// Corral11 is the 16-qubit Corral with both fences at stride 1 (paper
+// Fig. 9a/9b): eight posts, two levels, nearest-neighbor spans. Each post's
+// SNAIL couples 4 qubits all-to-all, matching Table 1 (Dia 4, AvgD 2.06,
+// AvgC 5).
+func Corral11() *Graph {
+	g := CorralRing(8, []int{1, 1})
+	g.Name = "Corral(1,1)"
+	return g
+}
+
+// Corral12 is the 16-qubit long-stride Corral (paper Fig. 9c/9d): the
+// second fence skips posts to cut the ring's diameter. The paper's Table 1
+// row (Dia 2, AvgD 1.5, AvgC 6) is realized by the stride set {1,3}; the
+// literal "second-nearest neighbor" stride {1,2} yields diameter 3 (see
+// DESIGN.md; both variants are available through CorralRing).
+func Corral12() *Graph {
+	g := CorralRing(8, []int{1, 3})
+	g.Name = "Corral(1,2)"
+	return g
+}
+
+// MakeTree builds a generalized tree with the given number of router levels
+// (levels=2 gives Tree20, levels=3 gives Tree84). Exposed for scaling
+// studies beyond the paper's sizes.
+func MakeTree(levels int) *Graph {
+	if levels < 2 || levels > 6 {
+		panic("topology: MakeTree supports 2..6 levels")
+	}
+	// Count qubits: 4 + 4^2 + ... + 4^levels.
+	total := 0
+	pow := 1
+	for l := 1; l <= levels; l++ {
+		pow *= 4
+		total += pow
+	}
+	g := NewGraph(fmt.Sprintf("Tree-%dL", levels), total)
+	// Level l occupies [start[l], start[l]+4^l); level 1 starts at 0.
+	start := make([]int, levels+1)
+	pow = 4
+	for l := 2; l <= levels; l++ {
+		start[l] = start[l-1] + pow
+		pow *= 4
+	}
+	// Central router couples the 4 level-1 qubits.
+	addClique(g, []int{0, 1, 2, 3})
+	// Each level-l qubit (l < levels) owns a K5 module with its 4 children.
+	pow = 4
+	for l := 1; l < levels; l++ {
+		for i := 0; i < pow; i++ {
+			parent := start[l] + i
+			module := []int{parent}
+			for j := 0; j < 4; j++ {
+				module = append(module, start[l+1]+4*i+j)
+			}
+			addClique(g, module)
+		}
+		pow *= 4
+	}
+	return g
+}

@@ -1,0 +1,69 @@
+package transpile
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+	"repro/internal/weyl"
+)
+
+// TranslateExactCX rewrites every two-qubit gate into the minimal exact
+// CX-basis circuit (via weyl.SynthesizeCX), preserving the circuit's
+// semantics up to global phase — unlike TranslateToBasis, whose interleaved
+// 1Q gates are placeholders for counting. Single-qubit ops pass through.
+// Synthesized 1Q gates carry explicit unitaries under the name "u".
+func TranslateExactCX(c *circuit.Circuit) (*circuit.Circuit, error) {
+	out := circuit.New(c.N)
+	cache := make(map[string]*weyl.Synthesis)
+	for _, op := range c.Ops {
+		if !op.Is2Q() {
+			out.Append(op)
+			continue
+		}
+		syn, err := synthFor(op, cache)
+		if err != nil {
+			return nil, err
+		}
+		q0, q1 := op.Qubits[0], op.Qubits[1]
+		for _, g := range syn.Gates {
+			if g.CX {
+				out.CX(q0, q1)
+				continue
+			}
+			if !isIdentity2(g.L) {
+				out.Append(circuit.Op{Name: "u", Qubits: []int{q0}, U: g.L})
+			}
+			if !isIdentity2(g.R) {
+				out.Append(circuit.Op{Name: "u", Qubits: []int{q1}, U: g.R})
+			}
+		}
+	}
+	return out, nil
+}
+
+func synthFor(op circuit.Op, cache map[string]*weyl.Synthesis) (*weyl.Synthesis, error) {
+	key := ""
+	if op.U == nil {
+		key = fmt.Sprintf("%s|%v", op.Name, op.Params)
+		if s, ok := cache[key]; ok {
+			return s, nil
+		}
+	}
+	u, err := circuit.Unitary(op)
+	if err != nil {
+		return nil, err
+	}
+	syn, err := weyl.SynthesizeCX(u)
+	if err != nil {
+		return nil, fmt.Errorf("transpile: synthesizing %s: %w", op.Name, err)
+	}
+	if key != "" {
+		cache[key] = syn
+	}
+	return syn, nil
+}
+
+func isIdentity2(m *linalg.Matrix) bool {
+	return m.EqualUpToPhase(linalg.Identity(2), 1e-10)
+}

@@ -1,0 +1,113 @@
+package transpile
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/weyl"
+)
+
+// HeteroChoice records which pulse the heterogeneous translator picked for
+// a gate class.
+type HeteroChoice struct {
+	Basis weyl.Basis
+	Count int
+}
+
+// duration of a choice in iSWAP pulse units.
+func (h HeteroChoice) Duration() float64 {
+	return float64(h.Count) * h.Basis.Duration()
+}
+
+// chooseHetero picks the duration-minimal option between the SNAIL's full
+// iSWAP pulse and its half-length √iSWAP pulse for one gate class, breaking
+// ties toward fewer gate instances (fewer control-error events, paper
+// §3.1's gate-count figure of merit).
+func chooseHetero(c weyl.Coord) HeteroChoice {
+	full := HeteroChoice{Basis: weyl.BasisISwap, Count: weyl.BasisISwap.NumGates(c)}
+	half := HeteroChoice{Basis: weyl.BasisSqrtISwap, Count: weyl.BasisSqrtISwap.NumGates(c)}
+	if full.Duration() < half.Duration() {
+		return full
+	}
+	if half.Duration() < full.Duration() {
+		return half
+	}
+	if full.Count <= half.Count {
+		return full
+	}
+	return half
+}
+
+// TranslateHetero is the paper's §7 "heterogeneous basis gates" extension:
+// the SNAIL realizes every n√iSWAP with pulse length ∝ 1/n, so each
+// two-qubit gate may independently choose the pulse that minimizes its
+// duration. With the two analytically-counted family members (iSWAP and
+// √iSWAP) this keeps √iSWAP for generic gates but implements iSWAP-class
+// gates — such as the router's exchange operations — as a single full
+// pulse instead of two half pulses.
+func TranslateHetero(c *circuit.Circuit) (*circuit.Circuit, error) {
+	out := circuit.New(c.N)
+	cache := make(map[string]HeteroChoice)
+	for _, op := range c.Ops {
+		if !op.Is2Q() {
+			out.Append(op)
+			continue
+		}
+		choice, err := heteroFor(op, cache)
+		if err != nil {
+			return nil, err
+		}
+		q0, q1 := op.Qubits[0], op.Qubits[1]
+		if choice.Count == 0 {
+			out.U3(q0, 0, 0, 0)
+			out.U3(q1, 0, 0, 0)
+			continue
+		}
+		name := basisGateName(choice.Basis)
+		for i := 0; i < choice.Count; i++ {
+			out.U3(q0, 0, 0, 0)
+			out.U3(q1, 0, 0, 0)
+			out.Append(circuit.Op{Name: name, Qubits: []int{q0, q1}})
+		}
+		out.U3(q0, 0, 0, 0)
+		out.U3(q1, 0, 0, 0)
+	}
+	return out, nil
+}
+
+func heteroFor(op circuit.Op, cache map[string]HeteroChoice) (HeteroChoice, error) {
+	key := ""
+	if op.U == nil {
+		key = fmt.Sprintf("%s|%v", op.Name, op.Params)
+		if h, ok := cache[key]; ok {
+			return h, nil
+		}
+	}
+	u, err := circuit.Unitary(op)
+	if err != nil {
+		return HeteroChoice{}, err
+	}
+	coord, err := weyl.Coordinates(u)
+	if err != nil {
+		return HeteroChoice{}, fmt.Errorf("transpile: classifying %s: %w", op.Name, err)
+	}
+	h := chooseHetero(coord)
+	if key != "" {
+		cache[key] = h
+	}
+	return h, nil
+}
+
+// HeteroPulseDuration is the duration-weighted critical path of a
+// heterogeneously translated circuit (iSWAP = 1.0, √iSWAP = 0.5, 1Q free).
+func HeteroPulseDuration(c *circuit.Circuit) float64 {
+	return c.CriticalPath(func(op circuit.Op) float64 {
+		switch op.Name {
+		case "iswap":
+			return 1.0
+		case "siswap":
+			return 0.5
+		}
+		return 0
+	})
+}

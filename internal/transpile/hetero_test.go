@@ -1,0 +1,107 @@
+package transpile
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/weyl"
+	"repro/internal/workloads"
+)
+
+func TestHeteroChoiceRules(t *testing.T) {
+	q := math.Pi / 4
+	cases := []struct {
+		name      string
+		c         weyl.Coord
+		wantBasis weyl.Basis
+		wantCount int
+	}{
+		// iSWAP class: one full pulse (1.0) ties two half pulses (1.0);
+		// fewer instances win.
+		{"iswap-class", weyl.Coord{X: q, Y: q}, weyl.BasisISwap, 1},
+		// CNOT class: two half pulses (1.0) beat two full pulses (2.0).
+		{"cnot-class", weyl.Coord{X: q}, weyl.BasisSqrtISwap, 2},
+		// SWAP: three half pulses (1.5) beat three full (3.0).
+		{"swap-class", weyl.Coord{X: q, Y: q, Z: q}, weyl.BasisSqrtISwap, 3},
+		// √iSWAP itself: a single half pulse.
+		{"sqrt-class", weyl.Coord{X: q / 2, Y: q / 2}, weyl.BasisSqrtISwap, 1},
+	}
+	for _, tc := range cases {
+		got := chooseHetero(tc.c)
+		if got.Basis != tc.wantBasis || got.Count != tc.wantCount {
+			t.Errorf("%s: chose %v x%d, want %v x%d",
+				tc.name, got.Basis, got.Count, tc.wantBasis, tc.wantCount)
+		}
+	}
+}
+
+func TestTranslateHeteroISwapHeavyCircuit(t *testing.T) {
+	// A circuit of iSWAP-class gates: heterogeneous translation halves the
+	// gate count versus pure √iSWAP at equal duration.
+	c := circuit.New(2)
+	for i := 0; i < 4; i++ {
+		c.ISwap(0, 1)
+	}
+	het, err := TranslateHetero(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	homo, err := TranslateToBasis(c, weyl.BasisSqrtISwap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if het.CountTwoQubit() != 4 || homo.CountTwoQubit() != 8 {
+		t.Fatalf("counts: hetero %d (want 4), homo %d (want 8)",
+			het.CountTwoQubit(), homo.CountTwoQubit())
+	}
+	if d := HeteroPulseDuration(het); math.Abs(d-4.0) > 1e-9 {
+		t.Errorf("hetero duration %g, want 4.0", d)
+	}
+}
+
+func TestTranslateHeteroNeverWorse(t *testing.T) {
+	// On any workload, heterogeneous duration ≤ homogeneous √iSWAP duration
+	// and gate count ≤ homogeneous count.
+	rng := rand.New(rand.NewSource(1))
+	for _, name := range workloads.Names() {
+		c, err := workloads.Generate(name, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		het, err := TranslateHetero(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		homo, err := TranslateToBasis(c, weyl.BasisSqrtISwap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dHet := HeteroPulseDuration(het)
+		dHomo := PulseDuration(homo, weyl.BasisSqrtISwap)
+		if dHet > dHomo+1e-9 {
+			t.Errorf("%s: hetero duration %g worse than homo %g", name, dHet, dHomo)
+		}
+		if het.CountTwoQubit() > homo.CountTwoQubit() {
+			t.Errorf("%s: hetero count %d worse than homo %d",
+				name, het.CountTwoQubit(), homo.CountTwoQubit())
+		}
+	}
+}
+
+func TestTranslateHeteroMixesBases(t *testing.T) {
+	c := circuit.New(2)
+	c.ISwap(0, 1) // full pulse wins (fewer gates)
+	c.CX(0, 1)    // half pulses win
+	het, err := TranslateHetero(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if het.CountByName("iswap") != 1 {
+		t.Errorf("iswap count = %d, want 1", het.CountByName("iswap"))
+	}
+	if het.CountByName("siswap") != 2 {
+		t.Errorf("siswap count = %d, want 2", het.CountByName("siswap"))
+	}
+}

@@ -1,0 +1,189 @@
+// Package transpile implements the paper's transpilation flow (Fig. 10):
+// initial placement (DenseLayout), SWAP routing (StochasticSwap, with a
+// SABRE-style router for ablation), and KAK-driven basis translation, plus
+// the four-dataset metrics collection the paper reports (total and
+// critical-path SWAPs before translation; total 2Q gates and pulse duration
+// after).
+package transpile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/topology"
+)
+
+// Layout maps virtual circuit qubits to physical graph vertices.
+type Layout []int
+
+// TrivialLayout maps virtual qubit i to physical vertex i.
+func TrivialLayout(k int) Layout {
+	l := make(Layout, k)
+	for i := range l {
+		l[i] = i
+	}
+	return l
+}
+
+// Copy returns an independent copy.
+func (l Layout) Copy() Layout {
+	out := make(Layout, len(l))
+	copy(out, l)
+	return out
+}
+
+// Inverse returns the physical→virtual map (-1 for unused vertices).
+func (l Layout) Inverse(n int) []int {
+	inv := make([]int, n)
+	for i := range inv {
+		inv[i] = -1
+	}
+	for v, p := range l {
+		inv[p] = v
+	}
+	return inv
+}
+
+// Validate checks the layout is injective and within the graph.
+func (l Layout) Validate(g *topology.Graph) error {
+	seen := make(map[int]bool, len(l))
+	for v, p := range l {
+		if p < 0 || p >= g.N() {
+			return fmt.Errorf("transpile: layout maps q%d to invalid vertex %d", v, p)
+		}
+		if seen[p] {
+			return fmt.Errorf("transpile: layout maps two qubits to vertex %d", p)
+		}
+		seen[p] = true
+	}
+	return nil
+}
+
+// DenseLayout chooses the densest connected induced subgraph of size c.N
+// (greedy growth from every seed, keeping the subset with the most induced
+// couplings) and assigns the circuit's most-interacting qubits to the
+// best-connected vertices — a faithful reimplementation of the spirit of
+// Qiskit's DenseLayout, which the paper uses for initial mapping (§5).
+func DenseLayout(g *topology.Graph, c *circuit.Circuit) (Layout, error) {
+	k := c.N
+	if k > g.N() {
+		return nil, fmt.Errorf("transpile: circuit needs %d qubits, machine has %d", k, g.N())
+	}
+	subset := densestSubset(g, k)
+	// Order physical vertices by induced degree (descending, stable).
+	inSubset := make(map[int]bool, k)
+	for _, v := range subset {
+		inSubset[v] = true
+	}
+	inducedDeg := func(v int) int {
+		d := 0
+		for _, w := range g.Neighbors(v) {
+			if inSubset[w] {
+				d++
+			}
+		}
+		return d
+	}
+	phys := append([]int(nil), subset...)
+	sort.SliceStable(phys, func(i, j int) bool {
+		di, dj := inducedDeg(phys[i]), inducedDeg(phys[j])
+		if di != dj {
+			return di > dj
+		}
+		return phys[i] < phys[j]
+	})
+	// Order virtual qubits by interaction weight (number of 2Q ops touching
+	// them), descending.
+	weight := make([]int, k)
+	for _, op := range c.Ops {
+		if op.Is2Q() {
+			weight[op.Qubits[0]]++
+			weight[op.Qubits[1]]++
+		}
+	}
+	virt := make([]int, k)
+	for i := range virt {
+		virt[i] = i
+	}
+	sort.SliceStable(virt, func(i, j int) bool {
+		if weight[virt[i]] != weight[virt[j]] {
+			return weight[virt[i]] > weight[virt[j]]
+		}
+		return virt[i] < virt[j]
+	})
+	layout := make(Layout, k)
+	for rank, v := range virt {
+		layout[v] = phys[rank]
+	}
+	if err := layout.Validate(g); err != nil {
+		return nil, err
+	}
+	return layout, nil
+}
+
+// densestSubset grows a connected subset of size k from every seed vertex,
+// each step adding the candidate with the most neighbors already inside
+// (ties: smaller distance sum to the subset, then smaller index), and keeps
+// the subset with the most induced edges.
+func densestSubset(g *topology.Graph, k int) []int {
+	if k == g.N() {
+		all := make([]int, k)
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	dist := g.Distances()
+	n := g.N()
+	var best []int
+	bestEdges := -1
+	for seed := 0; seed < n; seed++ {
+		in := make([]bool, n)
+		degIn := make([]int, n)   // neighbors already inside, per candidate
+		distSum := make([]int, n) // distance sum to the subset, per candidate
+		add := func(v int) {
+			in[v] = true
+			for _, w := range g.Neighbors(v) {
+				degIn[w]++
+			}
+			for u := 0; u < n; u++ {
+				distSum[u] += dist[u][v]
+			}
+		}
+		add(seed)
+		subset := []int{seed}
+		edges := 0
+		for len(subset) < k {
+			bestV := -1
+			for v := 0; v < n; v++ {
+				if in[v] || degIn[v] == 0 {
+					continue // keep the subset connected
+				}
+				if bestV < 0 || degIn[v] > degIn[bestV] ||
+					(degIn[v] == degIn[bestV] && distSum[v] < distSum[bestV]) {
+					bestV = v
+				}
+			}
+			if bestV < 0 {
+				break // disconnected graph: cannot grow further
+			}
+			edges += degIn[bestV]
+			subset = append(subset, bestV)
+			add(bestV)
+		}
+		if len(subset) == k && edges > bestEdges {
+			bestEdges = edges
+			best = append([]int(nil), subset...)
+		}
+	}
+	if best == nil {
+		// Fall back to the first k vertices (disconnected or degenerate).
+		best = make([]int, k)
+		for i := range best {
+			best[i] = i
+		}
+	}
+	sort.Ints(best)
+	return best
+}

@@ -1,0 +1,97 @@
+package transpile
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+)
+
+// Peephole applies local circuit simplifications:
+//
+//   - adjacent single-qubit gates on the same qubit merge into one explicit
+//     unitary (emitted as a "u" op, or dropped if the product is identity
+//     up to phase);
+//   - adjacent identical self-inverse two-qubit gates cancel (cx·cx with
+//     matching orientation, cz·cz, swap·swap), including cascades exposed
+//     by earlier cancellations.
+//
+// The result is semantically equal to the input up to global phase. This is
+// the clean-up pass a production transpiler runs after basis translation
+// (where interleaved 1Q frames often multiply to identity).
+func Peephole(c *circuit.Circuit) (*circuit.Circuit, error) {
+	type emitted struct {
+		op      circuit.Op
+		deleted bool
+	}
+	var out []emitted
+	// Per-qubit stack of indices into out for 2Q ops (cancellation lookback)
+	// and pending accumulated 1Q unitaries.
+	stacks := make([][]int, c.N)
+	pending := make([]*linalg.Matrix, c.N)
+
+	flush := func(q int) {
+		if pending[q] == nil {
+			return
+		}
+		if !isIdentity2(pending[q]) {
+			out = append(out, emitted{op: circuit.Op{Name: "u", Qubits: []int{q}, U: pending[q]}})
+			// 1Q ops sit between 2Q ops, blocking cancellation across them.
+			stacks[q] = append(stacks[q], len(out)-1)
+		}
+		pending[q] = nil
+	}
+	selfInverse := map[string]bool{"cx": true, "cz": true, "swap": true}
+	orientationFree := map[string]bool{"cz": true, "swap": true}
+
+	for _, op := range c.Ops {
+		if !op.Is2Q() {
+			q := op.Qubits[0]
+			u, err := circuit.Unitary(op)
+			if err != nil {
+				return nil, err
+			}
+			if pending[q] == nil {
+				pending[q] = u
+			} else {
+				pending[q] = u.Mul(pending[q])
+			}
+			continue
+		}
+		a, b := op.Qubits[0], op.Qubits[1]
+		// Try cancellation: both qubits' last emitted op must be the same
+		// not-yet-deleted instance of the same self-inverse gate.
+		if selfInverse[op.Name] && pending[a] == nil && pending[b] == nil {
+			sa, sb := stacks[a], stacks[b]
+			if len(sa) > 0 && len(sb) > 0 && sa[len(sa)-1] == sb[len(sb)-1] {
+				idx := sa[len(sa)-1]
+				prev := out[idx]
+				if !prev.deleted && prev.op.Name == op.Name && prev.op.Is2Q() {
+					match := prev.op.Qubits[0] == a && prev.op.Qubits[1] == b
+					if orientationFree[op.Name] {
+						match = match || (prev.op.Qubits[0] == b && prev.op.Qubits[1] == a)
+					}
+					if match {
+						out[idx].deleted = true
+						stacks[a] = sa[:len(sa)-1]
+						stacks[b] = sb[:len(sb)-1]
+						continue
+					}
+				}
+			}
+		}
+		flush(a)
+		flush(b)
+		out = append(out, emitted{op: op})
+		stacks[a] = append(stacks[a], len(out)-1)
+		stacks[b] = append(stacks[b], len(out)-1)
+	}
+	for q := 0; q < c.N; q++ {
+		flush(q)
+	}
+	res := circuit.New(c.N)
+	for _, e := range out {
+		if !e.deleted {
+			res.Append(e.op)
+		}
+	}
+	return res, nil
+}

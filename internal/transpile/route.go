@@ -1,0 +1,313 @@
+package transpile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/topology"
+)
+
+// RouteResult is the outcome of SWAP routing: a physical-qubit circuit with
+// SWAPs inserted (ready for basis translation), the number of inserted
+// SWAPs, and the final virtual→physical layout after all permutations.
+type RouteResult struct {
+	Circuit     *circuit.Circuit
+	SwapCount   int
+	FinalLayout Layout
+}
+
+// DefaultTrials matches Qiskit StochasticSwap's default trial count.
+const DefaultTrials = 20
+
+// StochasticSwap routes a virtual circuit onto the coupling graph using the
+// randomized layer-permutation search of Qiskit's StochasticSwap pass, which
+// the paper uses for routing (§5): the circuit is processed layer by layer;
+// when a layer contains non-adjacent 2Q gates, several randomized trials
+// greedily pick cost-reducing SWAPs under perturbed distance matrices, and
+// the shortest successful SWAP sequence is applied. Layers no trial can
+// solve whole are routed gate-by-gate (Qiskit's serial-layer fallback).
+func StochasticSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand, trials int) (*RouteResult, error) {
+	if len(initial) != c.N {
+		return nil, fmt.Errorf("transpile: layout covers %d qubits, circuit has %d", len(initial), c.N)
+	}
+	if err := initial.Validate(g); err != nil {
+		return nil, err
+	}
+	if trials <= 0 {
+		trials = DefaultTrials
+	}
+	r := &router{
+		g:      g,
+		dist:   g.Distances(),
+		out:    circuit.New(g.N()),
+		layout: initial.Copy(),
+		rng:    rng,
+		trials: trials,
+	}
+	for _, layer := range c.Layers() {
+		var twoQ []circuit.Op
+		var pairs [][2]int
+		for _, idx := range layer {
+			op := c.Ops[idx]
+			if op.Is2Q() {
+				twoQ = append(twoQ, op)
+				pairs = append(pairs, [2]int{op.Qubits[0], op.Qubits[1]})
+			} else {
+				r.emit(op) // 1Q gates route trivially
+			}
+		}
+		if len(pairs) == 0 {
+			continue
+		}
+		if seq := r.findSwaps(pairs); seq != nil {
+			r.applySwaps(seq)
+			for _, op := range twoQ {
+				r.emit(op)
+			}
+			continue
+		}
+		// Serial fallback: route and emit the layer one gate at a time.
+		for i, op := range twoQ {
+			single := [][2]int{pairs[i]}
+			for !r.allAdjacent(single) {
+				seq := r.findSwaps(single)
+				if seq == nil {
+					seq = r.greedyStep(pairs[i])
+				}
+				if len(seq) == 0 {
+					return nil, fmt.Errorf("transpile: routing stuck on gate %v", op)
+				}
+				r.applySwaps(seq)
+			}
+			r.emit(op)
+		}
+	}
+	return &RouteResult{Circuit: r.out, SwapCount: r.swaps, FinalLayout: r.layout}, nil
+}
+
+// router carries the mutable routing state.
+type router struct {
+	g      *topology.Graph
+	dist   [][]int
+	out    *circuit.Circuit
+	layout Layout
+	swaps  int
+	rng    *rand.Rand
+	trials int
+}
+
+func (r *router) emit(op circuit.Op) {
+	phys := make([]int, len(op.Qubits))
+	for i, q := range op.Qubits {
+		phys[i] = r.layout[q]
+	}
+	r.out.Append(circuit.Op{Name: op.Name, Qubits: phys, Params: op.Params, U: op.U})
+}
+
+func (r *router) applySwaps(seq [][2]int) {
+	inv := r.layout.Inverse(r.g.N())
+	for _, e := range seq {
+		a, b := e[0], e[1]
+		r.out.Swap(a, b)
+		r.swaps++
+		va, vb := inv[a], inv[b]
+		if va >= 0 {
+			r.layout[va] = b
+		}
+		if vb >= 0 {
+			r.layout[vb] = a
+		}
+		inv[a], inv[b] = vb, va
+	}
+}
+
+func (r *router) allAdjacent(pairs [][2]int) bool {
+	for _, p := range pairs {
+		if !r.g.HasEdge(r.layout[p[0]], r.layout[p[1]]) {
+			return false
+		}
+	}
+	return true
+}
+
+// greedyStep moves one endpoint of the pair a single hop along a shortest
+// path toward the other endpoint.
+func (r *router) greedyStep(p [2]int) [][2]int {
+	a, b := r.layout[p[0]], r.layout[p[1]]
+	for _, w := range r.g.Neighbors(a) {
+		if r.dist[w][b] == r.dist[a][b]-1 {
+			return [][2]int{{a, w}}
+		}
+	}
+	return nil
+}
+
+// findSwaps runs randomized trials and returns the shortest SWAP sequence
+// (list of physical edges, applied in order) that makes every pair adjacent,
+// or nil if no trial succeeds within the depth limit.
+func (r *router) findSwaps(pairs [][2]int) [][2]int {
+	if r.allAdjacent(pairs) {
+		return [][2]int{}
+	}
+	n := r.g.N()
+	limit := 2*n + 4*len(pairs)
+	// Perturbation base: plain distances as floats.
+	base := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			base[i*n+j] = float64(r.dist[i][j])
+		}
+	}
+	d := make([]float64, n*n)
+	var best [][2]int
+	for trial := 0; trial < r.trials; trial++ {
+		// d' = d * (1 + 0.1|gauss|), symmetric per unordered pair.
+		copy(d, base)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				s := 1 + 0.1*absf(r.rng.NormFloat64())
+				d[i*n+j] *= s
+				d[j*n+i] = d[i*n+j]
+			}
+		}
+		if seq := r.trialSearch(pairs, d, limit); seq != nil {
+			if best == nil || len(seq) < len(best) {
+				best = seq
+			}
+			if len(best) == 0 {
+				break
+			}
+		}
+	}
+	return best
+}
+
+// trialSearch greedily applies the cost-minimizing swap until every pair is
+// adjacent, a local minimum is hit, or the depth limit is reached. Cost
+// deltas are evaluated incrementally: a candidate swap only affects pairs
+// with an endpoint on the swapped edge.
+func (r *router) trialSearch(pairs [][2]int, d []float64, limit int) [][2]int {
+	n := r.g.N()
+	pos := make([][2]int, len(pairs)) // current physical endpoints per pair
+	pairsAt := make([][]int, n)       // pair indices touching each vertex
+	notAdj := 0
+	for i, p := range pairs {
+		pa, pb := r.layout[p[0]], r.layout[p[1]]
+		pos[i] = [2]int{pa, pb}
+		pairsAt[pa] = append(pairsAt[pa], i)
+		pairsAt[pb] = append(pairsAt[pb], i)
+		if !r.g.HasEdge(pa, pb) {
+			notAdj++
+		}
+	}
+	// movedTo maps a vertex to its post-swap replacement during delta
+	// evaluation of a candidate edge.
+	pairDelta := func(i, a, b int) float64 {
+		remap := func(v int) int {
+			switch v {
+			case a:
+				return b
+			case b:
+				return a
+			}
+			return v
+		}
+		oa, ob := pos[i][0], pos[i][1]
+		return d[remap(oa)*n+remap(ob)] - d[oa*n+ob]
+	}
+	seen := make([]int, len(pairs))
+	epoch := 0
+	var seq [][2]int
+	for step := 0; step < limit && notAdj > 0; step++ {
+		bestDelta := -1e-12
+		bestEdge := [2]int{-1, -1}
+		for _, e := range r.g.Edges() {
+			a, b := e[0], e[1]
+			if len(pairsAt[a]) == 0 && len(pairsAt[b]) == 0 {
+				continue
+			}
+			epoch++
+			delta := 0.0
+			for _, i := range pairsAt[a] {
+				seen[i] = epoch
+				delta += pairDelta(i, a, b)
+			}
+			for _, i := range pairsAt[b] {
+				if seen[i] == epoch {
+					continue
+				}
+				delta += pairDelta(i, a, b)
+			}
+			if delta < bestDelta {
+				bestDelta = delta
+				bestEdge = e
+			}
+		}
+		if bestEdge[0] < 0 {
+			break // local minimum under this perturbation
+		}
+		a, b := bestEdge[0], bestEdge[1]
+		// Apply the swap to the trial state.
+		epoch++
+		touched := touchedPairs(pairsAt, a, b, seen, epoch)
+		for _, i := range touched {
+			if r.g.HasEdge(pos[i][0], pos[i][1]) {
+				notAdj++
+			}
+			if pos[i][0] == a {
+				pos[i][0] = b
+			} else if pos[i][0] == b {
+				pos[i][0] = a
+			}
+			if pos[i][1] == a {
+				pos[i][1] = b
+			} else if pos[i][1] == b {
+				pos[i][1] = a
+			}
+			if r.g.HasEdge(pos[i][0], pos[i][1]) {
+				notAdj--
+			}
+		}
+		pairsAt[a], pairsAt[b] = rebuildAt(touched, pos, a), rebuildAt(touched, pos, b)
+		seq = append(seq, bestEdge)
+	}
+	if notAdj > 0 {
+		return nil
+	}
+	return seq
+}
+
+// touchedPairs returns the deduplicated pair indices with an endpoint at a
+// or b.
+func touchedPairs(pairsAt [][]int, a, b int, seen []int, epoch int) []int {
+	var out []int
+	for _, i := range pairsAt[a] {
+		seen[i] = epoch
+		out = append(out, i)
+	}
+	for _, i := range pairsAt[b] {
+		if seen[i] != epoch {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// rebuildAt recomputes the pair list for vertex v among the touched pairs.
+func rebuildAt(touched []int, pos [][2]int, v int) []int {
+	var out []int
+	for _, i := range touched {
+		if pos[i][0] == v || pos[i][1] == v {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

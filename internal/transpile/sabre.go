@@ -1,0 +1,222 @@
+package transpile
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/topology"
+)
+
+// SabreSwap routes with the SABRE lookahead heuristic (Li, Ding, Xie,
+// ASPLOS'19): maintain the front layer of unsatisfied 2Q gates; when no gate
+// is executable, apply the swap minimizing the summed front-layer distance
+// plus a discounted extended-set (lookahead) term. Provided as the ablation
+// comparison router for the StochasticSwap results (see bench_test.go).
+func SabreSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand) (*RouteResult, error) {
+	if len(initial) != c.N {
+		return nil, fmt.Errorf("transpile: layout covers %d qubits, circuit has %d", len(initial), c.N)
+	}
+	if err := initial.Validate(g); err != nil {
+		return nil, err
+	}
+	const (
+		extendedSize   = 20  // lookahead window (2Q gates)
+		extendedWeight = 0.5 // discount on the lookahead term
+	)
+	dist := g.Distances()
+	layout := initial.Copy()
+	out := circuit.New(g.N())
+	swaps := 0
+
+	// Dependency bookkeeping over the original op list.
+	n := len(c.Ops)
+	pred := make([]int, n) // unfinished predecessor count
+	succ := make([][]int, n)
+	lastOn := make([]int, c.N)
+	for i := range lastOn {
+		lastOn[i] = -1
+	}
+	for i, op := range c.Ops {
+		for _, q := range op.Qubits {
+			if j := lastOn[q]; j >= 0 {
+				succ[j] = append(succ[j], i)
+				pred[i]++
+			}
+			lastOn[q] = i
+		}
+	}
+	done := make([]bool, n)
+	var front []int
+	for i := range c.Ops {
+		if pred[i] == 0 {
+			front = append(front, i)
+		}
+	}
+	emit := func(idx int) []int {
+		op := c.Ops[idx]
+		phys := make([]int, len(op.Qubits))
+		for i, q := range op.Qubits {
+			phys[i] = layout[q]
+		}
+		out.Append(circuit.Op{Name: op.Name, Qubits: phys, Params: op.Params, U: op.U})
+		done[idx] = true
+		var unlocked []int
+		for _, s := range succ[idx] {
+			pred[s]--
+			if pred[s] == 0 {
+				unlocked = append(unlocked, s)
+			}
+		}
+		return unlocked
+	}
+	executable := func(idx int) bool {
+		op := c.Ops[idx]
+		if !op.Is2Q() {
+			return true
+		}
+		return g.HasEdge(layout[op.Qubits[0]], layout[op.Qubits[1]])
+	}
+	// extendedSet walks successors of the front to build the lookahead set.
+	extendedSet := func() [][2]int {
+		var ext [][2]int
+		var queue []int
+		queue = append(queue, front...)
+		seenOps := map[int]bool{}
+		for len(queue) > 0 && len(ext) < extendedSize {
+			idx := queue[0]
+			queue = queue[1:]
+			for _, s := range succ[idx] {
+				if seenOps[s] || done[s] {
+					continue
+				}
+				seenOps[s] = true
+				if op := c.Ops[s]; op.Is2Q() {
+					ext = append(ext, [2]int{op.Qubits[0], op.Qubits[1]})
+					if len(ext) >= extendedSize {
+						break
+					}
+				}
+				queue = append(queue, s)
+			}
+		}
+		return ext
+	}
+
+	// Per-qubit decay discourages oscillating swap sequences (as in the
+	// SABRE paper); it resets whenever a gate executes.
+	decay := make([]float64, g.N())
+	resetDecay := func() {
+		for i := range decay {
+			decay[i] = 1
+		}
+	}
+	resetDecay()
+
+	guard := 0
+	maxSteps := 10 * (len(c.Ops) + 1) * (g.Diameter() + 1)
+	for len(front) > 0 {
+		if guard++; guard > maxSteps {
+			return nil, fmt.Errorf("transpile: SABRE exceeded step budget")
+		}
+		// Execute everything executable.
+		progress := false
+		var stalled []int
+		for len(front) > 0 {
+			idx := front[0]
+			front = front[1:]
+			if executable(idx) {
+				front = append(front, emit(idx)...)
+				progress = true
+			} else {
+				stalled = append(stalled, idx)
+			}
+		}
+		front = stalled
+		if progress || len(front) == 0 {
+			resetDecay()
+			continue
+		}
+		// All front gates stalled: choose the best swap among edges touching
+		// front-layer qubits.
+		ext := extendedSet()
+		type cand struct {
+			e     [2]int
+			score float64
+		}
+		bestScore := 0.0
+		var best [][2]int
+		frontQubits := map[int]bool{}
+		for _, idx := range front {
+			for _, q := range c.Ops[idx].Qubits {
+				frontQubits[layout[q]] = true
+			}
+		}
+		score := func() float64 {
+			s := 0.0
+			for _, idx := range front {
+				op := c.Ops[idx]
+				s += float64(dist[layout[op.Qubits[0]]][layout[op.Qubits[1]]])
+			}
+			s /= float64(len(front))
+			if len(ext) > 0 {
+				e := 0.0
+				for _, p := range ext {
+					e += float64(dist[layout[p[0]]][layout[p[1]]])
+				}
+				s += extendedWeight * e / float64(len(ext))
+			}
+			return s
+		}
+		inv := layout.Inverse(g.N())
+		for _, e := range g.Edges() {
+			if !frontQubits[e[0]] && !frontQubits[e[1]] {
+				continue
+			}
+			va, vb := inv[e[0]], inv[e[1]]
+			// Tentative swap.
+			if va >= 0 {
+				layout[va] = e[1]
+			}
+			if vb >= 0 {
+				layout[vb] = e[0]
+			}
+			s := score() * maxf(decay[e[0]], decay[e[1]])
+			if va >= 0 {
+				layout[va] = e[0]
+			}
+			if vb >= 0 {
+				layout[vb] = e[1]
+			}
+			if best == nil || s < bestScore-1e-12 {
+				bestScore = s
+				best = [][2]int{e}
+			} else if s < bestScore+1e-12 {
+				best = append(best, e)
+			}
+		}
+		if best == nil {
+			return nil, fmt.Errorf("transpile: SABRE found no candidate swap")
+		}
+		chosen := best[rng.Intn(len(best))]
+		out.Swap(chosen[0], chosen[1])
+		swaps++
+		decay[chosen[0]] += 0.001
+		decay[chosen[1]] += 0.001
+		va, vb := inv[chosen[0]], inv[chosen[1]]
+		if va >= 0 {
+			layout[va] = chosen[1]
+		}
+		if vb >= 0 {
+			layout[vb] = chosen[0]
+		}
+	}
+	return &RouteResult{Circuit: out, SwapCount: swaps, FinalLayout: layout}, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package transpile
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/weyl"
+)
+
+// basisGateName is the op name emitted for each application of the target
+// basis gate during translation.
+func basisGateName(b weyl.Basis) string {
+	switch b {
+	case weyl.BasisCX:
+		return "cx"
+	case weyl.BasisSqrtISwap:
+		return "siswap"
+	case weyl.BasisSYC:
+		return "syc"
+	case weyl.BasisISwap:
+		return "iswap"
+	default:
+		panic("transpile: unknown basis")
+	}
+}
+
+// TranslateToBasis rewrites every two-qubit gate as k applications of the
+// target basis gate interleaved with single-qubit layers, where k comes from
+// the exact KAK/Weyl-chamber counting rules (paper §2.3 and Observation 1).
+// Single-qubit gates pass through. The interleaved 1Q gates are emitted as
+// placeholder u3 ops: the paper's metrics treat 1Q gates as free (§3.1), so
+// only their positions matter for scheduling.
+//
+// Weyl coordinates are memoized per (name, params) so repeated gates (CX,
+// SWAP, CP(θ) ladders) are classified once.
+func TranslateToBasis(c *circuit.Circuit, b weyl.Basis) (*circuit.Circuit, error) {
+	out := circuit.New(c.N)
+	cache := make(map[string]int)
+	for _, op := range c.Ops {
+		if !op.Is2Q() {
+			out.Append(op)
+			continue
+		}
+		k, err := basisCount(op, b, cache)
+		if err != nil {
+			return nil, err
+		}
+		q0, q1 := op.Qubits[0], op.Qubits[1]
+		if k == 0 {
+			// Locally equivalent to identity: absorb into 1Q frames.
+			out.U3(q0, 0, 0, 0)
+			out.U3(q1, 0, 0, 0)
+			continue
+		}
+		name := basisGateName(b)
+		for i := 0; i < k; i++ {
+			out.U3(q0, 0, 0, 0)
+			out.U3(q1, 0, 0, 0)
+			out.Append(circuit.Op{Name: name, Qubits: []int{q0, q1}})
+		}
+		out.U3(q0, 0, 0, 0)
+		out.U3(q1, 0, 0, 0)
+	}
+	return out, nil
+}
+
+// basisCount classifies one 2Q op, memoizing named gates.
+func basisCount(op circuit.Op, b weyl.Basis, cache map[string]int) (int, error) {
+	key := ""
+	if op.U == nil {
+		key = fmt.Sprintf("%s|%v|%d", op.Name, op.Params, b)
+		if k, ok := cache[key]; ok {
+			return k, nil
+		}
+	}
+	u, err := circuit.Unitary(op)
+	if err != nil {
+		return 0, err
+	}
+	coord, err := weyl.Coordinates(u)
+	if err != nil {
+		return 0, fmt.Errorf("transpile: classifying %s: %w", op.Name, err)
+	}
+	k := b.NumGates(coord)
+	if key != "" {
+		cache[key] = k
+	}
+	return k, nil
+}
+
+// Count2QForBasis returns how many basis-gate applications a circuit costs
+// without materializing the translated circuit (used by fast sweeps).
+func Count2QForBasis(c *circuit.Circuit, b weyl.Basis) (int, error) {
+	cache := make(map[string]int)
+	total := 0
+	for _, op := range c.Ops {
+		if !op.Is2Q() {
+			continue
+		}
+		k, err := basisCount(op, b, cache)
+		if err != nil {
+			return 0, err
+		}
+		total += k
+	}
+	return total, nil
+}
+
+// PulseDuration returns the duration-weighted critical path of a translated
+// circuit: each application of the basis gate costs its relative pulse
+// length (√iSWAP = 0.5, CX/SYC/iSWAP = 1.0), 1Q gates are free (paper §3.1).
+func PulseDuration(c *circuit.Circuit, b weyl.Basis) float64 {
+	name := basisGateName(b)
+	dur := b.Duration()
+	return c.CriticalPath(func(op circuit.Op) float64 {
+		if op.Name == name && op.Is2Q() {
+			return dur
+		}
+		return 0
+	})
+}
+
+// Critical2Q returns the number of basis-gate applications on the critical
+// path of a translated circuit.
+func Critical2Q(c *circuit.Circuit) int {
+	return c.Depth2Q()
+}

@@ -1,0 +1,250 @@
+package weyl
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/gates"
+	"repro/internal/linalg"
+)
+
+// Decomposition is a full Cartan (KAK) factorization of a two-qubit unitary:
+//
+//	U = Phase · (K1l ⊗ K1r) · CAN(C.X, C.Y, C.Z) · (K2l ⊗ K2r)
+//
+// where CAN(a,b,c) = exp(i(a·XX + b·YY + c·ZZ)) and C lies in the canonical
+// Weyl chamber (see Coord). The K factors are 2x2 unitaries.
+type Decomposition struct {
+	K1l, K1r *linalg.Matrix
+	K2l, K2r *linalg.Matrix
+	C        Coord
+	Phase    complex128
+}
+
+// Reconstruct multiplies the factors back into a 4x4 unitary.
+func (d *Decomposition) Reconstruct() *linalg.Matrix {
+	can := gates.Canonical(d.C.X, d.C.Y, d.C.Z)
+	u := d.K1l.Kron(d.K1r).Mul(can).Mul(d.K2l.Kron(d.K2r))
+	return u.Scale(d.Phase)
+}
+
+// kakAttempts bounds the random-local perturbation retries used when the
+// simultaneous diagonalization hits an ill-conditioned degeneracy.
+const kakAttempts = 8
+
+// KAK computes the Cartan decomposition of a 4x4 unitary with canonical
+// Weyl-chamber coordinates. The factorization is exact to ~1e-9; a
+// reconstruction check is performed before returning.
+func KAK(u *linalg.Matrix) (*Decomposition, error) {
+	if u.Rows != 4 || u.Cols != 4 {
+		return nil, fmt.Errorf("weyl: KAK requires a 4x4 matrix")
+	}
+	if !u.IsUnitary(1e-8) {
+		return nil, fmt.Errorf("weyl: KAK requires a unitary matrix")
+	}
+	// Degenerate gamma-matrix spectra (Cliffords and friends) can make the
+	// simultaneous diagonalization numerically fragile. Multiplying by a
+	// random local unitary moves the spectrum while leaving the class
+	// unchanged; the extra factor is peeled off the K1 locals afterwards.
+	rng := rand.New(rand.NewSource(0x5ea1))
+	var lastErr error
+	for attempt := 0; attempt < kakAttempts; attempt++ {
+		var rl, rr *linalg.Matrix
+		target := u
+		if attempt > 0 {
+			rl, rr = gates.RandomSU2(rng), gates.RandomSU2(rng)
+			target = rl.Kron(rr).Mul(u)
+		}
+		d, err := kakOnce(target)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if attempt > 0 {
+			d.K1l = rl.Dagger().Mul(d.K1l)
+			d.K1r = rr.Dagger().Mul(d.K1r)
+		}
+		if recon := d.Reconstruct(); recon.MaxAbsDiff(u) > 1e-7 {
+			lastErr = fmt.Errorf("weyl: KAK reconstruction error %g", recon.MaxAbsDiff(u))
+			continue
+		}
+		return d, nil
+	}
+	return nil, fmt.Errorf("weyl: KAK failed after %d attempts: %w", kakAttempts, lastErr)
+}
+
+func kakOnce(u *linalg.Matrix) (*Decomposition, error) {
+	phase, su := su4Phase(u)
+	um := ToMagic(su)
+	m := um.Transpose().Mul(um)
+
+	p, err := linalg.SimultaneousDiagonalize(m.RealPart(), m.ImagPart())
+	if err != nil {
+		return nil, fmt.Errorf("weyl: diagonalizing gamma matrix: %w", err)
+	}
+	// Force det(P) = +1 so O2 = Pᵀ lies in SO(4).
+	if real(p.Det()) < 0 {
+		for r := 0; r < 4; r++ {
+			p.Set(r, 0, -p.At(r, 0))
+		}
+	}
+	d := p.Transpose().Mul(m).Mul(p)
+	// Angles θ_j with the determinant constraint fixing position 2's branch.
+	th0 := phaseOf(d.At(0, 0)) / 2
+	th1 := phaseOf(d.At(1, 1)) / 2
+	th3 := phaseOf(d.At(3, 3)) / 2
+	th2 := -(th0 + th1 + th3)
+	daInv := linalg.Diag(
+		cmplx.Exp(complex(0, -th0)),
+		cmplx.Exp(complex(0, -th1)),
+		cmplx.Exp(complex(0, -th2)),
+		cmplx.Exp(complex(0, -th3)),
+	)
+	o2 := p.Transpose()
+	o1 := um.Mul(p).Mul(daInv)
+	if o1.MaxImagAbs() > 1e-6 {
+		return nil, fmt.Errorf("weyl: left orthogonal factor not real (%g)", o1.MaxImagAbs())
+	}
+	k1 := FromMagic(o1.RealPart())
+	k2 := FromMagic(o2)
+	k1l, k1r, ph1, err := SplitTensor(k1)
+	if err != nil {
+		return nil, fmt.Errorf("weyl: splitting K1: %w", err)
+	}
+	k2l, k2r, ph2, err := SplitTensor(k2)
+	if err != nil {
+		return nil, fmt.Errorf("weyl: splitting K2: %w", err)
+	}
+	dec := &Decomposition{
+		K1l: k1l, K1r: k1r,
+		K2l: k2l, K2r: k2r,
+		Phase: phase * ph1 * ph2,
+	}
+	// Interaction coefficients for the diagonal ordering of da.
+	a := (th0 + th1) / 2
+	b := (th1 + th3) / 2
+	c := (th0 + th3) / 2
+	dec.C, _ = canonicalize(a, b, c, (*kakTracker)(dec))
+	return dec, nil
+}
+
+// kakTracker applies Weyl-chamber canonicalization moves to the local gates
+// of a Decomposition, keeping U = Phase·(K1)·CAN·(K2) exact at every step.
+type kakTracker Decomposition
+
+// pauli returns the single-qubit operator whose two-qubit conjugation flips
+// the signs of the two interaction axes other than `axis`.
+func pauliFor(axis int) *linalg.Matrix {
+	switch axis {
+	case 0:
+		return gates.X()
+	case 1:
+		return gates.Y()
+	default:
+		return gates.Z()
+	}
+}
+
+// shift implements CAN(...v[axis]...) = (±i)·CAN(...v[axis]∓π/2...)·(P⊗P)
+// where P is the Pauli along the axis: exp(i(π/2)PP) = i·P⊗P.
+func (t *kakTracker) shift(axis, dir int) {
+	p := pauliFor(axis)
+	t.K2l = p.Mul(t.K2l)
+	t.K2r = p.Mul(t.K2r)
+	if dir < 0 {
+		t.Phase *= 1i // removed exp(+iπ/2 PP)
+	} else {
+		t.Phase *= -1i
+	}
+}
+
+// swapAxes conjugates by the 1Q Clifford that exchanges the two Pauli axes:
+// CAN(permuted) = (V⊗V)·CAN·(V†⊗V†)  ⇒  CAN = (V†⊗V†)·CAN(permuted)·(V⊗V).
+func (t *kakTracker) swapAxes(i, j int) {
+	var v *linalg.Matrix
+	switch {
+	case (i == 0 && j == 1) || (i == 1 && j == 0):
+		v = gates.S() // S: X→Y, Y→−X, fixes Z ⇒ swaps XX/YY
+	case (i == 1 && j == 2) || (i == 2 && j == 1):
+		v = gates.RX(math.Pi / 2) // maps Y→Z, Z→−Y ⇒ swaps YY/ZZ
+	default:
+		v = gates.RY(math.Pi / 2) // maps Z→X, X→−Z ⇒ swaps XX/ZZ
+	}
+	vd := v.Dagger()
+	t.K1l = t.K1l.Mul(vd)
+	t.K1r = t.K1r.Mul(vd)
+	t.K2l = v.Mul(t.K2l)
+	t.K2r = v.Mul(t.K2r)
+}
+
+// flipSigns conjugates by (P⊗I) where P is the Pauli of the axis *not*
+// flipped: (P⊗I)·CAN(a,b,c)·(P⊗I) negates the other two coefficients.
+func (t *kakTracker) flipSigns(i, j int) {
+	axis := 3 - i - j // the remaining axis
+	p := pauliFor(axis)
+	t.K1l = t.K1l.Mul(p)
+	t.K2l = p.Mul(t.K2l)
+}
+
+// SplitTensor factors a 4x4 operator K that is (up to global phase) a tensor
+// product of 2x2 unitaries: K = phase · (l ⊗ r), with the factors normalized
+// to determinant 1. Returns an error if K is not a product operator.
+func SplitTensor(k *linalg.Matrix) (l, r *linalg.Matrix, phase complex128, err error) {
+	if k.Rows != 4 || k.Cols != 4 {
+		return nil, nil, 0, fmt.Errorf("weyl: SplitTensor requires 4x4")
+	}
+	// Pick the 2x2 block with the largest norm; it is proportional to r.
+	var bi, bj int
+	var bestNorm float64
+	block := func(i, j int) *linalg.Matrix {
+		b := linalg.New(2, 2)
+		for r := 0; r < 2; r++ {
+			for c := 0; c < 2; c++ {
+				b.Set(r, c, k.At(2*i+r, 2*j+c))
+			}
+		}
+		return b
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if n := block(i, j).FrobeniusNorm(); n > bestNorm {
+				bestNorm, bi, bj = n, i, j
+			}
+		}
+	}
+	if bestNorm < 1e-9 {
+		return nil, nil, 0, fmt.Errorf("weyl: SplitTensor on zero matrix")
+	}
+	r0 := block(bi, bj)
+	det := r0.Det()
+	if cmplx.Abs(det) < 1e-12 {
+		return nil, nil, 0, fmt.Errorf("weyl: SplitTensor block is singular; not a product operator")
+	}
+	sq := cmplx.Sqrt(det)
+	r = r0.Scale(1 / sq)
+	// l entries follow from l_ij = tr(r† · block(i,j)) / 2 for unitary r.
+	l = linalg.New(2, 2)
+	rd := r.Dagger()
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			l.Set(i, j, rd.Mul(block(i, j)).Trace()/2)
+		}
+	}
+	dl := l.Det()
+	if cmplx.Abs(dl) < 1e-12 {
+		return nil, nil, 0, fmt.Errorf("weyl: SplitTensor left factor singular")
+	}
+	sl := cmplx.Sqrt(dl)
+	l = l.Scale(1 / sl)
+	// Residual global phase.
+	prod := l.Kron(r)
+	g := prod.HSInner(k)
+	phase = g / complex(cmplx.Abs(g), 0)
+	if !prod.Scale(phase).EqualWithin(k, 1e-7) {
+		return nil, nil, 0, fmt.Errorf("weyl: SplitTensor: input is not a tensor product (residual %g)",
+			prod.Scale(phase).MaxAbsDiff(k))
+	}
+	return l, r, phase, nil
+}

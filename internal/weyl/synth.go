@@ -1,0 +1,332 @@
+package weyl
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/gates"
+	"repro/internal/linalg"
+)
+
+// SynthGate is one element of a synthesized two-qubit circuit: either the
+// basis CX, or a pair of single-qubit unitaries applied as L⊗R.
+type SynthGate struct {
+	CX   bool
+	L, R *linalg.Matrix
+}
+
+// Synthesis is an exact two-qubit circuit over {CX, 1Q} realizing a target
+// unitary up to global phase, using the minimum number of CX gates given by
+// the Weyl-chamber counting rule (0–3).
+type Synthesis struct {
+	Gates []SynthGate // in application order (first element acts first)
+	NumCX int
+}
+
+// Unitary multiplies the synthesis back into a 4x4 matrix.
+func (s *Synthesis) Unitary() *linalg.Matrix {
+	u := linalg.Identity(4)
+	cx := gates.CX()
+	for _, g := range s.Gates {
+		if g.CX {
+			u = cx.Mul(u)
+		} else {
+			u = g.L.Kron(g.R).Mul(u)
+		}
+	}
+	return u
+}
+
+// cxReversed is the CNOT with control on the second qubit, realized as
+// (H⊗H)·CX·(H⊗H).
+func cxReversed() *linalg.Matrix {
+	h := gates.H()
+	hh := h.Kron(h)
+	return hh.Mul(gates.CX()).Mul(hh)
+}
+
+// vwTemplate3 is the Vatan–Williams middle circuit for three CNOTs. The
+// CNOT directions alternate (Vatan–Williams Fig. 6) — three same-direction
+// CNOTs with local rotations can only reach the X = π/4 face of the Weyl
+// chamber, while the alternating form spans the full chamber:
+//
+//	T(t1,t2,t3) = CXr · (RZ(t1)⊗RY(t2)) · CX · (I⊗RY(t3)) · CXr.
+func vwTemplate3(t1, t2, t3 float64) *linalg.Matrix {
+	cx := gates.CX()
+	r := cxReversed()
+	m := cx.Mul(gates.I2().Kron(gates.RY(t3))).Mul(r)
+	return r.Mul(gates.RZ(t1).Kron(gates.RY(t2))).Mul(m)
+}
+
+// vwTemplate2 is the two-CNOT middle circuit T(t1,t2) = CX·(RX(t1)⊗RY(t2))·CX,
+// spanning the Z=0 plane of the chamber.
+func vwTemplate2(t1, t2 float64) *linalg.Matrix {
+	cx := gates.CX()
+	return cx.Mul(gates.RX(t1).Kron(gates.RY(t2))).Mul(cx)
+}
+
+// affineMap is c = A·t + b fitted from probes of a template's coordinates.
+type affineMap struct {
+	a   *linalg.Matrix // dim x dim, real entries
+	b   []float64
+	dim int
+	err error
+}
+
+var vw2Once sync.Once
+var vw2Map affineMap
+
+func probeAffine(dim int, base []float64, eval func(t []float64) (Coord, error)) affineMap {
+	h := 0.05
+	c0, err := eval(base)
+	if err != nil {
+		return affineMap{err: err}
+	}
+	toVec := func(c Coord) []float64 { return []float64{c.X, c.Y, c.Z} }
+	a := linalg.New(3, dim)
+	v0 := toVec(c0)
+	for j := 0; j < dim; j++ {
+		t := append([]float64(nil), base...)
+		t[j] += h
+		cj, err := eval(t)
+		if err != nil {
+			return affineMap{err: err}
+		}
+		vj := toVec(cj)
+		for i := 0; i < 3; i++ {
+			a.Set(i, j, complex((vj[i]-v0[i])/h, 0))
+		}
+	}
+	b := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		s := v0[i]
+		for j := 0; j < dim; j++ {
+			s -= real(a.At(i, j)) * base[j]
+		}
+		b[i] = s
+	}
+	m := affineMap{a: a, b: b, dim: dim}
+	// Verify affinity at an independent point.
+	t := append([]float64(nil), base...)
+	for j := range t {
+		t[j] += 0.07 * float64(j+1)
+	}
+	cv, err := eval(t)
+	if err != nil {
+		return affineMap{err: err}
+	}
+	pred := m.apply(t)
+	if math.Abs(pred[0]-cv.X) > 1e-7 || math.Abs(pred[1]-cv.Y) > 1e-7 || math.Abs(pred[2]-cv.Z) > 1e-7 {
+		return affineMap{err: fmt.Errorf("weyl: template coordinate map is not affine (residual %g,%g,%g)",
+			pred[0]-cv.X, pred[1]-cv.Y, pred[2]-cv.Z)}
+	}
+	return m
+}
+
+func (m affineMap) apply(t []float64) []float64 {
+	out := make([]float64, 3)
+	for i := 0; i < 3; i++ {
+		s := m.b[i]
+		for j := 0; j < m.dim; j++ {
+			s += real(m.a.At(i, j)) * t[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// solve finds t with A·t + b = c (least squares via normal equations for
+// dim < 3; exact solve for dim = 3).
+func (m affineMap) solve(c Coord) ([]float64, error) {
+	rhs := []float64{c.X - m.b[0], c.Y - m.b[1], c.Z - m.b[2]}
+	if m.dim == 3 {
+		x, err := m.a.Solve([]complex128{complex(rhs[0], 0), complex(rhs[1], 0), complex(rhs[2], 0)})
+		if err != nil {
+			return nil, err
+		}
+		return []float64{real(x[0]), real(x[1]), real(x[2])}, nil
+	}
+	// Normal equations: (AᵀA) t = Aᵀ rhs.
+	at := m.a.Transpose()
+	ata := at.Mul(m.a)
+	arhs := at.MulVec([]complex128{complex(rhs[0], 0), complex(rhs[1], 0), complex(rhs[2], 0)})
+	x, err := ata.Solve(arhs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, m.dim)
+	for i := range out {
+		out[i] = real(x[i])
+	}
+	return out, nil
+}
+
+// solveTemplate3 finds parameters whose template class matches the target
+// coordinates by damped Newton iteration on t ↦ Coordinates(T(t)). The map
+// is smooth and near-affine inside a Weyl cell, so convergence is fast;
+// multiple seeds cover fold boundaries.
+func solveTemplate3(target Coord) ([]float64, error) {
+	seeds := [][]float64{
+		{0.9, 0.7, 1.1},
+		{1.3, 1.1, 0.5},
+		{0.5, 1.4, 0.9},
+		{1.1, 0.4, 1.3},
+		{0.7, 0.9, 0.6},
+	}
+	eval := func(t []float64) ([3]float64, error) {
+		c, err := Coordinates(vwTemplate3(t[0], t[1], t[2]))
+		if err != nil {
+			return [3]float64{}, err
+		}
+		return [3]float64{c.X - target.X, c.Y - target.Y, c.Z - target.Z}, nil
+	}
+	norm := func(r [3]float64) float64 {
+		return math.Abs(r[0]) + math.Abs(r[1]) + math.Abs(r[2])
+	}
+	const h = 1e-6
+	for _, seed := range seeds {
+		t := append([]float64(nil), seed...)
+		r, err := eval(t)
+		if err != nil {
+			continue
+		}
+		ok := true
+		for iter := 0; iter < 60 && norm(r) > 1e-11; iter++ {
+			jac := linalg.New(3, 3)
+			for j := 0; j < 3; j++ {
+				tp := append([]float64(nil), t...)
+				tp[j] += h
+				rp, err := eval(tp)
+				if err != nil {
+					ok = false
+					break
+				}
+				for i := 0; i < 3; i++ {
+					jac.Set(i, j, complex((rp[i]-r[i])/h, 0))
+				}
+			}
+			if !ok {
+				break
+			}
+			dt, err := jac.Solve([]complex128{complex(r[0], 0), complex(r[1], 0), complex(r[2], 0)})
+			if err != nil {
+				ok = false
+				break
+			}
+			// Damp large steps to stay within the smooth cell.
+			scale := 1.0
+			mag := 0.0
+			for _, d := range dt {
+				mag += math.Abs(real(d))
+			}
+			if mag > 1.0 {
+				scale = 1.0 / mag
+			}
+			for j := 0; j < 3; j++ {
+				t[j] -= scale * real(dt[j])
+			}
+			if r, err = eval(t); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok && norm(r) <= 1e-9 {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("weyl: no 3-CX template parameters found for class %v", target)
+}
+
+func vw2() affineMap {
+	vw2Once.Do(func() {
+		vw2Map = probeAffine(2, []float64{0.9, 0.7}, func(t []float64) (Coord, error) {
+			return Coordinates(vwTemplate2(t[0], t[1]))
+		})
+	})
+	return vw2Map
+}
+
+// SynthesizeCX produces an exact minimal-CX circuit for any two-qubit
+// unitary: k CX gates (k from the Shende–Markov–Bullock rule) interleaved
+// with single-qubit unitaries, equal to the target up to global phase.
+// The construction double-KAKs the Vatan–Williams template so the local
+// dressing is exact, and verifies the result before returning.
+func SynthesizeCX(u *linalg.Matrix) (*Synthesis, error) {
+	d, err := KAK(u)
+	if err != nil {
+		return nil, err
+	}
+	k := BasisCX.NumGates(d.C)
+	var middle *linalg.Matrix // a circuit-realizable gate with class d.C
+	var middleGates []SynthGate
+	cx := gates.CX()
+	switch k {
+	case 0:
+		s := &Synthesis{NumCX: 0, Gates: []SynthGate{
+			{L: d.K1l.Mul(d.K2l), R: d.K1r.Mul(d.K2r)},
+		}}
+		return s, verifySynth(s, u)
+	case 1:
+		middle = cx
+		middleGates = []SynthGate{{CX: true}}
+	case 2:
+		m := vw2()
+		if m.err != nil {
+			return nil, m.err
+		}
+		t, err := m.solve(d.C)
+		if err != nil {
+			return nil, fmt.Errorf("weyl: solving 2-CX template: %w", err)
+		}
+		middle = vwTemplate2(t[0], t[1])
+		middleGates = []SynthGate{
+			{CX: true},
+			{L: gates.RX(t[0]), R: gates.RY(t[1])},
+			{CX: true},
+		}
+	case 3:
+		t, err := solveTemplate3(d.C)
+		if err != nil {
+			return nil, fmt.Errorf("weyl: solving 3-CX template: %w", err)
+		}
+		middle = vwTemplate3(t[0], t[1], t[2])
+		h := gates.H()
+		middleGates = []SynthGate{
+			{L: h, R: h}, // CXr = (H⊗H)·CX·(H⊗H)
+			{CX: true},
+			{L: h, R: h},
+			{L: gates.I2(), R: gates.RY(t[2])},
+			{CX: true},
+			{L: gates.RZ(t[0]), R: gates.RY(t[1])},
+			{L: h, R: h},
+			{CX: true},
+			{L: h, R: h},
+		}
+	}
+	dm, err := KAK(middle)
+	if err != nil {
+		return nil, fmt.Errorf("weyl: decomposing template: %w", err)
+	}
+	if !dm.C.ApproxEqual(d.C) {
+		return nil, fmt.Errorf("weyl: template class %v does not match target %v", dm.C, d.C)
+	}
+	// U = p·K1·CAN·K2 and T = pm·M1·CAN·M2
+	// ⇒ U = (p/pm)·(K1 M1†)·T·(M2† K2).
+	pre := SynthGate{L: dm.K2l.Dagger().Mul(d.K2l), R: dm.K2r.Dagger().Mul(d.K2r)}
+	post := SynthGate{L: d.K1l.Mul(dm.K1l.Dagger()), R: d.K1r.Mul(dm.K1r.Dagger())}
+	s := &Synthesis{NumCX: k}
+	s.Gates = append(s.Gates, pre)
+	s.Gates = append(s.Gates, middleGates...)
+	s.Gates = append(s.Gates, post)
+	return s, verifySynth(s, u)
+}
+
+func verifySynth(s *Synthesis, u *linalg.Matrix) error {
+	got := s.Unitary()
+	if !got.EqualUpToPhase(u, 1e-6) {
+		return fmt.Errorf("weyl: synthesis verification failed (diff %g)",
+			got.GlobalPhaseAligned().MaxAbsDiff(u.GlobalPhaseAligned()))
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package weyl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gates"
+	"repro/internal/linalg"
+)
+
+func TestSynthesizeCXNamedGates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := []struct {
+		name   string
+		u      *linalg.Matrix
+		wantCX int
+	}{
+		{"identity", linalg.Identity(4), 0},
+		{"locals", gates.RandomSU2(rng).Kron(gates.RandomSU2(rng)), 0},
+		{"CX", gates.CX(), 1},
+		{"CZ", gates.CZ(), 1},
+		{"ZX(pi/2)", gates.ZX(math.Pi / 2), 1},
+		{"iSWAP", gates.ISwap(), 2},
+		{"sqrtISWAP", gates.SqrtISwap(), 2},
+		{"CPhase(0.9)", gates.CPhase(0.9), 2},
+		{"RZZ(0.4)", gates.RZZ(0.4), 2},
+		{"SWAP", gates.SWAP(), 3},
+		{"SYC", gates.SYC(), 3},
+		{"sqrtSWAP", gates.Canonical(math.Pi/8, math.Pi/8, math.Pi/8), 3},
+		{"sqrtSWAPdg", gates.Canonical(math.Pi/8, math.Pi/8, -math.Pi/8), 3},
+	}
+	for _, tc := range cases {
+		s, err := SynthesizeCX(tc.u)
+		if err != nil {
+			t.Errorf("%s: %v", tc.name, err)
+			continue
+		}
+		if s.NumCX != tc.wantCX {
+			t.Errorf("%s: used %d CX, want %d", tc.name, s.NumCX, tc.wantCX)
+		}
+		if !s.Unitary().EqualUpToPhase(tc.u, 1e-6) {
+			t.Errorf("%s: synthesized unitary differs", tc.name)
+		}
+	}
+}
+
+func TestSynthesizeCXHaar(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		u := gates.RandomSU4(rng)
+		s, err := SynthesizeCX(u)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if s.NumCX != 3 {
+			t.Errorf("trial %d: Haar unitary used %d CX, want 3", trial, s.NumCX)
+		}
+		if !s.Unitary().EqualUpToPhase(u, 1e-6) {
+			t.Fatalf("trial %d: synthesis mismatch", trial)
+		}
+		// All 1Q factors must be unitary.
+		for gi, g := range s.Gates {
+			if !g.CX {
+				if !g.L.IsUnitary(1e-8) || !g.R.IsUnitary(1e-8) {
+					t.Fatalf("trial %d gate %d: non-unitary local", trial, gi)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizeCXPlaneTargets(t *testing.T) {
+	// Z=0 classes synthesize with exactly two CX across the (x,y) plane.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		x := rng.Float64() * math.Pi / 4
+		y := rng.Float64() * x // keep x ≥ y ≥ 0
+		u := gates.Canonical(x, y, 0)
+		s, err := SynthesizeCX(u)
+		if err != nil {
+			t.Fatalf("trial %d (x=%g y=%g): %v", trial, x, y, err)
+		}
+		if s.NumCX > 2 {
+			t.Errorf("trial %d: plane target used %d CX", trial, s.NumCX)
+		}
+		if !s.Unitary().EqualUpToPhase(u, 1e-6) {
+			t.Fatalf("trial %d: plane synthesis mismatch", trial)
+		}
+	}
+}
+
+func TestSynthesizeCXDressed(t *testing.T) {
+	// Random local dressing must not change CX counts.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 10; trial++ {
+		u := gates.SWAP()
+		k1 := gates.RandomSU2(rng).Kron(gates.RandomSU2(rng))
+		k2 := gates.RandomSU2(rng).Kron(gates.RandomSU2(rng))
+		dressed := k1.Mul(u).Mul(k2)
+		s, err := SynthesizeCX(dressed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.NumCX != 3 {
+			t.Errorf("dressed SWAP used %d CX", s.NumCX)
+		}
+		if !s.Unitary().EqualUpToPhase(dressed, 1e-6) {
+			t.Fatal("dressed synthesis mismatch")
+		}
+	}
+}
+
+func TestVWTemplateAffinity(t *testing.T) {
+	if m := vw2(); m.err != nil {
+		t.Fatalf("2-CX template map: %v", m.err)
+	}
+}
+
+func TestSolveTemplate3KnownClasses(t *testing.T) {
+	for _, target := range []Coord{
+		{math.Pi / 4, math.Pi / 4, math.Pi / 4},  // SWAP corner
+		{math.Pi / 4, math.Pi / 4, math.Pi / 24}, // SYC class
+		{0.5, 0.3, -0.2},
+		{0.7, 0.5, 0.1},
+	} {
+		params, err := solveTemplate3(target)
+		if err != nil {
+			t.Errorf("%v: %v", target, err)
+			continue
+		}
+		c, err := Coordinates(vwTemplate3(params[0], params[1], params[2]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.ApproxEqual(target) {
+			t.Errorf("solved class %v != target %v", c, target)
+		}
+	}
+}

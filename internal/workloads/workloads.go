@@ -1,0 +1,214 @@
+// Package workloads generates the paper's six parameterized NISQ benchmark
+// circuits (paper §5): QuantumVolume, QFT, and the CDKM ripple-carry adder
+// (Qiskit-style constructions) plus QAOA-Vanilla, TIM Hamiltonian
+// simulation, and GHZ (SuperMarQ-style constructions). All generators scale
+// with qubit count and are deterministic given a seed.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// QuantumVolume builds the square QV model circuit: depth = n layers, each
+// pairing a random permutation of the qubits and applying Haar-random SU(4)
+// blocks to ⌊n/2⌋ pairs.
+func QuantumVolume(n int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	for layer := 0; layer < n; layer++ {
+		perm := rng.Perm(n)
+		for k := 0; k+1 < n; k += 2 {
+			c.SU4(perm[k], perm[k+1], gates.RandomSU4(rng))
+		}
+	}
+	return c
+}
+
+// QFT builds the quantum Fourier transform: the Hadamard/controlled-phase
+// cascade, optionally followed by the qubit-reversal swap network (Qiskit's
+// default, which the paper's transpilation flow routes like any other gate).
+func QFT(n int, withSwaps bool) *circuit.Circuit {
+	c := circuit.New(n)
+	for i := 0; i < n; i++ {
+		c.H(i)
+		for j := i + 1; j < n; j++ {
+			c.CP(j, i, math.Pi/math.Pow(2, float64(j-i)))
+		}
+	}
+	if withSwaps {
+		for i := 0; i < n/2; i++ {
+			c.Swap(i, n-1-i)
+		}
+	}
+	return c
+}
+
+// QAOAVanilla builds the SuperMarQ vanilla-QAOA proxy: one round of the
+// Sherrington-Kirkpatrick model on the complete graph with random ±1
+// couplings — a Hadamard layer, ZZ interactions on every pair, and a mixer.
+// The all-to-all interaction graph makes this the paper's most
+// routing-hostile benchmark.
+func QAOAVanilla(n int, rng *rand.Rand) *circuit.Circuit {
+	c := circuit.New(n)
+	gamma := rng.Float64() * 2 * math.Pi
+	beta := rng.Float64() * math.Pi
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			w := float64(1 - 2*rng.Intn(2)) // ±1
+			c.RZZ(i, j, 2*gamma*w)
+		}
+	}
+	for q := 0; q < n; q++ {
+		c.RX(q, 2*beta)
+	}
+	return c
+}
+
+// TIMHamiltonian builds the SuperMarQ transverse-field Ising model
+// simulation: first-order Trotter steps of H = -J ΣZZ - h ΣX on a 1D open
+// chain, from the |+...+⟩ state.
+func TIMHamiltonian(n, steps int) *circuit.Circuit {
+	if steps < 1 {
+		steps = 1
+	}
+	c := circuit.New(n)
+	dt := 1.0 / float64(steps)
+	for q := 0; q < n; q++ {
+		c.H(q)
+	}
+	for s := 0; s < steps; s++ {
+		for i := 0; i+1 < n; i++ {
+			c.RZZ(i, i+1, 2*dt)
+		}
+		for q := 0; q < n; q++ {
+			c.RX(q, 2*dt)
+		}
+	}
+	return c
+}
+
+// GHZ builds the linear-depth GHZ state preparation: H then a CNOT chain.
+func GHZ(n int) *circuit.Circuit {
+	c := circuit.New(n)
+	c.H(0)
+	for i := 0; i+1 < n; i++ {
+		c.CX(i, i+1)
+	}
+	return c
+}
+
+// CCX appends the textbook 6-CNOT Toffoli decomposition (controls a, b;
+// target t) — the paper's transpiler sees only 1Q/2Q gates, matching how
+// Qiskit unrolls the CDKM adder before routing.
+func CCX(c *circuit.Circuit, a, b, t int) {
+	c.H(t)
+	c.CX(b, t)
+	c.Tdg(t)
+	c.CX(a, t)
+	c.T(t)
+	c.CX(b, t)
+	c.Tdg(t)
+	c.CX(a, t)
+	c.T(b)
+	c.T(t)
+	c.H(t)
+	c.CX(a, b)
+	c.T(a)
+	c.Tdg(b)
+	c.CX(a, b)
+}
+
+// maj appends the CDKM majority gate on (carry, b, a).
+func maj(c *circuit.Circuit, carry, b, a int) {
+	c.CX(a, b)
+	c.CX(a, carry)
+	CCX(c, carry, b, a)
+}
+
+// uma appends the CDKM un-majority-and-add gate on (carry, b, a).
+func uma(c *circuit.Circuit, carry, b, a int) {
+	CCX(c, carry, b, a)
+	c.CX(a, carry)
+	c.CX(carry, b)
+}
+
+// AdderQubits returns the qubit count of an m-bit CDKM adder (2m+2).
+func AdderQubits(m int) int { return 2*m + 2 }
+
+// Adder builds the CDKM (Cuccaro) ripple-carry adder for m-bit operands on
+// 2m+2 qubits: carry-in (qubit 0), a[i] at 1+i, b[i] at 1+m+i, carry-out at
+// 2m+1. After execution b holds a+b+cin (mod 2^m) and the carry-out qubit is
+// flipped by the final carry; a and cin are restored.
+func Adder(m int) *circuit.Circuit {
+	if m < 1 {
+		panic("workloads: adder needs at least 1 bit")
+	}
+	c := circuit.New(AdderQubits(m))
+	cin := 0
+	aq := func(i int) int { return 1 + i }
+	bq := func(i int) int { return 1 + m + i }
+	z := 2*m + 1
+	maj(c, cin, bq(0), aq(0))
+	for i := 1; i < m; i++ {
+		maj(c, aq(i-1), bq(i), aq(i))
+	}
+	c.CX(aq(m-1), z)
+	for i := m - 1; i >= 1; i-- {
+		uma(c, aq(i-1), bq(i), aq(i))
+	}
+	uma(c, cin, bq(0), aq(0))
+	return c
+}
+
+// AdderForWidth builds the largest CDKM adder fitting in n qubits and embeds
+// it in an n-qubit circuit (spare qubits idle), mirroring how the paper
+// parameterizes the benchmark by machine size.
+func AdderForWidth(n int) (*circuit.Circuit, error) {
+	m := (n - 2) / 2
+	if m < 1 {
+		return nil, fmt.Errorf("workloads: adder needs ≥4 qubits, got %d", n)
+	}
+	a := Adder(m)
+	if a.N == n {
+		return a, nil
+	}
+	c := circuit.New(n)
+	c.AppendCircuit(a)
+	return c, nil
+}
+
+// Names lists the benchmark identifiers in the paper's figure order.
+func Names() []string {
+	return []string{"QuantumVolume", "QFT", "QAOAVanilla", "TIMHamiltonian", "Adder", "GHZ"}
+}
+
+// Generate builds the named benchmark at the given width. rng is used only
+// by the randomized benchmarks (QuantumVolume, QAOAVanilla).
+func Generate(name string, n int, rng *rand.Rand) (*circuit.Circuit, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("workloads: width %d too small", n)
+	}
+	switch name {
+	case "QuantumVolume":
+		return QuantumVolume(n, rng), nil
+	case "QFT":
+		return QFT(n, true), nil
+	case "QAOAVanilla":
+		return QAOAVanilla(n, rng), nil
+	case "TIMHamiltonian":
+		return TIMHamiltonian(n, 1), nil
+	case "Adder":
+		return AdderForWidth(n)
+	case "GHZ":
+		return GHZ(n), nil
+	default:
+		return nil, fmt.Errorf("workloads: unknown benchmark %q", name)
+	}
+}

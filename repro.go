@@ -1,0 +1,319 @@
+// Package repro is a from-scratch Go reproduction of "Co-Designed
+// Architectures for Modular Superconducting Quantum Computers" (McKinney,
+// Xia, Zhou, Lu, Hatridge, Jones — HPCA 2023, arXiv:2205.04387).
+//
+// It provides, as a library:
+//
+//   - the co-design core: machines as (coupling topology, native basis gate)
+//     pairs and the full evaluation pipeline of the paper's Fig. 10
+//     (dense placement → stochastic SWAP routing → KAK basis translation →
+//     SWAP/2Q/pulse-duration metrics);
+//   - every topology of Tables 1–2: Square/Hex/Heavy-Hex lattices,
+//     Lattice+AltDiagonals, Hypercube (incl. the Harper-trimmed 84-qubit
+//     cube), and the SNAIL-enabled 4-ary Tree, Round-Robin Tree, and
+//     Corral rings;
+//   - the Cartan/Weyl machinery: canonical coordinates, full KAK
+//     factorization, per-basis gate-count rules (CNOT, √iSWAP, SYC, iSWAP),
+//     and exact minimal-CNOT circuit synthesis;
+//   - the six scalable NISQ workloads (QuantumVolume, QFT, QAOA-Vanilla,
+//     TIM Hamiltonian simulation, CDKM adder, GHZ);
+//   - a statevector simulator for semantic verification;
+//   - the NuOp-style numerical decomposition engine behind the n√iSWAP
+//     pulse-duration sensitivity study (Fig. 15) with the Eq. 12–13
+//     decoherence/approximation fidelity model;
+//   - the SNAIL hardware model (module capacity limits, parametric
+//     frequency allocation, neighborhood-parallel gate scheduling) and the
+//     driven-exchange chevron physics of Fig. 6;
+//   - experiment harnesses that regenerate every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	c := repro.GHZ(12)
+//	machine := repro.Tree20SqrtISwap()
+//	metrics, err := machine.Evaluate(c, repro.DefaultOptions())
+//
+// See the examples/ directory and the cmd/ tools (topostat, qcbench,
+// fidsweep, chevron) for complete programs.
+package repro
+
+import (
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/core"
+	"repro/internal/decomp"
+	"repro/internal/dynamics"
+	"repro/internal/experiments"
+	"repro/internal/linalg"
+	"repro/internal/noise"
+	"repro/internal/qasm"
+	"repro/internal/sim"
+	"repro/internal/snail"
+	"repro/internal/topology"
+	"repro/internal/transpile"
+	"repro/internal/weyl"
+	"repro/internal/workloads"
+)
+
+// ---- Core co-design types ----
+
+// Machine is a co-designed quantum computer (topology + native basis).
+type Machine = core.Machine
+
+// Metrics is the paper's four-dataset measurement of a transpiled circuit.
+type Metrics = core.Metrics
+
+// Options configures an evaluation (router, seed, trials).
+type Options = core.Options
+
+// Transpiled bundles the layout, routed, and translated artifacts.
+type Transpiled = core.Transpiled
+
+// Circuit is the gate-list IR accepted by the pipeline.
+type Circuit = circuit.Circuit
+
+// Graph is a qubit-coupling topology.
+type Graph = topology.Graph
+
+// Stats is a Table 1/2 row (qubits, diameter, avg distance, avg degree).
+type Stats = topology.Stats
+
+// Basis identifies a native two-qubit basis gate.
+type Basis = weyl.Basis
+
+// Coord is a canonical Weyl-chamber coordinate triple.
+type Coord = weyl.Coord
+
+// Matrix is a dense complex matrix (unitaries, states).
+type Matrix = linalg.Matrix
+
+// Basis gates (paper Observation 1).
+const (
+	BasisCX        = weyl.BasisCX
+	BasisSqrtISwap = weyl.BasisSqrtISwap
+	BasisSYC       = weyl.BasisSYC
+	BasisISwap     = weyl.BasisISwap
+)
+
+// NewMachine builds a machine from a topology and basis.
+func NewMachine(name string, g *Graph, b Basis) Machine { return core.NewMachine(name, g, b) }
+
+// DefaultOptions returns the experiment-default pipeline options.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Machine catalog (paper Figs. 13–14).
+var (
+	HeavyHex20CX         = core.HeavyHex20CX
+	SquareLattice16SYC   = core.SquareLattice16SYC
+	Tree20SqrtISwap      = core.Tree20SqrtISwap
+	TreeRR20SqrtISwap    = core.TreeRR20SqrtISwap
+	Corral11SqrtISwap    = core.Corral11SqrtISwap
+	Corral12SqrtISwap    = core.Corral12SqrtISwap
+	Hypercube16SqrtISwap = core.Hypercube16SqrtISwap
+	HeavyHex84CX         = core.HeavyHex84CX
+	SquareLattice84SYC   = core.SquareLattice84SYC
+	Tree84SqrtISwap      = core.Tree84SqrtISwap
+	TreeRR84SqrtISwap    = core.TreeRR84SqrtISwap
+	Hypercube84SqrtISwap = core.Hypercube84SqrtISwap
+	Machines16           = core.Machines16
+	Machines84           = core.Machines84
+)
+
+// ---- Topologies (Tables 1–2) ----
+
+var (
+	SquareLattice    = topology.SquareLattice
+	SquareLattice16  = topology.SquareLattice16
+	SquareLattice84  = topology.SquareLattice84
+	HexLattice20     = topology.HexLattice20
+	HexLattice84     = topology.HexLattice84
+	HeavyHex20       = topology.HeavyHex20
+	HeavyHex84       = topology.HeavyHex84
+	LatticeAltDiag84 = topology.LatticeAltDiag84
+	Hypercube        = topology.Hypercube
+	Hypercube16      = topology.Hypercube16
+	Hypercube84      = topology.Hypercube84
+	Tree20           = topology.Tree20
+	TreeRR20         = topology.TreeRR20
+	Tree84           = topology.Tree84
+	TreeRR84         = topology.TreeRR84
+	MakeTree         = topology.MakeTree
+	Corral11         = topology.Corral11
+	Corral12         = topology.Corral12
+	CorralRing       = topology.CorralRing
+)
+
+// ---- Workloads (paper §5) ----
+
+// NewCircuit returns an empty circuit over n qubits.
+func NewCircuit(n int) *Circuit { return circuit.New(n) }
+
+// Op is a single gate application in the circuit IR.
+type Op = circuit.Op
+
+// OpUnitary resolves an op to its 2x2 or 4x4 unitary.
+var OpUnitary = circuit.Unitary
+
+var (
+	QuantumVolume  = workloads.QuantumVolume
+	QFT            = workloads.QFT
+	QAOAVanilla    = workloads.QAOAVanilla
+	TIMHamiltonian = workloads.TIMHamiltonian
+	Adder          = workloads.Adder
+	AdderForWidth  = workloads.AdderForWidth
+	GHZ            = workloads.GHZ
+	WorkloadNames  = workloads.Names
+)
+
+// GenerateWorkload builds a named benchmark at the given width.
+func GenerateWorkload(name string, n int, rng *rand.Rand) (*Circuit, error) {
+	return workloads.Generate(name, n, rng)
+}
+
+// ---- Transpilation primitives ----
+
+// Layout maps virtual qubits to physical vertices.
+type Layout = transpile.Layout
+
+var (
+	DenseLayout      = transpile.DenseLayout
+	TrivialLayout    = transpile.TrivialLayout
+	StochasticSwap   = transpile.StochasticSwap
+	SabreSwap        = transpile.SabreSwap
+	TranslateToBasis = transpile.TranslateToBasis
+	TranslateExactCX = transpile.TranslateExactCX
+	PulseDuration    = transpile.PulseDuration
+
+	// TranslateHetero is the §7 heterogeneous-basis extension: per-gate
+	// choice between the SNAIL's full and half iSWAP pulses.
+	TranslateHetero     = transpile.TranslateHetero
+	HeteroPulseDuration = transpile.HeteroPulseDuration
+
+	// Peephole merges adjacent 1Q gates and cancels self-inverse 2Q pairs.
+	Peephole = transpile.Peephole
+)
+
+// ---- Weyl / KAK ----
+
+// KAKDecomposition is a full Cartan factorization of a 2Q unitary.
+type KAKDecomposition = weyl.Decomposition
+
+// CXSynthesis is an exact minimal-CNOT circuit for a 2Q unitary.
+type CXSynthesis = weyl.Synthesis
+
+var (
+	WeylCoordinates   = weyl.Coordinates
+	KAK               = weyl.KAK
+	SynthesizeCX      = weyl.SynthesizeCX
+	LocallyEquivalent = weyl.LocallyEquivalent
+	MakhlinInvariants = weyl.MakhlinInvariants
+)
+
+// ---- Simulation and noise ----
+
+// State is a dense statevector.
+type State = sim.State
+
+// NoiseModel is a gate-attached Pauli/depolarizing error model covering the
+// paper's two §3.1 error regimes (per-gate control error, duration-
+// proportional decoherence).
+type NoiseModel = noise.Model
+
+var (
+	NewState      = sim.NewState
+	NewBasisState = sim.NewBasisState
+	RunCircuit    = sim.RunCircuit
+
+	MonteCarloFidelity = noise.MonteCarloFidelity
+	StandardDurations  = noise.StandardDurations
+)
+
+// ---- OpenQASM 2.0 interop ----
+
+// QASMOptions controls export (ExpandNonStandard synthesizes non-qelib
+// gates into exact u3+cx sequences).
+type QASMOptions = qasm.Options
+
+var (
+	ExportQASM = qasm.Export
+	ImportQASM = qasm.Import
+)
+
+// ---- Numerical decomposition (Fig. 15 engine) ----
+
+// DecompResult is an optimized n√iSWAP template.
+type DecompResult = decomp.Result
+
+// DecompConfig tunes the template optimizer.
+type DecompConfig = decomp.Config
+
+var (
+	Decompose     = decomp.Decompose
+	BestTemplate  = decomp.BestTemplate
+	HSFidelity    = decomp.HSFidelity
+	BaseFidelity  = decomp.BaseFidelity
+	TotalFidelity = decomp.TotalFidelity
+
+	// MinDurationExact finds the shortest-duration exact n√iSWAP template
+	// for a unitary — discrete pulse sequences approaching the continuous
+	// interaction-cost bound (§6.3 made operational).
+	MinDurationExact = decomp.MinDurationExact
+)
+
+// ---- SNAIL hardware model ----
+
+// SNAILHardware is a modular machine description (SNAIL scopes over qubits).
+type SNAILHardware = snail.Hardware
+
+// SNAILModule is one SNAIL and its attached qubits.
+type SNAILModule = snail.Module
+
+var (
+	BuildSNAIL     = snail.Build
+	TreeHardware   = snail.TreeHardware
+	Tree84Hardware = snail.Tree84Hardware
+	CorralHardware = snail.CorralHardware
+)
+
+// ---- Driven-exchange physics (Fig. 6) ----
+
+// ExchangeModel is the parametric qubit-qubit exchange model.
+type ExchangeModel = dynamics.ExchangeModel
+
+// ChevronData is the sampled transfer-probability map.
+type ChevronData = dynamics.Chevron
+
+// ChevronMap samples the Fig. 6 chevron pattern.
+var ChevronMap = dynamics.ChevronMap
+
+// ---- Experiments (tables, figures, headlines) ----
+
+// Series is one curve of a reproduced figure.
+type Series = experiments.Series
+
+// SweepSpec describes a figure's sweep.
+type SweepSpec = experiments.SweepSpec
+
+// Fig15Result is the pulse-duration sensitivity study output.
+type Fig15Result = experiments.Fig15Result
+
+// HeadlineRatios summarizes the paper's §1/§6 comparison claims.
+type HeadlineRatios = experiments.Headline
+
+var (
+	Table1    = experiments.Table1
+	Table2    = experiments.Table2
+	Fig4Spec  = experiments.Fig4Spec
+	Fig11Spec = experiments.Fig11Spec
+	Fig12Spec = experiments.Fig12Spec
+	Fig13Spec = experiments.Fig13Spec
+	Fig14Spec = experiments.Fig14Spec
+	RunFig15  = experiments.RunFig15
+	Headlines = experiments.Headlines
+
+	// CorralScaling grows the fence-post ring beyond the paper's 8 posts
+	// (the §7 scaling question) and measures structure + routed QV cost.
+	CorralScaling = experiments.CorralScaling
+	SeriesCSV     = experiments.SeriesCSV
+)

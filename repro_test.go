@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the documented public-API flow end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	c := GHZ(12)
+	machine := Tree20SqrtISwap()
+	met, err := machine.Evaluate(c, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.Total2Q == 0 || met.PulseDuration <= 0 {
+		t.Fatalf("degenerate metrics: %v", met)
+	}
+}
+
+func TestFacadeTopologyCatalog(t *testing.T) {
+	for _, g := range []*Graph{
+		SquareLattice16(), HeavyHex20(), Hypercube84(), Tree84(), Corral12(),
+	} {
+		if !g.IsConnected() {
+			t.Errorf("%s disconnected", g.Name)
+		}
+	}
+	if len(Table1()) != 8 || len(Table2()) != 7 {
+		t.Error("table row counts wrong")
+	}
+}
+
+func TestFacadeWeylAndSynthesis(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := QuantumVolume(4, rng)
+	for _, op := range c.Ops {
+		if op.U == nil {
+			continue
+		}
+		coord, err := WeylCoordinates(op.U)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k := BasisSqrtISwap.NumGates(coord); k < 2 || k > 3 {
+			t.Errorf("Haar SU(4) needs %d √iSWAPs; expected 2 or 3", k)
+		}
+		syn, err := SynthesizeCX(op.U)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !syn.Unitary().EqualUpToPhase(op.U, 1e-6) {
+			t.Fatal("public synthesis mismatch")
+		}
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	st, err := RunCircuit(GHZ(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := st.Probability(0) + st.Probability(31); p < 0.999 {
+		t.Errorf("GHZ weight on extremes = %g", p)
+	}
+}
+
+func TestFacadeSNAILHardware(t *testing.T) {
+	hw, err := TreeHardware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freqs, err := hw.AllocateFrequencies(4.5, 0.08)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hw.VerifyFrequencies(freqs, 1e-9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFacadeQASMRoundTrip(t *testing.T) {
+	c := QFT(5, true)
+	src, err := ExportQASM(c, QASMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ImportQASM(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.CountTwoQubit() != c.CountTwoQubit() {
+		t.Fatal("QASM round trip changed 2Q count")
+	}
+}
+
+func TestFacadeNoiseAndPeephole(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	c := GHZ(6)
+	f, err := MonteCarloFidelity(c, NoiseModel{GateError: 0.01, Durations: StandardDurations()}, 50, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f <= 0.5 || f > 1 {
+		t.Fatalf("implausible fidelity %g", f)
+	}
+	opt, err := Peephole(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.CountTwoQubit() != c.CountTwoQubit() {
+		t.Fatal("peephole changed GHZ gate count")
+	}
+}
+
+func TestFacadeChevron(t *testing.T) {
+	ch, err := ChevronMap(ExchangeModel{G: 1.5, T1: 100}, 3, 11, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Times) != 11 || len(ch.Detunings) != 7 {
+		t.Fatal("chevron grid wrong")
+	}
+}
