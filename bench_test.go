@@ -109,7 +109,7 @@ func BenchmarkFig15(b *testing.B) {
 
 func BenchmarkHeadlines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h, err := experiments.Headlines(true)
+		h, err := experiments.Headlines(true, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

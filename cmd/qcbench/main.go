@@ -27,12 +27,14 @@ func main() {
 	corral := flag.Bool("corralscaling", false, "run the §7 Corral scaling study")
 	csv := flag.Bool("csv", false, "emit sweep results as CSV")
 	full := flag.Bool("full", false, "use the paper's full sizes (slow)")
+	parallelism := flag.Int("parallelism", 0,
+		"sweep worker pool size (0 = all cores, 1 = serial; output is identical at any setting)")
 	flag.Parse()
 
 	quick := !*full
 	if *corral {
 		posts := []int{6, 8, 10, 12, 16}
-		rows, err := experiments.CorralScaling(posts, quick)
+		rows, err := experiments.CorralScaling(posts, quick, *parallelism)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -42,7 +44,7 @@ func main() {
 		return
 	}
 	if *headline {
-		h, err := experiments.Headlines(quick)
+		h, err := experiments.Headlines(quick, *parallelism)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -69,6 +71,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	spec.Parallelism = *parallelism
 	series, err := spec.Run()
 	if err != nil {
 		log.Fatal(err)

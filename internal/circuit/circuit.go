@@ -150,6 +150,11 @@ func (c *Circuit) SU4(a, b int, u *linalg.Matrix) {
 }
 
 // Unitary resolves an op to its matrix (2x2 for 1Q, 4x4 for 2Q).
+//
+// Parameterless gates resolve to matrices memoized by package gates, and
+// an op carrying an explicit U returns it directly — in both cases the
+// result is shared, not a copy, and must be treated as immutable (the
+// same convention Circuit.Copy relies on).
 func Unitary(op Op) (*linalg.Matrix, error) {
 	if op.U != nil {
 		return op.U, nil

@@ -41,10 +41,17 @@ const (
 )
 
 // Options controls an evaluation run.
+//
+// Parallelism bounds the worker pool used for the router's randomized
+// trials: 0 means auto (runtime.GOMAXPROCS), 1 pins the run serial, and
+// larger values cap the pool explicitly. Results are bit-identical across
+// all settings — every trial draws from its own deterministically derived
+// RNG, so Parallelism only changes wall-clock time, never metrics.
 type Options struct {
-	Seed   int64      // RNG seed for routing (fixed per experiment)
-	Trials int        // StochasticSwap trials (0 → default 20)
-	Router RouterKind // routing algorithm
+	Seed        int64      // RNG seed for routing (fixed per experiment)
+	Trials      int        // StochasticSwap trials (0 → default 20)
+	Router      RouterKind // routing algorithm
+	Parallelism int        // routing-trial workers (0 = auto, 1 = serial)
 }
 
 // DefaultOptions is the configuration used by the experiment harnesses.
@@ -106,7 +113,7 @@ func (m Machine) Transpile(c *circuit.Circuit, opt Options) (*Transpiled, error)
 	var routed *transpile.RouteResult
 	switch opt.Router {
 	case RouterStochastic:
-		routed, err = transpile.StochasticSwap(m.Graph, c, layout, rng, opt.Trials)
+		routed, err = transpile.StochasticSwapParallel(m.Graph, c, layout, rng, opt.Trials, opt.Parallelism)
 	case RouterSabre:
 		routed, err = transpile.SabreSwap(m.Graph, c, layout, rng)
 	default:

@@ -120,15 +120,61 @@ func Decompose(target *linalg.Matrix, n, k int, rng *rand.Rand, cfg Config) (Res
 	return best, nil
 }
 
-// objective carries the preallocated state for gradient evaluation.
+// objective carries the preallocated state for gradient evaluation. All
+// scratch matrices are reused across fg calls (Adam never retains the
+// gradient between iterations), so one objective must not be shared by
+// concurrent optimizations.
 type objective struct {
 	udg   *linalg.Matrix // U†
 	basis *linalg.Matrix // n√iSWAP
 	n, k  int
+
+	// Reused across fg calls: the layer Krons, the op chain, its running
+	// prefix/suffix products, the per-layer U3 factor slots, and the
+	// gradient scratch.
+	layers         []*linalg.Matrix
+	mats           []*linalg.Matrix
+	suffix, prefix []*linalg.Matrix
+	gmat, gtmp, dm *linalg.Matrix
+	left, right    []*linalg.Matrix
+	dLeft, dRight  [][3]*linalg.Matrix
+	grad           []float64
 }
 
 func newObjective(target *linalg.Matrix, n, k int) *objective {
-	return &objective{udg: target.Dagger(), basis: gates.NRootISwap(n), n: n, k: k}
+	total := 2*k + 1
+	o := &objective{
+		udg:    target.Dagger(),
+		basis:  gates.NRootISwap(n),
+		n:      n,
+		k:      k,
+		layers: make([]*linalg.Matrix, k+1),
+		mats:   make([]*linalg.Matrix, total),
+		suffix: make([]*linalg.Matrix, total+1),
+		prefix: make([]*linalg.Matrix, total+1),
+		gmat:   linalg.New(4, 4),
+		gtmp:   linalg.New(4, 4),
+		dm:     linalg.New(4, 4),
+		left:   make([]*linalg.Matrix, k+1),
+		right:  make([]*linalg.Matrix, k+1),
+		dLeft:  make([][3]*linalg.Matrix, k+1),
+		dRight: make([][3]*linalg.Matrix, k+1),
+		grad:   make([]float64, 6*(k+1)),
+	}
+	for i := range o.layers {
+		o.layers[i] = linalg.New(4, 4)
+		o.mats[2*i] = o.layers[i]
+		if i < k {
+			o.mats[2*i+1] = o.basis
+		}
+	}
+	o.suffix[0] = linalg.Identity(4)
+	o.prefix[total] = linalg.Identity(4)
+	for j := 0; j < total; j++ {
+		o.suffix[j+1] = linalg.New(4, 4)
+		o.prefix[j] = linalg.New(4, 4)
+	}
+	return o
 }
 
 // u3WithGrads returns U3(θ,φ,λ) and its three parameter derivatives.
@@ -156,51 +202,42 @@ func u3WithGrads(th, ph, lm float64) (u *linalg.Matrix, d [3]*linalg.Matrix) {
 	return u, d
 }
 
-// fg computes the infidelity and its analytic gradient.
+// fg computes the infidelity and its analytic gradient. The 4x4 chain
+// products run through the preallocated scratch via linalg.MulInto and
+// linalg.KronInto, so an fg call allocates only the small per-layer U3
+// derivative blocks.
 func (o *objective) fg(x []float64) (float64, []float64) {
 	k := o.k
 	nLayers := k + 1
 	// Build the 1Q layers with per-parameter derivative blocks.
-	layers := make([]*linalg.Matrix, nLayers)
-	var dLeft, dRight [][3]*linalg.Matrix
-	left := make([]*linalg.Matrix, nLayers)
-	right := make([]*linalg.Matrix, nLayers)
-	dLeft = make([][3]*linalg.Matrix, nLayers)
-	dRight = make([][3]*linalg.Matrix, nLayers)
+	left, right := o.left, o.right
+	dLeft, dRight := o.dLeft, o.dRight
 	for i := 0; i < nLayers; i++ {
 		p := x[6*i : 6*i+6]
 		l, dl := u3WithGrads(p[0], p[1], p[2])
 		r, dr := u3WithGrads(p[3], p[4], p[5])
 		left[i], right[i] = l, r
 		dLeft[i], dRight[i] = dl, dr
-		layers[i] = l.Kron(r)
+		linalg.KronInto(o.layers[i], l, r)
 	}
-	// Matrix chain: mats[0]=layers[0], mats[1]=B, mats[2]=layers[1], ...
-	total := 2*k + 1
-	mats := make([]*linalg.Matrix, total)
-	for i := 0; i < nLayers; i++ {
-		mats[2*i] = layers[i]
-		if i < k {
-			mats[2*i+1] = o.basis
-		}
-	}
+	// Matrix chain (prebuilt in o.mats): mats[0]=layers[0], mats[1]=B, ...
 	// suffix[j] = mats[j-1]···mats[0] (identity at j=0);
 	// prefix[j] = mats[total-1]···mats[j+1] (identity at j=total-1).
-	suffix := make([]*linalg.Matrix, total+1)
-	suffix[0] = linalg.Identity(4)
+	total := 2*k + 1
 	for j := 0; j < total; j++ {
-		suffix[j+1] = mats[j].Mul(suffix[j])
+		linalg.MulInto(o.suffix[j+1], o.mats[j], o.suffix[j])
 	}
-	prefix := make([]*linalg.Matrix, total+1)
-	prefix[total] = linalg.Identity(4)
 	for j := total - 1; j >= 0; j-- {
-		prefix[j] = prefix[j+1].Mul(mats[j])
+		linalg.MulInto(o.prefix[j], o.prefix[j+1], o.mats[j])
 	}
-	t := suffix[total] // the full template
+	t := o.suffix[total] // the full template
 	sTr := traceProduct(o.udg, t)
 	sAbs := cmplx.Abs(sTr)
 	f := 1 - sAbs/4
-	grad := make([]float64, len(x))
+	grad := o.grad
+	for i := range grad {
+		grad[i] = 0
+	}
 	if sAbs < 1e-15 {
 		return f, grad // gradient undefined at |s|=0; flat response
 	}
@@ -208,13 +245,14 @@ func (o *objective) fg(x []float64) (float64, []float64) {
 	for i := 0; i < nLayers; i++ {
 		j := 2 * i // position of layer i in the chain
 		// G = S_j · U† · P_j; ∂s/∂p = tr(G · ∂M_j/∂p).
-		g := suffix[j].Mul(o.udg).Mul(prefix[j+1])
+		linalg.MulInto(o.gtmp, o.suffix[j], o.udg)
+		g := linalg.MulInto(o.gmat, o.gtmp, o.prefix[j+1])
 		for pi := 0; pi < 3; pi++ {
-			dm := dLeft[i][pi].Kron(right[i])
-			ds := traceProduct(g, dm)
+			linalg.KronInto(o.dm, dLeft[i][pi], right[i])
+			ds := traceProduct(g, o.dm)
 			grad[6*i+pi] = -real(coeff*ds) / 4
-			dm = left[i].Kron(dRight[i][pi])
-			ds = traceProduct(g, dm)
+			linalg.KronInto(o.dm, left[i], dRight[i][pi])
+			ds = traceProduct(g, o.dm)
 			grad[6*i+3+pi] = -real(coeff*ds) / 4
 		}
 	}

@@ -4,9 +4,17 @@
 // Fig. 15 (the n√iSWAP fidelity study), the §6 headline ratios, and the
 // ablations called out in DESIGN.md. Every experiment is deterministic via
 // fixed seeds; `quick` variants shrink sizes for tests and benchmarks.
+//
+// Sweeps run on a bounded worker pool (SweepSpec.Parallelism: 0 = auto,
+// 1 = serial) and are deterministic by construction: every (workload,
+// size) circuit and every (workload, size, machine) evaluation derives its
+// RNG seed by FNV-hashing those coordinates together with the spec ID and
+// base seed, and results are assembled in fixed nested-loop order. The
+// parallel and serial schedules therefore produce byte-identical Series.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -15,6 +23,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/topology"
 	"repro/internal/weyl"
 	"repro/internal/workloads"
@@ -55,6 +64,10 @@ type SweepSpec struct {
 	Sizes     []int
 	Seed      int64
 	Trials    int
+	// Parallelism bounds the sweep's worker pool: 0 = auto (GOMAXPROCS),
+	// 1 = serial, n = at most n workers. Output is identical at every
+	// setting; see the package comment for the determinism scheme.
+	Parallelism int
 }
 
 // circuitFor builds the benchmark circuit deterministically per
@@ -67,42 +80,114 @@ func circuitFor(name string, size int, baseSeed int64) (*circuit.Circuit, error)
 	return workloads.Generate(name, size, rng)
 }
 
+// taskSeed derives the routing seed of one (workload, size, machine) cell
+// from the sweep coordinates via FNV, mirroring circuitFor: the seed is a
+// pure function of what is being evaluated, never of execution order.
+func (s SweepSpec) taskSeed(workload string, size int, machine string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s/%s/%d/%s/%d", s.ID, workload, size, machine, s.Seed)
+	return int64(h.Sum64())
+}
+
 // Run executes the sweep, returning one Series per (machine, workload).
 func (s SweepSpec) Run() ([]Series, error) {
-	var out []Series
-	for _, w := range s.Workloads {
-		circs := make(map[int]*circuit.Circuit, len(s.Sizes))
+	return s.RunContext(context.Background())
+}
+
+// RunContext is Run with cancellation: the sweep stops dispatching cells
+// once ctx is done and returns its error. Work is spread over the
+// SweepSpec.Parallelism worker pool in two stages — circuit generation per
+// (workload, size), then evaluation per (workload, size, machine) — with
+// results written into index-addressed slots so output order and content
+// match the serial sweep exactly.
+func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
+	// Stage 1: generate each workload benchmark circuit once, shared by
+	// every machine so all machines route the same logical circuit.
+	type circKey struct {
+		w    int
+		size int
+	}
+	circs := make(map[circKey]*circuit.Circuit, len(s.Workloads)*len(s.Sizes))
+	genKeys := make([]circKey, 0, len(s.Workloads)*len(s.Sizes))
+	for wi := range s.Workloads {
 		for _, size := range s.Sizes {
-			c, err := circuitFor(w, size, s.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: %s/%s(%d): %w", s.ID, w, size, err)
-			}
-			circs[size] = c
+			genKeys = append(genKeys, circKey{wi, size})
 		}
-		for _, m := range s.Machines {
-			ser := Series{Label: m.Name, Workload: w}
+	}
+	genOut := make([]*circuit.Circuit, len(genKeys))
+	err := par.ForEachCtx(ctx, len(genKeys), s.Parallelism, func(i int) error {
+		k := genKeys[i]
+		c, err := circuitFor(s.Workloads[k.w], k.size, s.Seed)
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%s(%d): %w", s.ID, s.Workloads[k.w], k.size, err)
+		}
+		genOut[i] = c
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, k := range genKeys {
+		circs[k] = genOut[i]
+	}
+	// Stage 2: evaluate every (workload, machine, size) cell that fits the
+	// machine. Each cell routes with its own FNV-derived seed; the router's
+	// internal trial pool stays serial to avoid oversubscribing the sweep
+	// pool when cells already saturate it.
+	type cell struct {
+		w, m, series int
+		size         int
+	}
+	var cells []cell
+	nSeries := 0
+	for wi := range s.Workloads {
+		for mi := range s.Machines {
 			for _, size := range s.Sizes {
-				if size > m.Graph.N() {
+				if size > s.Machines[mi].Graph.N() {
 					continue
 				}
-				opt := core.Options{Seed: s.Seed, Trials: s.Trials}
-				met, err := m.Evaluate(circs[size], opt)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: %s/%s/%s(%d): %w", s.ID, m.Name, w, size, err)
-				}
-				p := Point{Size: size}
-				switch s.Kind {
-				case SwapCounts:
-					p.Total = float64(met.TotalSwaps)
-					p.Critical = float64(met.CriticalSwaps)
-				case Codesign:
-					p.Total = float64(met.Total2Q)
-					p.Critical = met.PulseDuration
-				}
-				ser.Points = append(ser.Points, p)
+				cells = append(cells, cell{w: wi, m: mi, series: nSeries, size: size})
 			}
-			out = append(out, ser)
+			nSeries++
 		}
+	}
+	points := make([]Point, len(cells))
+	err = par.ForEachCtx(ctx, len(cells), s.Parallelism, func(i int) error {
+		t := cells[i]
+		w, m := s.Workloads[t.w], s.Machines[t.m]
+		opt := core.Options{
+			Seed:        s.taskSeed(w, t.size, m.Name),
+			Trials:      s.Trials,
+			Parallelism: 1,
+		}
+		met, err := m.Evaluate(circs[circKey{t.w, t.size}], opt)
+		if err != nil {
+			return fmt.Errorf("experiments: %s/%s/%s(%d): %w", s.ID, m.Name, w, t.size, err)
+		}
+		p := Point{Size: t.size}
+		switch s.Kind {
+		case SwapCounts:
+			p.Total = float64(met.TotalSwaps)
+			p.Critical = float64(met.CriticalSwaps)
+		case Codesign:
+			p.Total = float64(met.Total2Q)
+			p.Critical = met.PulseDuration
+		}
+		points[i] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Assemble in the fixed (workload, machine, size) order.
+	out := make([]Series, nSeries)
+	for wi, w := range s.Workloads {
+		for mi, m := range s.Machines {
+			out[wi*len(s.Machines)+mi] = Series{Label: m.Name, Workload: w}
+		}
+	}
+	for i, t := range cells {
+		out[t.series].Points = append(out[t.series].Points, points[i])
 	}
 	return out, nil
 }
@@ -275,7 +360,9 @@ type Headline struct {
 }
 
 // Headlines computes the headline ratios on QuantumVolume circuits.
-func Headlines(quick bool) (Headline, error) {
+// parallelism bounds the router's trial pool (0 = auto, 1 = serial);
+// the ratios are identical at every setting.
+func Headlines(quick bool, parallelism int) (Headline, error) {
 	sizes := sizes84(quick)
 	hh := core.HeavyHex84CX()
 	hc := core.Hypercube84SqrtISwap()
@@ -287,7 +374,7 @@ func Headlines(quick bool) (Headline, error) {
 		if err != nil {
 			return Headline{}, err
 		}
-		opt := core.Options{Seed: 2022, Trials: trials(quick)}
+		opt := core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism}
 		a, err := hh.Evaluate(c, opt)
 		if err != nil {
 			return Headline{}, err

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// equivSpecs are reduced sweeps covering both sweep kinds and every
+// Fig4–Fig14 machine family; the full-size specs only differ in sizes and
+// trial counts, which don't change the code paths under test.
+func equivSpecs() []SweepSpec {
+	fig11 := Fig11Spec(true)
+	fig11.Workloads = []string{"GHZ", "QFT"}
+	fig13 := Fig13Spec(true)
+	fig13.Workloads = []string{"QuantumVolume"}
+	fig13.Sizes = []int{10}
+	fig4 := Fig4Spec(true)
+	fig4.Workloads = []string{"GHZ"}
+	fig4.Sizes = []int{16}
+	fig12 := Fig12Spec(true)
+	fig12.Workloads = []string{"GHZ"}
+	fig12.Sizes = []int{16}
+	fig14 := Fig14Spec(true)
+	fig14.Workloads = []string{"GHZ"}
+	fig14.Sizes = []int{16}
+	return []SweepSpec{fig11, fig13, fig4, fig12, fig14}
+}
+
+// TestRunParallelMatchesSerial asserts the sweep engine's core determinism
+// guarantee: Parallelism 0 (auto) and explicit worker counts produce Series
+// byte-identical to the serial (Parallelism 1) run — same labels, points,
+// and ordering.
+func TestRunParallelMatchesSerial(t *testing.T) {
+	for _, spec := range equivSpecs() {
+		spec := spec
+		t.Run(spec.ID, func(t *testing.T) {
+			serial := spec
+			serial.Parallelism = 1
+			want, err := serial.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []int{0, 4} {
+				par := spec
+				par.Parallelism = p
+				got, err := par.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("Parallelism=%d diverges from serial:\n got: %+v\nwant: %+v", p, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestRunContextCancelled ensures a cancelled context aborts the sweep.
+func TestRunContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	spec := Fig11Spec(true)
+	spec.Parallelism = 2
+	if _, err := spec.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+// TestTaskSeedStability pins the FNV seed-derivation scheme: the routing
+// seed of a sweep cell depends only on its coordinates, so reordering or
+// re-slicing a sweep can never change a cell's result.
+func TestTaskSeedStability(t *testing.T) {
+	a := SweepSpec{ID: "fig11", Seed: 2022}
+	if a.taskSeed("GHZ", 8, "Hypercube") != a.taskSeed("GHZ", 8, "Hypercube") {
+		t.Fatal("taskSeed not deterministic")
+	}
+	distinct := map[int64]string{}
+	for _, c := range []struct {
+		w string
+		n int
+		m string
+	}{
+		{"GHZ", 8, "Hypercube"},
+		{"GHZ", 8, "Tree"},
+		{"GHZ", 10, "Hypercube"},
+		{"QFT", 8, "Hypercube"},
+	} {
+		s := a.taskSeed(c.w, c.n, c.m)
+		if prev, dup := distinct[s]; dup {
+			t.Fatalf("seed collision between %v and %s", c, prev)
+		}
+		distinct[s] = c.w + c.m
+	}
+}

@@ -29,7 +29,9 @@ type CorralScalingRow struct {
 // Strides follow the Corral(1,k) pattern with the long fence at roughly a
 // third of the ring (the stride-3-of-8 ratio that realizes the paper's
 // Corral 1,2), so the design keeps its low-diameter property as it scales.
-func CorralScaling(posts []int, quick bool) ([]CorralScalingRow, error) {
+// parallelism bounds the router's trial pool (0 = auto, 1 = serial) and
+// never changes the measured rows.
+func CorralScaling(posts []int, quick bool, parallelism int) ([]CorralScalingRow, error) {
 	var out []CorralScalingRow
 	for _, p := range posts {
 		if p < 5 {
@@ -46,7 +48,7 @@ func CorralScaling(posts []int, quick bool) ([]CorralScalingRow, error) {
 			return nil, err
 		}
 		m := core.NewMachine(g.Name, g, weyl.BasisSqrtISwap)
-		met, err := m.Evaluate(c, core.Options{Seed: 2022, Trials: trials(quick)})
+		met, err := m.Evaluate(c, core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism})
 		if err != nil {
 			return nil, err
 		}

@@ -6,6 +6,13 @@
 // Conventions: two-qubit unitaries act on basis |q0 q1⟩ ordered
 // |00⟩,|01⟩,|10⟩,|11⟩ with the first qubit as the most significant bit; in
 // controlled gates the first qubit is the control.
+//
+// The parameterless constructors (X, H, CX, SWAP, …) return shared,
+// memoized matrices built once at package init — the transpiler and
+// simulator resolve gate unitaries on every op of every run, and
+// reallocating fixed 2x2/4x4 matrices dominated those hot paths. Callers
+// must treat every returned matrix as immutable (the convention package
+// circuit already documents); Copy() before mutating.
 package gates
 
 import (
@@ -16,57 +23,53 @@ import (
 	"repro/internal/linalg"
 )
 
-// ---- 1Q constant gates ----
+// ---- 1Q constant gates (memoized; treat results as immutable) ----
+
+var (
+	i2Mat = linalg.Identity(2)
+	xMat  = linalg.FromRows([][]complex128{{0, 1}, {1, 0}})
+	yMat  = linalg.FromRows([][]complex128{{0, -1i}, {1i, 0}})
+	zMat  = linalg.FromRows([][]complex128{{1, 0}, {0, -1}})
+	hMat  = func() *linalg.Matrix {
+		s := complex(1/math.Sqrt2, 0)
+		return linalg.FromRows([][]complex128{{s, s}, {s, -s}})
+	}()
+	sMat   = linalg.FromRows([][]complex128{{1, 0}, {0, 1i}})
+	sdgMat = linalg.FromRows([][]complex128{{1, 0}, {0, -1i}})
+	tMat   = linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(complex(0, math.Pi/4))}})
+	tdgMat = linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(complex(0, -math.Pi/4))}})
+	sxMat  = linalg.FromRows([][]complex128{{complex(0.5, 0.5), complex(0.5, -0.5)}, {complex(0.5, -0.5), complex(0.5, 0.5)}})
+)
 
 // I2 returns the 2x2 identity.
-func I2() *linalg.Matrix { return linalg.Identity(2) }
+func I2() *linalg.Matrix { return i2Mat }
 
 // X returns the Pauli-X gate.
-func X() *linalg.Matrix {
-	return linalg.FromRows([][]complex128{{0, 1}, {1, 0}})
-}
+func X() *linalg.Matrix { return xMat }
 
 // Y returns the Pauli-Y gate.
-func Y() *linalg.Matrix {
-	return linalg.FromRows([][]complex128{{0, -1i}, {1i, 0}})
-}
+func Y() *linalg.Matrix { return yMat }
 
 // Z returns the Pauli-Z gate.
-func Z() *linalg.Matrix {
-	return linalg.FromRows([][]complex128{{1, 0}, {0, -1}})
-}
+func Z() *linalg.Matrix { return zMat }
 
 // H returns the Hadamard gate.
-func H() *linalg.Matrix {
-	s := complex(1/math.Sqrt2, 0)
-	return linalg.FromRows([][]complex128{{s, s}, {s, -s}})
-}
+func H() *linalg.Matrix { return hMat }
 
 // S returns the phase gate diag(1, i).
-func S() *linalg.Matrix {
-	return linalg.FromRows([][]complex128{{1, 0}, {0, 1i}})
-}
+func S() *linalg.Matrix { return sMat }
 
 // Sdg returns S†.
-func Sdg() *linalg.Matrix {
-	return linalg.FromRows([][]complex128{{1, 0}, {0, -1i}})
-}
+func Sdg() *linalg.Matrix { return sdgMat }
 
 // T returns the π/8 gate diag(1, e^{iπ/4}).
-func T() *linalg.Matrix {
-	return linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(complex(0, math.Pi/4))}})
-}
+func T() *linalg.Matrix { return tMat }
 
 // Tdg returns T†.
-func Tdg() *linalg.Matrix {
-	return linalg.FromRows([][]complex128{{1, 0}, {0, cmplx.Exp(complex(0, -math.Pi/4))}})
-}
+func Tdg() *linalg.Matrix { return tdgMat }
 
 // SX returns √X (up to the usual global phase convention e^{iπ/4}).
-func SX() *linalg.Matrix {
-	p, m := complex(0.5, 0.5), complex(0.5, -0.5)
-	return linalg.FromRows([][]complex128{{p, m}, {m, p}})
-}
+func SX() *linalg.Matrix { return sxMat }
 
 // ---- 1Q parameterized gates ----
 
@@ -109,22 +112,37 @@ func U3(theta, phi, lambda float64) *linalg.Matrix {
 	})
 }
 
-// ---- 2Q gates ----
+// ---- 2Q gates (constant ones memoized; treat results as immutable) ----
 
-// CX returns the controlled-NOT with the first qubit as control (paper Eq. 1).
-func CX() *linalg.Matrix {
-	return linalg.FromRows([][]complex128{
+var (
+	cxMat = linalg.FromRows([][]complex128{
 		{1, 0, 0, 0},
 		{0, 1, 0, 0},
 		{0, 0, 0, 1},
 		{0, 0, 1, 0},
 	})
-}
+	czMat   = linalg.Diag(1, 1, 1, -1)
+	swapMat = linalg.FromRows([][]complex128{
+		{1, 0, 0, 0},
+		{0, 0, 1, 0},
+		{0, 1, 0, 0},
+		{0, 0, 0, 1},
+	})
+)
+
+// Memoized members of the parameterized families; initialized below their
+// constructors to keep the formulas in one place.
+var (
+	iswapMat  = nRootISwapFresh(1)
+	siswapMat = nRootISwapFresh(2)
+	sycMat    = FSIM(math.Pi/2, math.Pi/6)
+)
+
+// CX returns the controlled-NOT with the first qubit as control (paper Eq. 1).
+func CX() *linalg.Matrix { return cxMat }
 
 // CZ returns the controlled-Z gate.
-func CZ() *linalg.Matrix {
-	return linalg.Diag(1, 1, 1, -1)
-}
+func CZ() *linalg.Matrix { return czMat }
 
 // CPhase returns the controlled-phase gate diag(1,1,1,e^{iθ}).
 func CPhase(theta float64) *linalg.Matrix {
@@ -132,20 +150,13 @@ func CPhase(theta float64) *linalg.Matrix {
 }
 
 // SWAP returns the qubit-exchange gate.
-func SWAP() *linalg.Matrix {
-	return linalg.FromRows([][]complex128{
-		{1, 0, 0, 0},
-		{0, 0, 1, 0},
-		{0, 1, 0, 0},
-		{0, 0, 0, 1},
-	})
-}
+func SWAP() *linalg.Matrix { return swapMat }
 
 // ISwap returns the iSWAP gate.
-func ISwap() *linalg.Matrix { return NRootISwap(1) }
+func ISwap() *linalg.Matrix { return iswapMat }
 
 // SqrtISwap returns √iSWAP, the SNAIL-native basis gate studied in the paper.
-func SqrtISwap() *linalg.Matrix { return NRootISwap(2) }
+func SqrtISwap() *linalg.Matrix { return siswapMat }
 
 // NRootISwap returns the n-th root of iSWAP (paper Eq. 2):
 //
@@ -153,7 +164,20 @@ func SqrtISwap() *linalg.Matrix { return NRootISwap(2) }
 //	 [0,cos(π/2n), i·sin(π/2n),0],
 //	 [0,i·sin(π/2n), cos(π/2n),0],
 //	 [0,0,0,1]].
+//
+// The n=1 and n=2 members are memoized (they are the iSWAP/√iSWAP basis
+// gates resolved on every translated op); other roots are built fresh.
 func NRootISwap(n int) *linalg.Matrix {
+	switch n {
+	case 1:
+		return iswapMat
+	case 2:
+		return siswapMat
+	}
+	return nRootISwapFresh(n)
+}
+
+func nRootISwapFresh(n int) *linalg.Matrix {
 	if n < 1 {
 		panic("gates: NRootISwap requires n >= 1")
 	}
@@ -186,7 +210,7 @@ func FSIM(theta, phi float64) *linalg.Matrix {
 }
 
 // SYC returns Google's Sycamore gate, FSIM(π/2, π/6).
-func SYC() *linalg.Matrix { return FSIM(math.Pi/2, math.Pi/6) }
+func SYC() *linalg.Matrix { return sycMat }
 
 // ZX returns the cross-resonance interaction unitary (paper Eq. 4),
 // exp(-iθ/2 · Z⊗X):

@@ -105,10 +105,17 @@ func (m *Matrix) Scale(s complex128) *Matrix {
 	return out
 }
 
-// Mul returns the matrix product m * b.
+// Mul returns the matrix product m * b. The 2x2 and 4x4 square cases —
+// the gate-algebra hot path — dispatch to unrolled kernels (see small.go).
 func (m *Matrix) Mul(b *Matrix) *Matrix {
 	if m.Cols != b.Rows {
 		panic(fmt.Sprintf("linalg: Mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	switch {
+	case m.Rows == 2 && m.Cols == 2 && b.Cols == 2:
+		return Mul2x2(m, b)
+	case m.Rows == 4 && m.Cols == 4 && b.Cols == 4:
+		return Mul4x4(m, b)
 	}
 	out := New(m.Rows, b.Cols)
 	for i := 0; i < m.Rows; i++ {

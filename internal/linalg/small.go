@@ -1,0 +1,122 @@
+package linalg
+
+// Small-matrix fast paths. The 2x2 and 4x4 complex products below are the
+// innermost operations of the KAK/Weyl synthesis and the decomp Adam loop;
+// the generic triple loop in Mul plus its per-product allocation dominated
+// those paths. mul2x2Into/mul4x4Into are fully unrolled and, because they
+// buffer into locals before storing, safe when dst aliases a or b.
+
+// Mul2x2 returns a·b for 2x2 matrices via the unrolled kernel.
+func Mul2x2(a, b *Matrix) *Matrix {
+	out := New(2, 2)
+	mul2x2Into(out, a, b)
+	return out
+}
+
+// Mul4x4 returns a·b for 4x4 matrices via the unrolled kernel.
+func Mul4x4(a, b *Matrix) *Matrix {
+	out := New(4, 4)
+	mul4x4Into(out, a, b)
+	return out
+}
+
+// MulInto computes dst = a·b without allocating, dispatching to the
+// unrolled 2x2/4x4 kernels when shapes allow. dst may alias a or b for the
+// unrolled sizes; for other shapes dst must be distinct storage. Returns
+// dst for chaining.
+func MulInto(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("linalg: MulInto shape mismatch")
+	}
+	switch {
+	case a.Rows == 2 && a.Cols == 2 && b.Cols == 2:
+		mul2x2Into(dst, a, b)
+	case a.Rows == 4 && a.Cols == 4 && b.Cols == 4:
+		mul4x4Into(dst, a, b)
+	default:
+		mulGenericInto(dst, a, b)
+	}
+	return dst
+}
+
+// KronInto computes dst = a ⊗ b without allocating; dst must not alias the
+// operands. The 2x2⊗2x2 case (single-qubit layer pairs) is unrolled.
+func KronInto(dst, a, b *Matrix) *Matrix {
+	if dst.Rows != a.Rows*b.Rows || dst.Cols != a.Cols*b.Cols {
+		panic("linalg: KronInto shape mismatch")
+	}
+	if a.Rows == 2 && a.Cols == 2 && b.Rows == 2 && b.Cols == 2 {
+		a00, a01, a10, a11 := a.Data[0], a.Data[1], a.Data[2], a.Data[3]
+		b00, b01, b10, b11 := b.Data[0], b.Data[1], b.Data[2], b.Data[3]
+		d := dst.Data
+		d[0], d[1], d[2], d[3] = a00*b00, a00*b01, a01*b00, a01*b01
+		d[4], d[5], d[6], d[7] = a00*b10, a00*b11, a01*b10, a01*b11
+		d[8], d[9], d[10], d[11] = a10*b00, a10*b01, a11*b00, a11*b01
+		d[12], d[13], d[14], d[15] = a10*b10, a10*b11, a11*b10, a11*b11
+		return dst
+	}
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < a.Cols; j++ {
+			av := a.Data[i*a.Cols+j]
+			for p := 0; p < b.Rows; p++ {
+				row := dst.Data[(i*b.Rows+p)*dst.Cols+j*b.Cols:]
+				brow := b.Data[p*b.Cols : (p+1)*b.Cols]
+				for q, bv := range brow {
+					row[q] = av * bv
+				}
+			}
+		}
+	}
+	return dst
+}
+
+func mul2x2Into(dst, a, b *Matrix) {
+	a00, a01, a10, a11 := a.Data[0], a.Data[1], a.Data[2], a.Data[3]
+	b00, b01, b10, b11 := b.Data[0], b.Data[1], b.Data[2], b.Data[3]
+	c00 := a00*b00 + a01*b10
+	c01 := a00*b01 + a01*b11
+	c10 := a10*b00 + a11*b10
+	c11 := a10*b01 + a11*b11
+	dst.Data[0], dst.Data[1], dst.Data[2], dst.Data[3] = c00, c01, c10, c11
+}
+
+func mul4x4Into(dst, a, b *Matrix) {
+	var c [16]complex128
+	ad, bd := a.Data, b.Data
+	for i := 0; i < 4; i++ {
+		ar := ad[i*4 : i*4+4]
+		a0, a1, a2, a3 := ar[0], ar[1], ar[2], ar[3]
+		c[i*4+0] = a0*bd[0] + a1*bd[4] + a2*bd[8] + a3*bd[12]
+		c[i*4+1] = a0*bd[1] + a1*bd[5] + a2*bd[9] + a3*bd[13]
+		c[i*4+2] = a0*bd[2] + a1*bd[6] + a2*bd[10] + a3*bd[14]
+		c[i*4+3] = a0*bd[3] + a1*bd[7] + a2*bd[11] + a3*bd[15]
+	}
+	copy(dst.Data, c[:])
+}
+
+// mulGenericInto is the generic triple loop writing into dst (which must
+// not alias a or b — aliasing is detected and worked around via a copy).
+func mulGenericInto(dst, a, b *Matrix) {
+	if len(dst.Data) > 0 && len(a.Data) > 0 &&
+		(&dst.Data[0] == &a.Data[0] || &dst.Data[0] == &b.Data[0]) {
+		tmp := a.Mul(b)
+		copy(dst.Data, tmp.Data)
+		return
+	}
+	for i := range dst.Data {
+		dst.Data[i] = 0
+	}
+	for i := 0; i < a.Rows; i++ {
+		for k := 0; k < a.Cols; k++ {
+			av := a.Data[i*a.Cols+k]
+			if av == 0 {
+				continue
+			}
+			row := b.Data[k*b.Cols : (k+1)*b.Cols]
+			outRow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range row {
+				outRow[j] += av * bv
+			}
+		}
+	}
+}

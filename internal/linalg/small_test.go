@@ -1,0 +1,98 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randMat(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return m
+}
+
+// mulReference is the plain triple loop, kept as the oracle for the
+// unrolled kernels.
+func mulReference(a, b *Matrix) *Matrix {
+	out := New(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s complex128
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestSmallMulMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const tol = 1e-12
+	for rep := 0; rep < 20; rep++ {
+		for _, n := range []int{2, 4} {
+			a, b := randMat(rng, n, n), randMat(rng, n, n)
+			want := mulReference(a, b)
+			if got := a.Mul(b); got.MaxAbsDiff(want) > tol {
+				t.Fatalf("%dx%d Mul diverges by %g", n, n, got.MaxAbsDiff(want))
+			}
+			dst := New(n, n)
+			if got := MulInto(dst, a, b); got.MaxAbsDiff(want) > tol {
+				t.Fatalf("%dx%d MulInto diverges by %g", n, n, got.MaxAbsDiff(want))
+			}
+		}
+	}
+}
+
+func TestMulIntoAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 4} {
+		a, b := randMat(rng, n, n), randMat(rng, n, n)
+		want := mulReference(a, b)
+		aCopy := a.Copy()
+		MulInto(aCopy, aCopy, b) // dst aliases left operand
+		if aCopy.MaxAbsDiff(want) > 1e-12 {
+			t.Fatalf("%dx%d MulInto with dst==a wrong", n, n)
+		}
+		bCopy := b.Copy()
+		MulInto(bCopy, a, bCopy) // dst aliases right operand
+		if bCopy.MaxAbsDiff(want) > 1e-12 {
+			t.Fatalf("%dx%d MulInto with dst==b wrong", n, n)
+		}
+	}
+}
+
+func TestMulIntoGenericShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a, b := randMat(rng, 3, 5), randMat(rng, 5, 2)
+	want := mulReference(a, b)
+	got := MulInto(New(3, 2), a, b)
+	if got.MaxAbsDiff(want) > 1e-12 {
+		t.Fatal("generic MulInto wrong")
+	}
+}
+
+func TestKronIntoMatchesKron(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cases := [][4]int{{2, 2, 2, 2}, {2, 3, 3, 2}, {4, 4, 2, 2}}
+	for _, c := range cases {
+		a, b := randMat(rng, c[0], c[1]), randMat(rng, c[2], c[3])
+		want := a.Kron(b)
+		got := KronInto(New(want.Rows, want.Cols), a, b)
+		if got.MaxAbsDiff(want) > 0 {
+			t.Fatalf("KronInto %v diverges", c)
+		}
+	}
+}
+
+func TestMulIntoShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected shape panic")
+		}
+	}()
+	MulInto(New(2, 2), New(2, 3), New(2, 2))
+}

@@ -1,0 +1,105 @@
+// Package par provides the bounded worker-pool primitive behind the
+// repository's parallel sweep engine. It is deliberately tiny: a
+// deterministic parallel-for with errgroup-style first-error aggregation
+// and context cancellation, with no external dependencies.
+//
+// Callers make results deterministic by writing into index-addressed
+// slots: ForEach guarantees every index in [0, n) is visited exactly once
+// (unless cancelled), but promises nothing about visiting order, so any
+// ordering must come from the caller's index→slot mapping, never from
+// completion order.
+package par
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Resolve maps a Parallelism knob to a concrete worker count:
+// 0 means "auto" (runtime.GOMAXPROCS), anything below 1 clamps to serial.
+func Resolve(parallelism int) int {
+	if parallelism == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	if parallelism < 1 {
+		return 1
+	}
+	return parallelism
+}
+
+// ForEach invokes fn(i) for every i in [0, n) on up to `parallelism`
+// goroutines (after Resolve) and returns the first error. A failing task
+// cancels the dispatch of tasks that have not started; in-flight tasks
+// run to completion.
+func ForEach(n, parallelism int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, parallelism, fn)
+}
+
+// ForEachCtx is ForEach with caller-supplied cancellation: once ctx is
+// done, no new task starts and the context error is returned (unless a
+// task error arrived first).
+func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int) error) error {
+	workers := Resolve(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next    atomic.Int64
+		stop    atomic.Bool
+		mu      sync.Mutex
+		bestIdx int
+		bestErr error
+		wg      sync.WaitGroup
+	)
+	next.Store(-1)
+	// On failure the lowest-index error among those observed is returned,
+	// matching the serial loop whenever the racing failures overlap. (Tasks
+	// never dispatched after the stop can't report, so a still-lower-index
+	// failure may go unseen — the cost of stopping early.)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if bestErr == nil || i < bestIdx {
+			bestIdx, bestErr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop.Load() {
+					return
+				}
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					fail(i, err)
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return bestErr
+}

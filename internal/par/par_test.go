@@ -1,0 +1,83 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	if got := Resolve(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Resolve(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if Resolve(-3) != 1 || Resolve(1) != 1 || Resolve(7) != 7 {
+		t.Error("Resolve clamping wrong")
+	}
+}
+
+func TestForEachVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 100
+		counts := make([]atomic.Int64, n)
+		if err := ForEach(n, workers, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachFirstError(t *testing.T) {
+	wantErr := errors.New("boom")
+	err := ForEach(50, 4, func(i int) error {
+		if i == 7 {
+			return wantErr
+		}
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want %v", err, wantErr)
+	}
+}
+
+func TestForEachErrorStopsDispatch(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(1_000_000, 2, func(i int) error {
+		ran.Add(1)
+		return fmt.Errorf("fail at %d", i)
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if n := ran.Load(); n > 10 {
+		t.Errorf("dispatch kept going after failure: %d tasks ran", n)
+	}
+}
+
+func TestForEachCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 1000, 4, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}

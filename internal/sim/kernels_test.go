@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// randomState returns a normalized Haar-ish random state for kernel tests.
+func randomState(t *testing.T, n int, rng *rand.Rand) *State {
+	t.Helper()
+	s, err := NewState(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var norm float64
+	for i := range s.Amp {
+		s.Amp[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		norm += real(s.Amp[i])*real(s.Amp[i]) + imag(s.Amp[i])*imag(s.Amp[i])
+	}
+	scale := complex(1/math.Sqrt(norm), 0)
+	for i := range s.Amp {
+		s.Amp[i] *= scale
+	}
+	return s
+}
+
+func maxAmpDiff(a, b *State) float64 {
+	var worst float64
+	for i := range a.Amp {
+		if d := cmplx.Abs(a.Amp[i] - b.Amp[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// applyGeneric applies op through the generic matrix kernels only,
+// bypassing the ApplyOp fast-path dispatch.
+func applyGeneric(t *testing.T, s *State, op circuit.Op) {
+	t.Helper()
+	u, err := circuit.Unitary(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch len(op.Qubits) {
+	case 1:
+		err = s.Apply1Q(op.Qubits[0], u)
+	case 2:
+		err = s.Apply2Q(op.Qubits[0], op.Qubits[1], u)
+	default:
+		t.Fatalf("bad arity %d", len(op.Qubits))
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastPathsMatchGeneric checks every specialized kernel against the
+// generic Apply1Q/Apply2Q result on random states, over several random
+// qubit assignments (covering maskA < maskB and maskA > maskB orders).
+func TestFastPathsMatchGeneric(t *testing.T) {
+	const n = 6
+	const tol = 1e-12
+	rng := rand.New(rand.NewSource(42))
+	cases := []circuit.Op{
+		{Name: "z", Qubits: []int{0}},
+		{Name: "s", Qubits: []int{0}},
+		{Name: "sdg", Qubits: []int{0}},
+		{Name: "t", Qubits: []int{0}},
+		{Name: "tdg", Qubits: []int{0}},
+		{Name: "p", Qubits: []int{0}, Params: []float64{0.7}},
+		{Name: "rz", Qubits: []int{0}, Params: []float64{1.3}},
+		{Name: "x", Qubits: []int{0}},
+		{Name: "cz", Qubits: []int{0, 1}},
+		{Name: "cp", Qubits: []int{0, 1}, Params: []float64{2.1}},
+		{Name: "rzz", Qubits: []int{0, 1}, Params: []float64{0.9}},
+		{Name: "cx", Qubits: []int{0, 1}},
+		{Name: "swap", Qubits: []int{0, 1}},
+		// Non-specialized names exercise the generic fallback inside ApplyOp.
+		{Name: "h", Qubits: []int{0}},
+		{Name: "siswap", Qubits: []int{0, 1}},
+	}
+	for _, op := range cases {
+		t.Run(op.Name, func(t *testing.T) {
+			for rep := 0; rep < 8; rep++ {
+				q := rng.Perm(n)
+				got := op
+				got.Qubits = append([]int(nil), op.Qubits...)
+				for i := range got.Qubits {
+					got.Qubits[i] = q[i]
+				}
+				fast := randomState(t, n, rng)
+				slow := fast.Copy()
+				if err := fast.ApplyOp(got); err != nil {
+					t.Fatal(err)
+				}
+				applyGeneric(t, slow, got)
+				if d := maxAmpDiff(fast, slow); d > tol {
+					t.Fatalf("%s on %v: fast path diverges from generic by %g", op.Name, got.Qubits, d)
+				}
+			}
+		})
+	}
+}
+
+// TestApplyOpExplicitUnitary ensures ops carrying an explicit U never take
+// a named fast path, even under a specialized name.
+func TestApplyOpExplicitUnitary(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	u, err := circuit.Unitary(circuit.Op{Name: "h", Qubits: []int{0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An op named "z" but carrying H must apply H.
+	op := circuit.Op{Name: "z", Qubits: []int{1}, U: u}
+	fast := randomState(t, 4, rng)
+	slow := fast.Copy()
+	if err := fast.ApplyOp(op); err != nil {
+		t.Fatal(err)
+	}
+	if err := slow.Apply1Q(1, u); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxAmpDiff(fast, slow); d > 0 {
+		t.Fatalf("explicit U ignored by dispatch (diff %g)", d)
+	}
+}
+
+// TestApplyOpValidation checks the fast paths enforce the same qubit
+// validation as the generic kernels.
+func TestApplyOpValidation(t *testing.T) {
+	s, err := NewState(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []circuit.Op{
+		{Name: "z", Qubits: []int{3}},
+		{Name: "x", Qubits: []int{-1}},
+		{Name: "cx", Qubits: []int{0, 0}},
+		{Name: "swap", Qubits: []int{1, 5}},
+		{Name: "cz", Qubits: []int{2}},
+	}
+	for _, op := range bad {
+		if err := s.ApplyOp(op); err == nil {
+			t.Errorf("%s %v: expected validation error", op.Name, op.Qubits)
+		}
+	}
+}
+
+func TestProbabilityOutOfRange(t *testing.T) {
+	s, err := NewState(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.Probability(-1); p != 0 {
+		t.Errorf("Probability(-1) = %g, want 0", p)
+	}
+	if p := s.Probability(4); p != 0 {
+		t.Errorf("Probability(4) = %g, want 0", p)
+	}
+	if p := s.Probability(0); p != 1 {
+		t.Errorf("Probability(0) = %g, want 1", p)
+	}
+}

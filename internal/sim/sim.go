@@ -4,6 +4,15 @@
 //
 // Bit convention: qubit 0 is the most significant bit of the state index,
 // so the amplitude of |q0 q1 ... q(n-1)⟩ sits at index q0·2^(n-1) + ... .
+//
+// Gate application is stride-based: Apply1Q visits each (i, i+2^k) pair
+// and Apply2Q each index quad exactly once, never scanning amplitudes it
+// won't touch. On top of the generic kernels, ApplyOp (used by Run)
+// dispatches known gate names to specialized fast paths: diagonal gates
+// (z/s/sdg/t/tdg/rz/p/cz/cp/rzz) reduce to pure phase multiplies and
+// permutation gates (x/cx/swap) to amplitude exchanges, skipping the 2×2
+// or 4×4 complex matrix arithmetic entirely. Every fast path is verified
+// against the generic kernels in kernels_test.go.
 package sim
 
 import (
@@ -70,14 +79,14 @@ func (s *State) Apply1Q(q int, u *linalg.Matrix) error {
 	mask := 1 << s.bitPos(q)
 	u00, u01 := u.At(0, 0), u.At(0, 1)
 	u10, u11 := u.At(1, 0), u.At(1, 1)
-	for i := range s.Amp {
-		if i&mask != 0 {
-			continue
+	amp := s.Amp
+	for base := 0; base < len(amp); base += mask << 1 {
+		for i := base; i < base+mask; i++ {
+			j := i + mask
+			a0, a1 := amp[i], amp[j]
+			amp[i] = u00*a0 + u01*a1
+			amp[j] = u10*a0 + u11*a1
 		}
-		j := i | mask
-		a0, a1 := s.Amp[i], s.Amp[j]
-		s.Amp[i] = u00*a0 + u01*a1
-		s.Amp[j] = u10*a0 + u11*a1
 	}
 	return nil
 }
@@ -93,47 +102,40 @@ func (s *State) Apply2Q(qa, qb int, u *linalg.Matrix) error {
 	}
 	maskA := 1 << s.bitPos(qa)
 	maskB := 1 << s.bitPos(qb)
-	var m [4][4]complex128
-	for i := 0; i < 4; i++ {
-		for j := 0; j < 4; j++ {
-			m[i][j] = u.At(i, j)
-		}
+	m00, m01, m02, m03 := u.At(0, 0), u.At(0, 1), u.At(0, 2), u.At(0, 3)
+	m10, m11, m12, m13 := u.At(1, 0), u.At(1, 1), u.At(1, 2), u.At(1, 3)
+	m20, m21, m22, m23 := u.At(2, 0), u.At(2, 1), u.At(2, 2), u.At(2, 3)
+	m30, m31, m32, m33 := u.At(3, 0), u.At(3, 1), u.At(3, 2), u.At(3, 3)
+	lo, hi := maskA, maskB
+	if lo > hi {
+		lo, hi = hi, lo
 	}
-	for i := range s.Amp {
-		if i&maskA != 0 || i&maskB != 0 {
-			continue
-		}
-		i00 := i
-		i01 := i | maskB
-		i10 := i | maskA
-		i11 := i | maskA | maskB
-		a := [4]complex128{s.Amp[i00], s.Amp[i01], s.Amp[i10], s.Amp[i11]}
-		for r, idx := range [4]int{i00, i01, i10, i11} {
-			s.Amp[idx] = m[r][0]*a[0] + m[r][1]*a[1] + m[r][2]*a[2] + m[r][3]*a[3]
+	amp := s.Amp
+	for outer := 0; outer < len(amp); outer += hi << 1 {
+		for mid := outer; mid < outer+hi; mid += lo << 1 {
+			for i := mid; i < mid+lo; i++ {
+				i01 := i | maskB
+				i10 := i | maskA
+				i11 := i10 | maskB
+				a00, a01, a10, a11 := amp[i], amp[i01], amp[i10], amp[i11]
+				amp[i] = m00*a00 + m01*a01 + m02*a10 + m03*a11
+				amp[i01] = m10*a00 + m11*a01 + m12*a10 + m13*a11
+				amp[i10] = m20*a00 + m21*a01 + m22*a10 + m23*a11
+				amp[i11] = m30*a00 + m31*a01 + m32*a10 + m33*a11
+			}
 		}
 	}
 	return nil
 }
 
-// Run applies every op of the circuit in order.
+// Run applies every op of the circuit in order, dispatching each through
+// the ApplyOp fast paths.
 func (s *State) Run(c *circuit.Circuit) error {
 	if c.N > s.N {
 		return fmt.Errorf("sim: circuit has %d qubits, state has %d", c.N, s.N)
 	}
 	for i, op := range c.Ops {
-		u, err := circuit.Unitary(op)
-		if err != nil {
-			return fmt.Errorf("sim: op %d: %w", i, err)
-		}
-		switch len(op.Qubits) {
-		case 1:
-			err = s.Apply1Q(op.Qubits[0], u)
-		case 2:
-			err = s.Apply2Q(op.Qubits[0], op.Qubits[1], u)
-		default:
-			err = fmt.Errorf("unsupported arity %d", len(op.Qubits))
-		}
-		if err != nil {
+		if err := s.ApplyOp(op); err != nil {
 			return fmt.Errorf("sim: op %d (%s): %w", i, op, err)
 		}
 	}
@@ -152,8 +154,13 @@ func RunCircuit(c *circuit.Circuit) (*State, error) {
 	return s, nil
 }
 
-// Probability returns |⟨bits|ψ⟩|².
+// Probability returns |⟨bits|ψ⟩|², or 0 when bits lies outside [0, 2^n) —
+// an out-of-range basis state has no overlap with an n-qubit register
+// (mirroring the range rule NewBasisState enforces with an error).
 func (s *State) Probability(bits int) float64 {
+	if bits < 0 || bits >= len(s.Amp) {
+		return 0
+	}
 	a := s.Amp[bits]
 	return real(a)*real(a) + imag(a)*imag(a)
 }

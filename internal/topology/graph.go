@@ -7,9 +7,17 @@
 // reproduce Tables 1 and 2.
 package topology
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
 
 // Graph is an undirected simple graph over vertices 0..n-1.
+//
+// Construction (AddEdge) is single-threaded; once built, a Graph is safe
+// for concurrent readers — the parallel sweep engine shares one Graph per
+// machine across workers, so the lazy distance cache is guarded below.
 type Graph struct {
 	Name string
 
@@ -17,7 +25,8 @@ type Graph struct {
 	adj   [][]int
 	edges [][2]int
 
-	dist [][]int // all-pairs BFS distances, computed lazily
+	dist   atomic.Pointer[[][]int] // all-pairs BFS distances, computed lazily
+	distMu sync.Mutex              // serializes the one-time computation
 }
 
 // NewGraph returns an empty graph with n vertices.
@@ -48,7 +57,7 @@ func (g *Graph) AddEdge(a, b int) {
 		a, b = b, a
 	}
 	g.edges = append(g.edges, [2]int{a, b})
-	g.dist = nil
+	g.dist.Store(nil)
 }
 
 // HasEdge reports whether (a,b) is an edge.
@@ -74,10 +83,17 @@ func (g *Graph) Edges() [][2]int { return g.edges }
 func (g *Graph) NumEdges() int { return len(g.edges) }
 
 // Distances returns the all-pairs shortest-path matrix (hops), computing and
-// caching it on first use. Unreachable pairs are -1.
+// caching it on first use. Unreachable pairs are -1. Safe for concurrent
+// callers: the cache hit is a lock-free load, the one-time computation is
+// mutex-serialized.
 func (g *Graph) Distances() [][]int {
-	if g.dist != nil {
-		return g.dist
+	if p := g.dist.Load(); p != nil {
+		return *p
+	}
+	g.distMu.Lock()
+	defer g.distMu.Unlock()
+	if p := g.dist.Load(); p != nil {
+		return *p
 	}
 	d := make([][]int, g.n)
 	for s := 0; s < g.n; s++ {
@@ -99,7 +115,7 @@ func (g *Graph) Distances() [][]int {
 		}
 		d[s] = row
 	}
-	g.dist = d
+	g.dist.Store(&d)
 	return d
 }
 

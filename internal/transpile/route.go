@@ -3,8 +3,10 @@ package transpile
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/circuit"
+	"repro/internal/par"
 	"repro/internal/topology"
 )
 
@@ -27,7 +29,21 @@ const DefaultTrials = 20
 // greedily pick cost-reducing SWAPs under perturbed distance matrices, and
 // the shortest successful SWAP sequence is applied. Layers no trial can
 // solve whole are routed gate-by-gate (Qiskit's serial-layer fallback).
+//
+// Each trial runs on its own RNG seeded from the caller's stream up front,
+// so the routed circuit is a pure function of (graph, circuit, layout, rng
+// seed, trials) — StochasticSwapParallel produces bit-identical output.
 func StochasticSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand, trials int) (*RouteResult, error) {
+	return StochasticSwapParallel(g, c, initial, rng, trials, 1)
+}
+
+// StochasticSwapParallel is StochasticSwap with the per-layer randomized
+// trials spread over a bounded worker pool. parallelism follows the
+// par.Resolve convention (0 = auto/GOMAXPROCS, ≤1 = serial). The result is
+// bit-identical to the serial pass for the same inputs: trial seeds are
+// pre-drawn from rng, and the winning sequence is picked by (length,
+// lowest trial index) independent of completion order.
+func StochasticSwapParallel(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand, trials, parallelism int) (*RouteResult, error) {
 	if len(initial) != c.N {
 		return nil, fmt.Errorf("transpile: layout covers %d qubits, circuit has %d", len(initial), c.N)
 	}
@@ -38,12 +54,13 @@ func StochasticSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *
 		trials = DefaultTrials
 	}
 	r := &router{
-		g:      g,
-		dist:   g.Distances(),
-		out:    circuit.New(g.N()),
-		layout: initial.Copy(),
-		rng:    rng,
-		trials: trials,
+		g:       g,
+		dist:    g.Distances(),
+		out:     circuit.New(g.N()),
+		layout:  initial.Copy(),
+		rng:     rng,
+		trials:  trials,
+		workers: par.Resolve(parallelism),
 	}
 	for _, layer := range c.Layers() {
 		var twoQ []circuit.Op
@@ -88,13 +105,15 @@ func StochasticSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *
 
 // router carries the mutable routing state.
 type router struct {
-	g      *topology.Graph
-	dist   [][]int
-	out    *circuit.Circuit
-	layout Layout
-	swaps  int
-	rng    *rand.Rand
-	trials int
+	g       *topology.Graph
+	dist    [][]int
+	out     *circuit.Circuit
+	layout  Layout
+	swaps   int
+	rng     *rand.Rand
+	trials  int
+	workers int
+	dPool   sync.Pool // perturbed-distance scratch for parallel trials
 }
 
 func (r *router) emit(op circuit.Op) {
@@ -146,6 +165,12 @@ func (r *router) greedyStep(p [2]int) [][2]int {
 // findSwaps runs randomized trials and returns the shortest SWAP sequence
 // (list of physical edges, applied in order) that makes every pair adjacent,
 // or nil if no trial succeeds within the depth limit.
+//
+// Every trial gets its own RNG seeded from the router's stream before any
+// trial runs, and the winner is the minimum-length sequence with ties
+// broken by lowest trial index. Both choices make the outcome independent
+// of execution schedule, so the serial and worker-pool paths below are
+// interchangeable bit-for-bit.
 func (r *router) findSwaps(pairs [][2]int) [][2]int {
 	if r.allAdjacent(pairs) {
 		return [][2]int{}
@@ -159,25 +184,56 @@ func (r *router) findSwaps(pairs [][2]int) [][2]int {
 			base[i*n+j] = float64(r.dist[i][j])
 		}
 	}
-	d := make([]float64, n*n)
-	var best [][2]int
-	for trial := 0; trial < r.trials; trial++ {
-		// d' = d * (1 + 0.1|gauss|), symmetric per unordered pair.
+	seeds := make([]int64, r.trials)
+	for t := range seeds {
+		seeds[t] = r.rng.Int63()
+	}
+	// runTrial perturbs distances into d (d' = d·(1 + 0.1|gauss|), symmetric
+	// per unordered pair) and searches under them.
+	runTrial := func(t int, d []float64) [][2]int {
+		trng := rand.New(&splitmix64{state: uint64(seeds[t])})
 		copy(d, base)
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				s := 1 + 0.1*absf(r.rng.NormFloat64())
+				s := 1 + 0.1*absf(trng.NormFloat64())
 				d[i*n+j] *= s
 				d[j*n+i] = d[i*n+j]
 			}
 		}
-		if seq := r.trialSearch(pairs, d, limit); seq != nil {
-			if best == nil || len(seq) < len(best) {
-				best = seq
+		return r.trialSearch(pairs, d, limit)
+	}
+	if r.workers <= 1 {
+		d := make([]float64, n*n)
+		var best [][2]int
+		for t := 0; t < r.trials; t++ {
+			if seq := runTrial(t, d); seq != nil {
+				if best == nil || len(seq) < len(best) {
+					best = seq
+				}
+				if len(best) == 0 {
+					break // can't beat an already-adjacent layer
+				}
 			}
-			if len(best) == 0 {
-				break
-			}
+		}
+		return best
+	}
+	// Parallel path: trialSearch only reads router state (g, dist, layout),
+	// so trials share nothing but their results slots. Distance scratch is
+	// pooled across trials and layers instead of allocated per trial.
+	results := make([][][2]int, r.trials)
+	par.ForEach(r.trials, r.workers, func(t int) error {
+		d, _ := r.dPool.Get().([]float64)
+		if len(d) != n*n {
+			d = make([]float64, n*n)
+		}
+		results[t] = runTrial(t, d)
+		r.dPool.Put(d)
+		return nil
+	})
+	var best [][2]int
+	for _, seq := range results {
+		if seq != nil && (best == nil || len(seq) < len(best)) {
+			best = seq
 		}
 	}
 	return best
@@ -311,3 +367,24 @@ func absf(x float64) float64 {
 	}
 	return x
 }
+
+// splitmix64 is a tiny rand.Source64 with O(1) construction, used for the
+// per-trial RNGs: the default math/rand source runs a 607-step seeding
+// procedure, which dominated findSwaps on small topologies where one
+// trial's whole perturbation pass is only a few hundred draws.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }

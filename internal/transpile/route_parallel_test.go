@@ -1,0 +1,45 @@
+package transpile
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/topology"
+	"repro/internal/workloads"
+)
+
+// TestStochasticSwapParallelMatchesSerial asserts the router's trial pool
+// is schedule-independent: the routed circuit, swap count, and final
+// layout are bit-identical for serial and parallel trial execution with
+// the same seed.
+func TestStochasticSwapParallelMatchesSerial(t *testing.T) {
+	g := topology.Hypercube84()
+	c, err := workloads.Generate("QuantumVolume", 24, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := DenseLayout(g, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := StochasticSwap(g, c, layout, rand.New(rand.NewSource(99)), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 8} {
+		got, err := StochasticSwapParallel(g, c, layout, rand.New(rand.NewSource(99)), 10, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.SwapCount != want.SwapCount {
+			t.Fatalf("workers=%d: swap count %d != serial %d", workers, got.SwapCount, want.SwapCount)
+		}
+		if !reflect.DeepEqual(got.FinalLayout, want.FinalLayout) {
+			t.Fatalf("workers=%d: final layout diverges", workers)
+		}
+		if !reflect.DeepEqual(got.Circuit.Ops, want.Circuit.Ops) {
+			t.Fatalf("workers=%d: routed ops diverge", workers)
+		}
+	}
+}

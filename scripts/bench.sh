@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# bench.sh — run the repository micro/figure benchmarks and write a
+# machine-readable JSON snapshot so successive PRs can track the perf
+# trajectory.
+#
+# Usage:
+#   scripts/bench.sh                  # all benchmarks -> BENCH.json
+#   BENCH_OUT=BENCH_PR1.json scripts/bench.sh
+#   BENCH_FILTER='Statevector|KAK' BENCH_TIME=500ms scripts/bench.sh
+#
+# Output schema:
+#   { "goos": ..., "goarch": ..., "cpu": ..., "gomaxprocs": N,
+#     "benchmarks": [ { "name": ..., "iterations": N, "ns_per_op": ...,
+#                       "b_per_op": ..., "allocs_per_op": ... }, ... ] }
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH.json}"
+FILTER="${BENCH_FILTER:-.}"
+TIME="${BENCH_TIME:-1s}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+export GOMAXPROCS_REPORT="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
+
+go test -bench="$FILTER" -benchmem -benchtime="$TIME" -count=1 -run='^$' . | tee "$RAW"
+
+awk -v out="$OUT" '
+/^goos:/   { goos = $2 }
+/^goarch:/ { goarch = $2 }
+/^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    # Benchmark lines: Name[-P] iters ns/op [B/op] [allocs/op]
+    name = $1; iters = $2; ns = $3
+    b = "null"; allocs = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns = $(i - 1)
+        if ($(i) == "B/op")      b = $(i - 1)
+        if ($(i) == "allocs/op") allocs = $(i - 1)
+    }
+    n++
+    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}",
+                       name, iters, ns, b, allocs)
+}
+END {
+    printf "{\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [\n", \
+           goos, goarch, cpu, ENVIRON["GOMAXPROCS_REPORT"] > out
+    for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "") >> out
+    print "  ]\n}" >> out
+}
+' "$RAW"
+
+echo "wrote $OUT"
