@@ -73,6 +73,30 @@ func BenchmarkFig12(b *testing.B) {
 	runSweep(b, experiments.Fig12Spec(true), []string{"QuantumVolume", "GHZ"})
 }
 
+// BenchmarkFig11WarmCache is the sweep-level cache benchmark: after the
+// first iteration, every cell is a content-addressed hit, so the loop
+// measures cache-service latency for a full figure regeneration. Hit/miss
+// counts land in the bench JSON (scripts/bench.sh).
+func BenchmarkFig11WarmCache(b *testing.B) {
+	spec := experiments.Fig11Spec(true)
+	spec.Workloads = []string{"QuantumVolume", "QFT", "GHZ"}
+	spec.Parallelism = 1
+	store, err := core.NewMetricsCache(0, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Cache = store
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := spec.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := store.Stats()
+	b.ReportMetric(float64(st.Hits())/float64(b.N), "cache_hits/op")
+	b.ReportMetric(float64(st.Misses)/float64(b.N), "cache_misses/op")
+}
+
 // ---- Figures 13, 14: co-design sweeps ----
 
 func BenchmarkFig13(b *testing.B) {
@@ -109,7 +133,7 @@ func BenchmarkFig15(b *testing.B) {
 
 func BenchmarkHeadlines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h, err := experiments.Headlines(true, 1)
+		h, err := experiments.Headlines(true, 1, nil)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,6 +141,30 @@ func BenchmarkHeadlines(b *testing.B) {
 			b.Fatalf("co-design advantage vanished: %+v", h)
 		}
 	}
+}
+
+// BenchmarkHeadlinesWarmCache measures Headlines served from a shared
+// content-addressed store: every iteration after the first is pure cache
+// hits, so ns/op approaches the non-routing overhead. The custom
+// cache_hits/op and cache_misses/op metrics land in the bench JSON via
+// scripts/bench.sh.
+func BenchmarkHeadlinesWarmCache(b *testing.B) {
+	store, err := core.NewMetricsCache(0, "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		h, err := experiments.Headlines(true, 1, store)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if h.Total2QRatio <= 1 {
+			b.Fatalf("co-design advantage vanished: %+v", h)
+		}
+	}
+	st := store.Stats()
+	b.ReportMetric(float64(st.Hits())/float64(b.N), "cache_hits/op")
+	b.ReportMetric(float64(st.Misses)/float64(b.N), "cache_misses/op")
 }
 
 // ---- Ablations (DESIGN.md) ----

@@ -10,6 +10,17 @@
 // By default a reduced ("quick") configuration runs in seconds; -full uses
 // the paper's sizes (16..80 qubits, 20 routing trials), which takes tens of
 // minutes for the 84-qubit figures on one core.
+//
+// -cachedir DIR enables the content-addressed result cache with an on-disk
+// JSON tier rooted at DIR (created if missing): every (machine, circuit,
+// seed, trials, router) evaluation is stored under a hash of its inputs, so
+// regenerating a figure — or another figure sharing cells — skips routing
+// that already ran, in this process or any earlier one. Cached output is
+// byte-identical to a cold run of the same build: keys are content hashes
+// of the inputs plus a pipeline version tag, so entries need no manual
+// invalidation, but a directory written by a build with different routing
+// or translation behavior (and an unbumped tag — see core.evaluateKeyDomain)
+// is only as fresh as that tag. Hit/miss counts print to stderr.
 package main
 
 import (
@@ -18,6 +29,8 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -29,12 +42,28 @@ func main() {
 	full := flag.Bool("full", false, "use the paper's full sizes (slow)")
 	parallelism := flag.Int("parallelism", 0,
 		"sweep worker pool size (0 = all cores, 1 = serial; output is identical at any setting)")
+	cachedir := flag.String("cachedir", "",
+		"directory for the on-disk result cache (default off; warm entries make repeated runs skip identical routing)")
 	flag.Parse()
+
+	var store *cache.Store[core.Metrics]
+	if *cachedir != "" {
+		var err error
+		store, err = core.NewMetricsCache(0, *cachedir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			st := store.Stats()
+			fmt.Fprintf(os.Stderr, "cache: %d hits (%d mem, %d disk), %d misses, %d evaluations\n",
+				st.Hits(), st.MemHits, st.DiskHits, st.Misses, st.Fills)
+		}()
+	}
 
 	quick := !*full
 	if *corral {
 		posts := []int{6, 8, 10, 12, 16}
-		rows, err := experiments.CorralScaling(posts, quick, *parallelism)
+		rows, err := experiments.CorralScaling(posts, quick, *parallelism, store)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,7 +73,7 @@ func main() {
 		return
 	}
 	if *headline {
-		h, err := experiments.Headlines(quick, *parallelism)
+		h, err := experiments.Headlines(quick, *parallelism, store)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -72,6 +101,7 @@ func main() {
 		os.Exit(2)
 	}
 	spec.Parallelism = *parallelism
+	spec.Cache = store
 	series, err := spec.Run()
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestNoiseFidelitySmoke runs the example end-to-end (transpile + two
+// Monte-Carlo fidelity estimates per machine) so tier-1 exercises the
+// noise-model entry point; a panic or log.Fatal fails the suite.
+func TestNoiseFidelitySmoke(t *testing.T) {
+	main()
+}

@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestQAOACompareSmoke runs the example end-to-end (the SK-model QAOA
+// workload across all six Fig. 13 machines) so tier-1 exercises the
+// comparison entry point; a panic or log.Fatal fails the suite.
+func TestQAOACompareSmoke(t *testing.T) {
+	main()
+}

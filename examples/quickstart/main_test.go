@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestQuickstartSmoke runs the example end-to-end so tier-1 exercises the
+// public-API tour: a panic, a log.Fatal (process exit 1), or an API drift
+// that breaks compilation all fail the suite.
+func TestQuickstartSmoke(t *testing.T) {
+	main()
+}

@@ -1,0 +1,374 @@
+// Package cache provides the content-addressed result cache behind the
+// sweep engine: repeated figure regenerations and overlapping sweeps
+// (Figs. 4/11/12 share workloads and machines) re-issue byte-identical
+// Evaluate calls, and because every cell's routing seed is a pure function
+// of its coordinates (the FNV task-seed scheme in internal/experiments),
+// the result of such a call is fully determined by its inputs. A cache
+// entry therefore never needs invalidation — the key is a cryptographic
+// hash of everything the value depends on, so a stale hit is impossible by
+// construction; a changed input is a different key.
+//
+// Store layers two tiers: a bounded in-memory LRU (always on) and an
+// optional on-disk JSON tier (one file per key, written atomically), so a
+// warm directory can serve repeated qcbench runs across processes. Do adds
+// singleflight-style deduplication: concurrent callers of the same key
+// under the parallel sweep engine compute the value once and share it.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"hash"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a content hash identifying one cached computation. Equal keys mean
+// equal inputs (up to SHA-256 collisions), so values never expire.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex (also the disk-tier file stem).
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher accumulates the inputs of a computation into a Key. Every write is
+// tagged and length-delimited, so field boundaries are unambiguous:
+// WriteString("ab")+WriteString("c") and WriteString("a")+WriteString("bc")
+// produce different keys.
+type Hasher struct {
+	h hash.Hash
+}
+
+// NewHasher starts a key derivation under a domain label (e.g.
+// "core.Evaluate/v1"); distinct domains can never collide.
+func NewHasher(domain string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.WriteString(domain)
+	return h
+}
+
+func (h *Hasher) tag(t byte, payload uint64) {
+	var buf [9]byte
+	buf[0] = t
+	binary.BigEndian.PutUint64(buf[1:], payload)
+	h.h.Write(buf[:])
+}
+
+// WriteString hashes a length-prefixed string field.
+func (h *Hasher) WriteString(s string) {
+	h.tag('s', uint64(len(s)))
+	h.h.Write([]byte(s))
+}
+
+// WriteInt hashes a signed integer field.
+func (h *Hasher) WriteInt(v int64) { h.tag('i', uint64(v)) }
+
+// WriteUint hashes an unsigned integer field.
+func (h *Hasher) WriteUint(v uint64) { h.tag('u', v) }
+
+// WriteFloat hashes a float field by its exact bit pattern.
+func (h *Hasher) WriteFloat(f float64) { h.tag('f', math.Float64bits(f)) }
+
+// Sum finalizes the key. The Hasher may keep accumulating afterwards.
+func (h *Hasher) Sum() Key {
+	var k Key
+	copy(k[:], h.h.Sum(nil))
+	return k
+}
+
+// Stats is a snapshot of a Store's counters. MemHits+DiskHits+Dedups are
+// requests served without computing; Fills counts computations actually run
+// by Do — a warm cache serving a repeated sweep shows a Fills delta of zero.
+type Stats struct {
+	MemHits   uint64 // Get served from the in-memory LRU
+	DiskHits  uint64 // Get served from the disk tier (then promoted)
+	Misses    uint64 // Get found nothing in either tier
+	Dedups    uint64 // Do calls that joined an in-flight computation
+	Fills     uint64 // Do calls that ran the compute function
+	Evictions uint64 // entries dropped by the LRU bound
+	DiskErrs  uint64 // disk-tier read/write failures (cache stays best-effort)
+	Entries   int    // current in-memory entry count
+}
+
+// Hits is the total number of requests served from cache.
+func (s Stats) Hits() uint64 { return s.MemHits + s.DiskHits }
+
+// DefaultMaxEntries bounds the in-memory tier when New is given 0.
+const DefaultMaxEntries = 1 << 16
+
+// Store is a two-tier content-addressed cache. The zero value is not
+// usable; construct with New. A nil *Store is a valid no-op cache: Get
+// always misses, Put discards, and Do always computes, so callers can
+// thread an optional cache without nil checks at every site.
+type Store[V any] struct {
+	mu    sync.Mutex
+	lru   *list.List // front = most recently used
+	items map[Key]*list.Element
+	max   int
+	dir   string // "" = memory-only
+
+	flightMu sync.Mutex
+	flight   map[Key]*call[V]
+
+	memHits, diskHits, misses atomic.Uint64
+	dedups, fills             atomic.Uint64
+	evictions, diskErrs       atomic.Uint64
+}
+
+type lruEntry[V any] struct {
+	key Key
+	val V
+}
+
+type call[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// New builds a store bounded to maxEntries in memory (0 = DefaultMaxEntries)
+// with an optional disk tier rooted at dir ("" disables it). The directory
+// is created if missing; an unusable directory is an error because a caller
+// asking for persistence should not silently lose it.
+func New[V any](maxEntries int, dir string) (*Store[V], error) {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("cache: creating disk tier: %w", err)
+		}
+	}
+	return &Store[V]{
+		lru:    list.New(),
+		items:  make(map[Key]*list.Element),
+		max:    maxEntries,
+		dir:    dir,
+		flight: make(map[Key]*call[V]),
+	}, nil
+}
+
+// NewMemory builds a memory-only store and never fails.
+func NewMemory[V any](maxEntries int) *Store[V] {
+	s, err := New[V](maxEntries, "")
+	if err != nil {
+		panic("cache: memory-only New cannot fail: " + err.Error())
+	}
+	return s
+}
+
+// Get looks k up in the memory tier, then the disk tier (promoting a disk
+// hit into memory). The counters record which tier answered.
+func (s *Store[V]) Get(k Key) (V, bool) {
+	if s == nil {
+		var zero V
+		return zero, false
+	}
+	return s.get(k, true)
+}
+
+// get is Get with miss accounting optional, so internal re-checks don't
+// double-count a single cold lookup.
+func (s *Store[V]) get(k Key, countMiss bool) (V, bool) {
+	if v, ok := s.getMem(k); ok {
+		return v, true
+	}
+	if s.dir != "" {
+		if v, ok := s.diskGet(k); ok {
+			s.diskHits.Add(1)
+			s.putMem(k, v)
+			return v, true
+		}
+	}
+	if countMiss {
+		s.misses.Add(1)
+	}
+	var zero V
+	return zero, false
+}
+
+// getMem consults only the in-memory LRU (counted as a memory hit).
+func (s *Store[V]) getMem(k Key) (V, bool) {
+	s.mu.Lock()
+	if el, ok := s.items[k]; ok {
+		s.lru.MoveToFront(el)
+		v := el.Value.(*lruEntry[V]).val
+		s.mu.Unlock()
+		s.memHits.Add(1)
+		return v, true
+	}
+	s.mu.Unlock()
+	var zero V
+	return zero, false
+}
+
+// Put stores k→v in both tiers. Disk failures are counted, not returned:
+// the cache is an accelerator, never a correctness dependency.
+func (s *Store[V]) Put(k Key, v V) {
+	if s == nil {
+		return
+	}
+	s.putMem(k, v)
+	if s.dir != "" {
+		s.diskPut(k, v)
+	}
+}
+
+func (s *Store[V]) putMem(k Key, v V) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[k]; ok {
+		el.Value.(*lruEntry[V]).val = v
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.items[k] = s.lru.PushFront(&lruEntry[V]{key: k, val: v})
+	for s.lru.Len() > s.max {
+		oldest := s.lru.Back()
+		s.lru.Remove(oldest)
+		delete(s.items, oldest.Value.(*lruEntry[V]).key)
+		s.evictions.Add(1)
+	}
+}
+
+// Do returns the cached value for k, or computes it with fn exactly once —
+// concurrent Do calls on the same key (identical sweep cells fanned out by
+// internal/par) block on the first caller's computation and share its
+// result. Errors are returned to every waiter and never cached.
+func (s *Store[V]) Do(k Key, fn func() (V, error)) (V, error) {
+	if s == nil {
+		return fn()
+	}
+	if v, ok := s.Get(k); ok {
+		return v, nil
+	}
+	s.flightMu.Lock()
+	if c, ok := s.flight[k]; ok {
+		s.flightMu.Unlock()
+		<-c.done
+		if c.err == nil {
+			s.dedups.Add(1)
+		}
+		return c.val, c.err
+	}
+	// Re-check the memory tier while holding flightMu: a filler publishes
+	// to memory (Put → putMem) *before* removing its flight entry, so a
+	// caller that missed the fast-path Get above but arrives here after
+	// the entry is gone is guaranteed to find the value now — without
+	// this, that window would recompute and break the compute-exactly-once
+	// guarantee. Memory alone suffices, which keeps disk I/O out of the
+	// flightMu critical section.
+	if v, ok := s.getMem(k); ok {
+		s.flightMu.Unlock()
+		return v, nil
+	}
+	c := &call[V]{done: make(chan struct{})}
+	s.flight[k] = c
+	s.flightMu.Unlock()
+	s.fill(k, c, fn)
+	return c.val, c.err
+}
+
+// fill runs the computation for an in-flight call. Cleanup is deferred so a
+// panicking fn still releases waiters (with an error, never a zero value)
+// and unregisters the flight entry before the panic propagates; otherwise
+// every later Do on the key would block on done forever.
+func (s *Store[V]) fill(k Key, c *call[V], fn func() (V, error)) {
+	completed := false
+	defer func() {
+		if !completed {
+			c.err = fmt.Errorf("cache: computation for key %s panicked", k)
+		}
+		close(c.done)
+		s.flightMu.Lock()
+		delete(s.flight, k)
+		s.flightMu.Unlock()
+	}()
+	c.val, c.err = fn()
+	completed = true
+	s.fills.Add(1)
+	if c.err == nil {
+		s.Put(k, c.val)
+	}
+}
+
+// Stats snapshots the counters. Safe to call concurrently with cache use.
+func (s *Store[V]) Stats() Stats {
+	if s == nil {
+		return Stats{}
+	}
+	s.mu.Lock()
+	n := s.lru.Len()
+	s.mu.Unlock()
+	return Stats{
+		MemHits:   s.memHits.Load(),
+		DiskHits:  s.diskHits.Load(),
+		Misses:    s.misses.Load(),
+		Dedups:    s.dedups.Load(),
+		Fills:     s.fills.Load(),
+		Evictions: s.evictions.Load(),
+		DiskErrs:  s.diskErrs.Load(),
+		Entries:   n,
+	}
+}
+
+// ---- disk tier ----
+
+func (s *Store[V]) path(k Key) string {
+	return filepath.Join(s.dir, k.String()+".json")
+}
+
+func (s *Store[V]) diskGet(k Key) (V, bool) {
+	var v V
+	data, err := os.ReadFile(s.path(k))
+	if err != nil {
+		if !os.IsNotExist(err) {
+			s.diskErrs.Add(1)
+		}
+		return v, false
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		// A corrupt or foreign file under our key is unusable; drop it so
+		// the slot heals on the next Put.
+		s.diskErrs.Add(1)
+		os.Remove(s.path(k))
+		var zero V
+		return zero, false
+	}
+	return v, true
+}
+
+func (s *Store[V]) diskPut(k Key, v V) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		s.diskErrs.Add(1)
+		return
+	}
+	tmp, err := os.CreateTemp(s.dir, "tmp-*")
+	if err != nil {
+		s.diskErrs.Add(1)
+		return
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		s.diskErrs.Add(1)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		s.diskErrs.Add(1)
+		return
+	}
+	// Atomic publish: readers only ever see absent or complete files.
+	if err := os.Rename(tmp.Name(), s.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		s.diskErrs.Add(1)
+	}
+}

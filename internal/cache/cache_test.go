@@ -1,0 +1,327 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func key(s string) Key {
+	h := NewHasher("test")
+	h.WriteString(s)
+	return h.Sum()
+}
+
+// TestHasherFieldBoundaries pins the anti-ambiguity property: shifting
+// bytes between adjacent fields must change the key.
+func TestHasherFieldBoundaries(t *testing.T) {
+	a := NewHasher("d")
+	a.WriteString("ab")
+	a.WriteString("c")
+	b := NewHasher("d")
+	b.WriteString("a")
+	b.WriteString("bc")
+	if a.Sum() == b.Sum() {
+		t.Fatal("field boundaries are ambiguous")
+	}
+	c := NewHasher("other")
+	c.WriteString("ab")
+	c.WriteString("c")
+	if a.Sum() == c.Sum() {
+		t.Fatal("domain separation failed")
+	}
+	d1 := NewHasher("d")
+	d1.WriteInt(-1)
+	d2 := NewHasher("d")
+	d2.WriteUint(^uint64(0))
+	if d1.Sum() == d2.Sum() {
+		t.Fatal("int/uint tags collide")
+	}
+	f1 := NewHasher("d")
+	f1.WriteFloat(0.5)
+	f2 := NewHasher("d")
+	f2.WriteFloat(0.25)
+	if f1.Sum() == f2.Sum() {
+		t.Fatal("distinct floats collide")
+	}
+}
+
+func TestGetPutAndCounters(t *testing.T) {
+	s := NewMemory[int](0)
+	if _, ok := s.Get(key("a")); ok {
+		t.Fatal("hit on empty store")
+	}
+	s.Put(key("a"), 7)
+	v, ok := s.Get(key("a"))
+	if !ok || v != 7 {
+		t.Fatalf("got (%d,%v), want (7,true)", v, ok)
+	}
+	st := s.Stats()
+	if st.MemHits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := NewMemory[int](2)
+	s.Put(key("a"), 1)
+	s.Put(key("b"), 2)
+	// Touch "a" so "b" is the eviction victim when "c" arrives.
+	if _, ok := s.Get(key("a")); !ok {
+		t.Fatal("lost a")
+	}
+	s.Put(key("c"), 3)
+	if _, ok := s.Get(key("b")); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := s.Get(key("a")); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDoFillsOnceAndCachesValue(t *testing.T) {
+	s := NewMemory[string](0)
+	calls := 0
+	fn := func() (string, error) { calls++; return "v", nil }
+	for i := 0; i < 3; i++ {
+		v, err := s.Do(key("k"), fn)
+		if err != nil || v != "v" {
+			t.Fatalf("Do = (%q, %v)", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	if st := s.Stats(); st.Fills != 1 || st.MemHits != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDoErrorNotCached(t *testing.T) {
+	s := NewMemory[int](0)
+	boom := errors.New("boom")
+	calls := 0
+	_, err := s.Do(key("k"), func() (int, error) { calls++; return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := s.Do(key("k"), func() (int, error) { calls++; return 42, nil })
+	if err != nil || v != 42 {
+		t.Fatalf("Do after error = (%d, %v)", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (errors must not cache)", calls)
+	}
+}
+
+// TestDoSingleflight runs many concurrent Do calls on one key through a
+// gate so they all arrive before the first fill completes: exactly one
+// computation must run and everyone shares its value.
+func TestDoSingleflight(t *testing.T) {
+	s := NewMemory[int](0)
+	const waiters = 16
+	gate := make(chan struct{})
+	var calls int
+	var start, done sync.WaitGroup
+	start.Add(waiters)
+	done.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			defer done.Done()
+			start.Done()
+			v, err := s.Do(key("k"), func() (int, error) {
+				calls++ // safe: singleflight admits one fn at a time for this key
+				<-gate
+				return 99, nil
+			})
+			if err != nil || v != 99 {
+				t.Errorf("Do = (%d, %v)", v, err)
+			}
+		}()
+	}
+	start.Wait()
+	close(gate)
+	done.Wait()
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := s.Stats()
+	if st.Fills != 1 {
+		t.Fatalf("fills = %d, want 1", st.Fills)
+	}
+	if st.Dedups+st.MemHits != waiters-1 {
+		t.Fatalf("dedups(%d)+memHits(%d) != %d", st.Dedups, st.MemHits, waiters-1)
+	}
+}
+
+// TestDoPanicReleasesWaiters: a panicking compute fn must propagate the
+// panic to its caller, hand concurrent waiters either an error or a clean
+// recompute (never the zero value posing as success), and unregister the
+// flight entry so the key stays usable — without the deferred cleanup,
+// every later Do on the key would block forever (this test would time out).
+func TestDoPanicReleasesWaiters(t *testing.T) {
+	s := NewMemory[int](0)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	type res struct {
+		v   int
+		err error
+	}
+	waiter := make(chan res, 1)
+	go func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate to the filler")
+			}
+		}()
+		s.Do(key("k"), func() (int, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-entered
+	go func() {
+		v, err := s.Do(key("k"), func() (int, error) { return 55, nil })
+		waiter <- res{v, err}
+	}()
+	close(release)
+	// Two legitimate outcomes for the concurrent caller: it joined the
+	// panicked fill (error), or it arrived after cleanup and recomputed
+	// (55, nil). The zero value with a nil error would mean a panicked fill
+	// leaked as success.
+	if r := <-waiter; r.err == nil && r.v != 55 {
+		t.Fatalf("waiter got (%d, nil) from a panicked fill", r.v)
+	}
+	// The key must not be wedged: a fresh Do soon completes cleanly. (A
+	// first attempt may still join the panicked call before its deferred
+	// cleanup finishes deleting the flight entry — that returns the panic
+	// error promptly, which is released-not-wedged, so retry.)
+	for attempt := 0; ; attempt++ {
+		v, err := s.Do(key("k"), func() (int, error) { return 7, nil })
+		if err == nil {
+			if v != 7 && v != 55 {
+				t.Fatalf("Do after panic = (%d, nil)", v)
+			}
+			break
+		}
+		if attempt > 1000 {
+			t.Fatalf("key still wedged after %d attempts: %v", attempt, err)
+		}
+	}
+}
+
+type payload struct {
+	A int
+	B float64
+	C string
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := New[payload](0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload{A: 3, B: 0.1 + 0.2, C: "x"}
+	s1.Put(key("k"), want)
+
+	// A fresh store over the same directory serves the value from disk.
+	s2, err := New[payload](0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key("k"))
+	if !ok || got != want {
+		t.Fatalf("disk get = (%+v, %v), want (%+v, true)", got, ok, want)
+	}
+	st := s2.Stats()
+	if st.DiskHits != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v (disk hit should promote to memory)", st)
+	}
+	// Second read is a memory hit.
+	if _, ok := s2.Get(key("k")); !ok {
+		t.Fatal("promoted entry missing")
+	}
+	if st := s2.Stats(); st.MemHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDiskTierCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New[payload](0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("k")
+	if err := os.WriteFile(filepath.Join(dir, k.String()+".json"), []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("corrupt file served as a hit")
+	}
+	if st := s.Stats(); st.DiskErrs != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// The slot heals: Put then Get round-trips.
+	s.Put(k, payload{A: 1})
+	s2, _ := New[payload](0, dir)
+	if v, ok := s2.Get(k); !ok || v.A != 1 {
+		t.Fatalf("healed slot = (%+v, %v)", v, ok)
+	}
+}
+
+func TestNewRejectsUnusableDir(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "plain")
+	if err := os.WriteFile(file, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New[int](0, filepath.Join(file, "sub")); err == nil {
+		t.Fatal("New accepted a directory under a regular file")
+	}
+}
+
+// TestNilStoreIsNoop verifies the nil-store convention callers rely on to
+// thread an optional cache without branching.
+func TestNilStoreIsNoop(t *testing.T) {
+	var s *Store[int]
+	if _, ok := s.Get(key("a")); ok {
+		t.Fatal("nil store hit")
+	}
+	s.Put(key("a"), 1)
+	v, err := s.Do(key("a"), func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("nil Do = (%d, %v)", v, err)
+	}
+	if st := s.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats %+v", st)
+	}
+}
+
+func TestConcurrentMixedKeys(t *testing.T) {
+	s := NewMemory[int](8) // small bound so eviction races with use
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := key(fmt.Sprintf("k%d", i%16))
+				v, err := s.Do(k, func() (int, error) { return i % 16, nil })
+				if err != nil || v != i%16 {
+					t.Errorf("Do = (%d, %v), want (%d, nil)", v, err, i%16)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

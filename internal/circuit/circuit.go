@@ -7,7 +7,10 @@
 package circuit
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"strings"
 
 	"repro/internal/gates"
@@ -77,6 +80,45 @@ func (c *Circuit) Copy() *Circuit {
 		out.Ops[i] = Op{Name: op.Name, Qubits: q, Params: p, U: op.U}
 	}
 	return out
+}
+
+// Fingerprint returns a content hash of the circuit: width plus every op's
+// name, qubits, params, and (when present) explicit unitary, in order. Two
+// circuits with equal fingerprints are the same computation gate-for-gate
+// (up to 64-bit FNV collisions) — the property the content-addressed
+// Evaluate cache keys on. Explicit unitaries are hashed by their exact
+// float bit patterns, so Haar-random QuantumVolume blocks from different
+// seeds never alias.
+func (c *Circuit) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU(uint64(c.N))
+	for _, op := range c.Ops {
+		writeU(uint64(len(op.Name)))
+		h.Write([]byte(op.Name))
+		writeU(uint64(len(op.Qubits)))
+		for _, q := range op.Qubits {
+			writeU(uint64(q))
+		}
+		writeU(uint64(len(op.Params)))
+		for _, p := range op.Params {
+			writeU(math.Float64bits(p))
+		}
+		if op.U == nil {
+			writeU(0)
+			continue
+		}
+		writeU(uint64(op.U.Rows)<<32 | uint64(op.U.Cols))
+		for _, z := range op.U.Data {
+			writeU(math.Float64bits(real(z)))
+			writeU(math.Float64bits(imag(z)))
+		}
+	}
+	return h.Sum64()
 }
 
 // Append adds an op after validating qubit indices.

@@ -8,6 +8,49 @@ import (
 	"repro/internal/gates"
 )
 
+// TestFingerprintContentAddressing: equal circuits hash equal, and every
+// kind of content change — gate name, qubit, parameter, width, op order,
+// explicit unitary — changes the hash.
+func TestFingerprintContentAddressing(t *testing.T) {
+	build := func() *Circuit {
+		c := New(3)
+		c.H(0)
+		c.CX(0, 1)
+		c.RZ(2, 0.25)
+		return c
+	}
+	a, b := build(), build()
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("identical circuits hash differently")
+	}
+	if a.Fingerprint() != a.Copy().Fingerprint() {
+		t.Fatal("Copy changes the fingerprint")
+	}
+	mutations := map[string]func(*Circuit){
+		"gate name":   func(c *Circuit) { c.Ops[0].Name = "x" },
+		"qubit":       func(c *Circuit) { c.Ops[1].Qubits[1] = 2 },
+		"param":       func(c *Circuit) { c.Ops[2].Params[0] = 0.5 },
+		"width":       func(c *Circuit) { c.N = 4 },
+		"extra op":    func(c *Circuit) { c.Z(0) },
+		"op order":    func(c *Circuit) { c.Ops[0], c.Ops[1] = c.Ops[1], c.Ops[0] },
+		"unitary set": func(c *Circuit) { c.Ops[1].U = gates.CX() },
+	}
+	for name, mutate := range mutations {
+		m := build()
+		mutate(m)
+		if m.Fingerprint() == a.Fingerprint() {
+			t.Errorf("%s change not reflected in fingerprint", name)
+		}
+	}
+	// Distinct unitaries with identical op metadata must differ.
+	u1, u2 := New(2), New(2)
+	u1.SU4(0, 1, gates.CX())
+	u2.SU4(0, 1, gates.CZ())
+	if u1.Fingerprint() == u2.Fingerprint() {
+		t.Fatal("different unitaries share a fingerprint")
+	}
+}
+
 func TestBuildersAndCounts(t *testing.T) {
 	c := New(4)
 	c.H(0)

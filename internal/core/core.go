@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/topology"
 	"repro/internal/transpile"
@@ -52,6 +53,21 @@ type Options struct {
 	Trials      int        // StochasticSwap trials (0 → default 20)
 	Router      RouterKind // routing algorithm
 	Parallelism int        // routing-trial workers (0 = auto, 1 = serial)
+
+	// Cache, when non-nil, memoizes Evaluate results content-addressed by
+	// (machine name, topology fingerprint, basis, circuit fingerprint, seed,
+	// trials, router). Because routing is a pure function of those inputs, a
+	// hit is byte-identical to recomputing; Parallelism is deliberately
+	// excluded from the key since it never changes results. Concurrent
+	// Evaluate calls on the same key compute once and share the result.
+	Cache *cache.Store[Metrics]
+}
+
+// NewMetricsCache builds a cache suitable for Options.Cache: maxEntries
+// bounds the in-memory LRU (0 = default), dir adds an on-disk JSON tier
+// ("" = memory-only) so warm results survive across processes.
+func NewMetricsCache(maxEntries int, dir string) (*cache.Store[Metrics], error) {
+	return cache.New[Metrics](maxEntries, dir)
 }
 
 // DefaultOptions is the configuration used by the experiment harnesses.
@@ -90,13 +106,48 @@ type Transpiled struct {
 }
 
 // Evaluate runs the full Fig. 10 flow on a logical circuit and returns the
-// paper's metrics.
+// paper's metrics. With Options.Cache set, the result is served from the
+// content-addressed cache when an identical evaluation already ran (or is
+// running concurrently); cold and warm calls return identical Metrics.
 func (m Machine) Evaluate(c *circuit.Circuit, opt Options) (Metrics, error) {
-	t, err := m.Transpile(c, opt)
-	if err != nil {
-		return Metrics{}, err
+	eval := func() (Metrics, error) {
+		t, err := m.Transpile(c, opt)
+		if err != nil {
+			return Metrics{}, err
+		}
+		return t.Metrics, nil
 	}
-	return t.Metrics, nil
+	if opt.Cache == nil || m.Graph == nil {
+		return eval()
+	}
+	return opt.Cache.Do(m.evaluateKey(c, opt), eval)
+}
+
+// evaluateKeyDomain versions the Evaluate cache key. The key hashes the
+// call's *inputs*; the pipeline's *code* is represented only by this tag.
+// BUMP THE SUFFIX whenever a change alters what Evaluate computes for the
+// same inputs (router cost functions, translation counting rules, metric
+// definitions, seed derivation) — otherwise a persistent -cachedir from an
+// older build serves the old algorithm's numbers as if freshly computed.
+const evaluateKeyDomain = "core.Evaluate/v1"
+
+// evaluateKey derives the content hash of one Evaluate call: everything the
+// metrics depend on and nothing else. Trials is normalized so the implicit
+// default and an explicit DefaultTrials share an entry.
+func (m Machine) evaluateKey(c *circuit.Circuit, opt Options) cache.Key {
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = transpile.DefaultTrials
+	}
+	h := cache.NewHasher(evaluateKeyDomain)
+	h.WriteString(m.Name)
+	h.WriteUint(m.Graph.Fingerprint())
+	h.WriteInt(int64(m.Basis))
+	h.WriteUint(c.Fingerprint())
+	h.WriteInt(opt.Seed)
+	h.WriteInt(int64(trials))
+	h.WriteInt(int64(opt.Router))
+	return h.Sum()
 }
 
 // Transpile runs placement, routing, and basis translation, returning all

@@ -21,6 +21,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/par"
@@ -68,6 +69,11 @@ type SweepSpec struct {
 	// 1 = serial, n = at most n workers. Output is identical at every
 	// setting; see the package comment for the determinism scheme.
 	Parallelism int
+	// Cache, when non-nil, memoizes per-cell Evaluate results so repeated
+	// or overlapping sweeps (Fig. 4/11/12 share workloads and machines)
+	// skip identical routing work. Warm results are byte-identical to cold
+	// ones — every cell's seed is a pure function of its coordinates.
+	Cache *cache.Store[core.Metrics]
 }
 
 // circuitFor builds the benchmark circuit deterministically per
@@ -159,6 +165,7 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 			Seed:        s.taskSeed(w, t.size, m.Name),
 			Trials:      s.Trials,
 			Parallelism: 1,
+			Cache:       s.Cache,
 		}
 		met, err := m.Evaluate(circs[circKey{t.w, t.size}], opt)
 		if err != nil {
@@ -361,8 +368,10 @@ type Headline struct {
 
 // Headlines computes the headline ratios on QuantumVolume circuits.
 // parallelism bounds the router's trial pool (0 = auto, 1 = serial);
-// the ratios are identical at every setting.
-func Headlines(quick bool, parallelism int) (Headline, error) {
+// the ratios are identical at every setting. store, when non-nil, serves
+// repeated invocations from the content-addressed Evaluate cache — a second
+// Headlines call sharing a store performs zero additional routing.
+func Headlines(quick bool, parallelism int, store *cache.Store[core.Metrics]) (Headline, error) {
 	sizes := sizes84(quick)
 	hh := core.HeavyHex84CX()
 	hc := core.Hypercube84SqrtISwap()
@@ -374,7 +383,7 @@ func Headlines(quick bool, parallelism int) (Headline, error) {
 		if err != nil {
 			return Headline{}, err
 		}
-		opt := core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism}
+		opt := core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism, Cache: store}
 		a, err := hh.Evaluate(c, opt)
 		if err != nil {
 			return Headline{}, err

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/topology"
 	"repro/internal/weyl"
@@ -30,8 +31,9 @@ type CorralScalingRow struct {
 // third of the ring (the stride-3-of-8 ratio that realizes the paper's
 // Corral 1,2), so the design keeps its low-diameter property as it scales.
 // parallelism bounds the router's trial pool (0 = auto, 1 = serial) and
-// never changes the measured rows.
-func CorralScaling(posts []int, quick bool, parallelism int) ([]CorralScalingRow, error) {
+// never changes the measured rows. store, when non-nil, memoizes the routed
+// QV evaluations so repeated studies skip identical routing.
+func CorralScaling(posts []int, quick bool, parallelism int, store *cache.Store[core.Metrics]) ([]CorralScalingRow, error) {
 	var out []CorralScalingRow
 	for _, p := range posts {
 		if p < 5 {
@@ -48,7 +50,7 @@ func CorralScaling(posts []int, quick bool, parallelism int) ([]CorralScalingRow
 			return nil, err
 		}
 		m := core.NewMachine(g.Name, g, weyl.BasisSqrtISwap)
-		met, err := m.Evaluate(c, core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism})
+		met, err := m.Evaluate(c, core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism, Cache: store})
 		if err != nil {
 			return nil, err
 		}

@@ -268,7 +268,7 @@ func (p *exprParser) parseAtom() (float64, error) {
 		}
 		p.pos++
 		return v, nil
-	case strings.HasPrefix(p.src[p.pos:], "pi"):
+	case p.atPi():
 		p.pos += 2
 		return math.Pi, nil
 	default:
@@ -286,4 +286,22 @@ func (p *exprParser) parseAtom() (float64, error) {
 	}
 }
 
+// atPi reports whether the cursor sits on the constant "pi" as a complete
+// token: "pi" followed by an identifier character ("pix", "pi2", "pi_")
+// is an unknown identifier, not π with trailing garbage.
+func (p *exprParser) atPi() bool {
+	if !strings.HasPrefix(p.src[p.pos:], "pi") {
+		return false
+	}
+	if p.pos+2 >= len(p.src) {
+		return true
+	}
+	return !isIdentChar(p.src[p.pos+2])
+}
+
 func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func isIdentChar(b byte) bool {
+	return isDigit(b) || b == '_' ||
+		(b >= 'a' && b <= 'z') || (b >= 'A' && b <= 'Z')
+}

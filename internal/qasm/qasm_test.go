@@ -128,6 +128,72 @@ func TestImportErrors(t *testing.T) {
 	}
 }
 
+// TestEvalExprEdgeCases exercises the parameter-expression parser directly:
+// π token boundaries (the old parser read any "pi"-prefixed token as π, so
+// "pix" silently evaluated to π), unary minus, scientific notation, nested
+// parens, and malformed input.
+func TestEvalExprEdgeCases(t *testing.T) {
+	good := map[string]float64{
+		"pi":          math.Pi,
+		"-pi/2":       -math.Pi / 2,
+		"2*pi/8":      math.Pi / 4,
+		"(pi)":        math.Pi,
+		"pi*pi":       math.Pi * math.Pi,
+		"--1":         1,
+		"-(2+3)":      -5,
+		"1.5e-1":      0.15,
+		"2E+3":        2000,
+		"1e3/4":       250,
+		" 1 + 2 * 3 ": 7,
+		"3-pi":        3 - math.Pi,
+	}
+	for expr, want := range good {
+		got, err := evalExpr(expr)
+		if err != nil {
+			t.Errorf("%q: %v", expr, err)
+			continue
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("%q = %g, want %g", expr, got, want)
+		}
+	}
+	bad := []string{
+		"pix",     // identifier, not π with trailing 'x'
+		"pi2",     // likewise
+		"pi_half", // likewise
+		"2*pix",
+		"",
+		"1/0",
+		"(pi",
+		"pi+",
+		"1..2",
+		"e5", // exponent with no mantissa
+		"1 2",
+	}
+	for _, expr := range bad {
+		if v, err := evalExpr(expr); err == nil {
+			t.Errorf("%q: accepted as %g", expr, v)
+		}
+	}
+}
+
+// TestImportPiBoundaryRegression pins the fix end-to-end: a gate parameter
+// spelled "pix" must fail the import instead of parsing as π.
+func TestImportPiBoundaryRegression(t *testing.T) {
+	if _, err := Import("qreg q[1];\nrz(pix) q[0];"); err == nil {
+		t.Fatal("rz(pix) accepted — 'pi' needs a token boundary")
+	}
+	// The boundary must not break legitimate uses where 'pi' ends at a
+	// non-identifier character.
+	c, err := Import("qreg q[1];\nrz(pi/2) q[0];\nrz(-pi) q[0];\nrz(pi) q[0];")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c.Ops[2].Params[0]-math.Pi) > 1e-12 {
+		t.Fatalf("rz(pi) = %g", c.Ops[2].Params[0])
+	}
+}
+
 func TestZYZAnglesProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	f := func(seed int64) bool {

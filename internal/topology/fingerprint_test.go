@@ -1,0 +1,68 @@
+package topology
+
+import "testing"
+
+// TestFingerprintStructural: the fingerprint depends on structure only —
+// edge insertion order and the display name must not matter, while any
+// structural difference must (with overwhelming probability) change it.
+func TestFingerprintStructural(t *testing.T) {
+	a := NewGraph("a", 4)
+	a.AddEdge(0, 1)
+	a.AddEdge(2, 3)
+	a.AddEdge(1, 2)
+
+	b := NewGraph("a different name", 4)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 2) // reversed endpoint order too
+	b.AddEdge(0, 1)
+
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on construction order or name")
+	}
+
+	c := NewGraph("a", 4)
+	c.AddEdge(0, 1)
+	c.AddEdge(2, 3)
+	c.AddEdge(0, 2) // one different edge
+	if a.Fingerprint() == c.Fingerprint() {
+		t.Fatal("different edge sets share a fingerprint")
+	}
+
+	d := NewGraph("a", 5) // same edges, extra isolated vertex
+	d.AddEdge(0, 1)
+	d.AddEdge(2, 3)
+	d.AddEdge(1, 2)
+	if a.Fingerprint() == d.Fingerprint() {
+		t.Fatal("different vertex counts share a fingerprint")
+	}
+}
+
+// TestFingerprintInvalidatedByAddEdge: mutating the graph after a
+// fingerprint was computed must refresh the cached value.
+func TestFingerprintInvalidatedByAddEdge(t *testing.T) {
+	g := NewGraph("g", 3)
+	g.AddEdge(0, 1)
+	before := g.Fingerprint()
+	g.AddEdge(1, 2)
+	if g.Fingerprint() == before {
+		t.Fatal("stale fingerprint served after AddEdge")
+	}
+}
+
+// TestFingerprintCatalogDistinct: every distinct paper topology hashes
+// differently (spot check across the Table 1/2 generators).
+func TestFingerprintCatalogDistinct(t *testing.T) {
+	gs := []*Graph{
+		HeavyHex20(), HexLattice20(), SquareLattice16(), Tree20(),
+		TreeRR20(), Corral11(), Corral12(), Hypercube16(),
+		HeavyHex84(), SquareLattice84(), Tree84(), Hypercube84(),
+	}
+	seen := map[uint64]string{}
+	for _, g := range gs {
+		fp := g.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("fingerprint collision: %s vs %s", g.Name, prev)
+		}
+		seen[fp] = g.Name
+	}
+}

@@ -8,7 +8,10 @@
 package topology
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -27,6 +30,8 @@ type Graph struct {
 
 	dist   atomic.Pointer[[][]int] // all-pairs BFS distances, computed lazily
 	distMu sync.Mutex              // serializes the one-time computation
+
+	fp atomic.Pointer[uint64] // structural fingerprint, computed lazily
 }
 
 // NewGraph returns an empty graph with n vertices.
@@ -58,6 +63,38 @@ func (g *Graph) AddEdge(a, b int) {
 	}
 	g.edges = append(g.edges, [2]int{a, b})
 	g.dist.Store(nil)
+	g.fp.Store(nil)
+}
+
+// Fingerprint returns a structural hash of the graph: vertex count plus the
+// sorted edge set, independent of construction order. Two graphs with equal
+// fingerprints have identical couplings (up to 64-bit FNV collisions), which
+// is what content-addressed caching of routing results keys on; the Name is
+// deliberately excluded so renamed but identical topologies share entries.
+func (g *Graph) Fingerprint() uint64 {
+	if p := g.fp.Load(); p != nil {
+		return *p
+	}
+	es := append([][2]int(nil), g.edges...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i][0] != es[j][0] {
+			return es[i][0] < es[j][0]
+		}
+		return es[i][1] < es[j][1]
+	})
+	h := fnv.New64a()
+	var buf [8]byte
+	writeU := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	writeU(uint64(g.n))
+	for _, e := range es {
+		writeU(uint64(e[0])<<32 | uint64(e[1]))
+	}
+	v := h.Sum64()
+	g.fp.Store(&v)
+	return v
 }
 
 // HasEdge reports whether (a,b) is an edge.

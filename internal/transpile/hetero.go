@@ -63,7 +63,10 @@ func TranslateHetero(c *circuit.Circuit) (*circuit.Circuit, error) {
 			out.U3(q1, 0, 0, 0)
 			continue
 		}
-		name := basisGateName(choice.Basis)
+		name, err := basisGateName(choice.Basis)
+		if err != nil {
+			return nil, err
+		}
 		for i := 0; i < choice.Count; i++ {
 			out.U3(q0, 0, 0, 0)
 			out.U3(q1, 0, 0, 0)

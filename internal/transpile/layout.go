@@ -60,6 +60,29 @@ func (l Layout) Validate(g *topology.Graph) error {
 	return nil
 }
 
+// checkGatePairsReachable fails when any two-qubit gate's endpoints map to
+// disconnected components of g under the layout. Routing moves qubits along
+// edges, so such a pair (BFS distance -1) can never become adjacent;
+// without this check the -1 sentinel leaks into routing cost matrices,
+// where it reads as the *cheapest* possible distance. Only interacting
+// pairs are checked — idle qubits parked in another component are harmless
+// and were always routable.
+func checkGatePairsReachable(g *topology.Graph, c *circuit.Circuit, l Layout) error {
+	d := g.Distances()
+	for _, op := range c.Ops {
+		if !op.Is2Q() {
+			continue
+		}
+		a, b := l[op.Qubits[0]], l[op.Qubits[1]]
+		if d[a][b] < 0 {
+			return fmt.Errorf(
+				"transpile: gate %s: physical qubits %d and %d lie in disconnected components of %s: no SWAP path can join them",
+				op, a, b, g.Name)
+		}
+	}
+	return nil
+}
+
 // DenseLayout chooses the densest connected induced subgraph of size c.N
 // (greedy growth from every seed, keeping the subset with the most induced
 // couplings) and assigns the circuit's most-interacting qubits to the
@@ -71,6 +94,18 @@ func DenseLayout(g *topology.Graph, c *circuit.Circuit) (Layout, error) {
 		return nil, fmt.Errorf("transpile: circuit needs %d qubits, machine has %d", k, g.N())
 	}
 	subset := densestSubset(g, k)
+	if subset == nil {
+		// Only possible for k < g.N() when no connected region of k
+		// vertices exists. The old fallback (first k vertices) handed
+		// routing a layout spanning disconnected components, whose -1 BFS
+		// distances then read as the *cheapest* cost; fail here with the
+		// real cause instead. (Full-width circuits necessarily use every
+		// vertex; whether each gate is routable is then decided per gate
+		// pair by the routers' reachability check.)
+		return nil, fmt.Errorf(
+			"transpile: topology %s is disconnected: no connected %d-qubit region for the circuit",
+			g.Name, k)
+	}
 	// Order physical vertices by induced degree (descending, stable).
 	inSubset := make(map[int]bool, k)
 	for _, v := range subset {
@@ -125,7 +160,9 @@ func DenseLayout(g *topology.Graph, c *circuit.Circuit) (Layout, error) {
 // densestSubset grows a connected subset of size k from every seed vertex,
 // each step adding the candidate with the most neighbors already inside
 // (ties: smaller distance sum to the subset, then smaller index), and keeps
-// the subset with the most induced edges.
+// the subset with the most induced edges. Returns nil when no component
+// holds k vertices (growth is connectivity-preserving, so on a connected
+// graph it always succeeds).
 func densestSubset(g *topology.Graph, k int) []int {
 	if k == g.N() {
 		all := make([]int, k)
@@ -178,11 +215,7 @@ func densestSubset(g *topology.Graph, k int) []int {
 		}
 	}
 	if best == nil {
-		// Fall back to the first k vertices (disconnected or degenerate).
-		best = make([]int, k)
-		for i := range best {
-			best[i] = i
-		}
+		return nil
 	}
 	sort.Ints(best)
 	return best

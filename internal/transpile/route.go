@@ -50,6 +50,9 @@ func StochasticSwapParallel(g *topology.Graph, c *circuit.Circuit, initial Layou
 	if err := initial.Validate(g); err != nil {
 		return nil, err
 	}
+	if err := checkGatePairsReachable(g, c, initial); err != nil {
+		return nil, err
+	}
 	if trials <= 0 {
 		trials = DefaultTrials
 	}

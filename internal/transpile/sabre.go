@@ -20,6 +20,9 @@ func SabreSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.
 	if err := initial.Validate(g); err != nil {
 		return nil, err
 	}
+	if err := checkGatePairsReachable(g, c, initial); err != nil {
+		return nil, err
+	}
 	const (
 		extendedSize   = 20  // lookahead window (2Q gates)
 		extendedWeight = 0.5 // discount on the lookahead term
@@ -114,7 +117,21 @@ func SabreSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.
 	resetDecay()
 
 	guard := 0
-	maxSteps := 10 * (len(c.Ops) + 1) * (g.Diameter() + 1)
+	// Budget on the largest finite pairwise distance, not g.Diameter():
+	// the graph-wide diameter is -1 on a disconnected graph even when
+	// every gate routes inside one component (where routing is perfectly
+	// well defined), which would zero the budget and fail every circuit.
+	// The max finite distance bounds every component's diameter, and the
+	// budget only needs an upper bound.
+	diam := 0
+	for _, row := range dist {
+		for _, d := range row {
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	maxSteps := 10 * (len(c.Ops) + 1) * (diam + 1)
 	for len(front) > 0 {
 		if guard++; guard > maxSteps {
 			return nil, fmt.Errorf("transpile: SABRE exceeded step budget")

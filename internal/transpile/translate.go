@@ -8,19 +8,22 @@ import (
 )
 
 // basisGateName is the op name emitted for each application of the target
-// basis gate during translation.
-func basisGateName(b weyl.Basis) string {
+// basis gate during translation. An unrecognized basis is a caller error,
+// reported as such rather than a panic: translation entry points validate
+// the basis up front so a bad value can never detonate mid-circuit (or
+// reach weyl.Basis.NumGates, which would panic on it).
+func basisGateName(b weyl.Basis) (string, error) {
 	switch b {
 	case weyl.BasisCX:
-		return "cx"
+		return "cx", nil
 	case weyl.BasisSqrtISwap:
-		return "siswap"
+		return "siswap", nil
 	case weyl.BasisSYC:
-		return "syc"
+		return "syc", nil
 	case weyl.BasisISwap:
-		return "iswap"
+		return "iswap", nil
 	default:
-		panic("transpile: unknown basis")
+		return "", fmt.Errorf("transpile: unknown basis %v", b)
 	}
 }
 
@@ -34,6 +37,10 @@ func basisGateName(b weyl.Basis) string {
 // Weyl coordinates are memoized per (name, params) so repeated gates (CX,
 // SWAP, CP(θ) ladders) are classified once.
 func TranslateToBasis(c *circuit.Circuit, b weyl.Basis) (*circuit.Circuit, error) {
+	name, err := basisGateName(b)
+	if err != nil {
+		return nil, err
+	}
 	out := circuit.New(c.N)
 	cache := make(map[string]int)
 	for _, op := range c.Ops {
@@ -52,7 +59,6 @@ func TranslateToBasis(c *circuit.Circuit, b weyl.Basis) (*circuit.Circuit, error
 			out.U3(q1, 0, 0, 0)
 			continue
 		}
-		name := basisGateName(b)
 		for i := 0; i < k; i++ {
 			out.U3(q0, 0, 0, 0)
 			out.U3(q1, 0, 0, 0)
@@ -91,6 +97,9 @@ func basisCount(op circuit.Op, b weyl.Basis, cache map[string]int) (int, error) 
 // Count2QForBasis returns how many basis-gate applications a circuit costs
 // without materializing the translated circuit (used by fast sweeps).
 func Count2QForBasis(c *circuit.Circuit, b weyl.Basis) (int, error) {
+	if _, err := basisGateName(b); err != nil {
+		return 0, err
+	}
 	cache := make(map[string]int)
 	total := 0
 	for _, op := range c.Ops {
@@ -110,7 +119,12 @@ func Count2QForBasis(c *circuit.Circuit, b weyl.Basis) (int, error) {
 // circuit: each application of the basis gate costs its relative pulse
 // length (√iSWAP = 0.5, CX/SYC/iSWAP = 1.0), 1Q gates are free (paper §3.1).
 func PulseDuration(c *circuit.Circuit, b weyl.Basis) float64 {
-	name := basisGateName(b)
+	name, err := basisGateName(b)
+	if err != nil {
+		// No circuit can have been translated to an unknown basis, so its
+		// basis-gate critical path is vacuously zero.
+		return 0
+	}
 	dur := b.Duration()
 	return c.CriticalPath(func(op circuit.Op) float64 {
 		if op.Name == name && op.Is2Q() {

@@ -40,6 +40,7 @@ package repro
 import (
 	"math/rand"
 
+	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/decomp"
@@ -69,6 +70,23 @@ type Options = core.Options
 
 // Transpiled bundles the layout, routed, and translated artifacts.
 type Transpiled = core.Transpiled
+
+// MetricsCache is the content-addressed Evaluate result cache: set it on
+// Options.Cache (or SweepSpec.Cache / the Headlines and CorralScaling store
+// parameter) so identical evaluations — across overlapping sweeps, repeated
+// figure regenerations, or concurrent cells — route once. Entries never
+// need invalidation: keys are hashes of everything the result depends on.
+type MetricsCache = cache.Store[core.Metrics]
+
+// CacheStats is a snapshot of a MetricsCache's hit/miss/fill counters.
+type CacheStats = cache.Stats
+
+// NewMetricsCache builds an Evaluate result cache. maxEntries bounds the
+// in-memory LRU tier (0 = default); dir, when non-empty, adds an on-disk
+// JSON tier so warm results survive across processes.
+func NewMetricsCache(maxEntries int, dir string) (*MetricsCache, error) {
+	return core.NewMetricsCache(maxEntries, dir)
+}
 
 // Circuit is the gate-list IR accepted by the pipeline.
 type Circuit = circuit.Circuit

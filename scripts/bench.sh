@@ -7,11 +7,16 @@
 #   scripts/bench.sh                  # all benchmarks -> BENCH.json
 #   BENCH_OUT=BENCH_PR1.json scripts/bench.sh
 #   BENCH_FILTER='Statevector|KAK' BENCH_TIME=500ms scripts/bench.sh
+#   BENCH_SKIP_CHECK=1 scripts/bench.sh   # skip the vet/race preflight
 #
 # Output schema:
 #   { "goos": ..., "goarch": ..., "cpu": ..., "gomaxprocs": N,
 #     "benchmarks": [ { "name": ..., "iterations": N, "ns_per_op": ...,
-#                       "b_per_op": ..., "allocs_per_op": ... }, ... ] }
+#                       "b_per_op": ..., "allocs_per_op": ...,
+#                       "cache_hits_per_op": ..., "cache_misses_per_op": ... }, ... ] }
+#
+# cache_hits_per_op / cache_misses_per_op are emitted by the warm-cache
+# benchmarks (b.ReportMetric) and stay null elsewhere.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +27,10 @@ RAW="$(mktemp)"
 trap 'rm -f "$RAW"' EXIT
 export GOMAXPROCS_REPORT="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
 
+if [[ "${BENCH_SKIP_CHECK:-0}" != "1" ]]; then
+    scripts/check.sh
+fi
+
 go test -bench="$FILTER" -benchmem -benchtime="$TIME" -count=1 -run='^$' . | tee "$RAW"
 
 awk -v out="$OUT" '
@@ -29,17 +38,19 @@ awk -v out="$OUT" '
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
-    # Benchmark lines: Name[-P] iters ns/op [B/op] [allocs/op]
+    # Benchmark lines: Name[-P] iters ns/op [B/op] [allocs/op] [custom metrics]
     name = $1; iters = $2; ns = $3
-    b = "null"; allocs = "null"
+    b = "null"; allocs = "null"; chits = "null"; cmisses = "null"
     for (i = 3; i <= NF; i++) {
-        if ($(i) == "ns/op")     ns = $(i - 1)
-        if ($(i) == "B/op")      b = $(i - 1)
-        if ($(i) == "allocs/op") allocs = $(i - 1)
+        if ($(i) == "ns/op")           ns = $(i - 1)
+        if ($(i) == "B/op")            b = $(i - 1)
+        if ($(i) == "allocs/op")       allocs = $(i - 1)
+        if ($(i) == "cache_hits/op")   chits = $(i - 1)
+        if ($(i) == "cache_misses/op") cmisses = $(i - 1)
     }
     n++
-    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s}",
-                       name, iters, ns, b, allocs)
+    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s}",
+                       name, iters, ns, b, allocs, chits, cmisses)
 }
 END {
     printf "{\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [\n", \

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# check.sh — static and concurrency preflight for the repository:
+#   * go vet over every package
+#   * race-detector runs of the packages with real concurrency surface
+#     (the content-addressed cache and the parallel sweep engine), pinned
+#     to GOMAXPROCS=4 so races reproduce even on single-core runners.
+#
+# Run directly, or via scripts/bench.sh which uses it as its preflight.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "check: go vet ./..."
+go vet ./...
+
+echo "check: race-testing cache + sweep engine (GOMAXPROCS=4)"
+GOMAXPROCS=4 go test -race -count=1 ./internal/cache/... ./internal/experiments/... ./internal/par/...
+
+echo "check: ok"
