@@ -133,7 +133,7 @@ func BenchmarkFig15(b *testing.B) {
 
 func BenchmarkHeadlines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h, err := experiments.Headlines(true, 1, nil)
+		h, err := experiments.Headlines(true, 1, nil, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +154,7 @@ func BenchmarkHeadlinesWarmCache(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		h, err := experiments.Headlines(true, 1, store)
+		h, err := experiments.Headlines(true, 1, store, false)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -165,6 +165,43 @@ func BenchmarkHeadlinesWarmCache(b *testing.B) {
 	st := store.Stats()
 	b.ReportMetric(float64(st.Hits())/float64(b.N), "cache_hits/op")
 	b.ReportMetric(float64(st.Misses)/float64(b.N), "cache_misses/op")
+}
+
+// ---- Profile-guided routing (ISSUE 3 tentpole) ----
+
+// BenchmarkProfileGuided compares baseline and profile-guided routing on
+// the SNAIL corral/tree machines with a 16-qubit QuantumVolume circuit.
+// The swaps metric lands in the bench JSON (scripts/bench.sh) so the
+// profile-guided SWAP advantage is tracked across PRs; guided mode keeps
+// the cheaper of pilot and re-weighted routing, so its count can never
+// exceed the baseline's.
+func BenchmarkProfileGuided(b *testing.B) {
+	machines := []core.Machine{
+		core.Corral11SqrtISwap(),
+		core.Corral12SqrtISwap(),
+		core.Tree20SqrtISwap(),
+		core.TreeRR20SqrtISwap(),
+	}
+	c, err := workloads.Generate("QuantumVolume", 16, rand.New(rand.NewSource(22)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, m := range machines {
+		for _, mode := range []string{"baseline", "profiled"} {
+			b.Run(m.Graph.Name+"/"+mode, func(b *testing.B) {
+				opt := core.Options{Seed: 2022, Trials: 5, ProfileGuided: mode == "profiled"}
+				var swaps int
+				for i := 0; i < b.N; i++ {
+					met, err := m.Evaluate(c, opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					swaps = met.TotalSwaps
+				}
+				b.ReportMetric(float64(swaps), "swaps")
+			})
+		}
+	}
 }
 
 // ---- Ablations (DESIGN.md) ----

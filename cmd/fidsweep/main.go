@@ -19,9 +19,11 @@ import (
 func main() {
 	samples := flag.Int("samples", 50, "Haar-random targets (paper: 50)")
 	seed := flag.Int64("seed", 2022, "RNG seed")
+	parallelism := flag.Int("parallelism", 0,
+		"decomposition worker pool size (0 = all cores, 1 = serial; output is identical at any setting)")
 	flag.Parse()
 
-	res, err := experiments.RunFig15(*samples, *seed, decomp.Config{})
+	res, err := experiments.RunFig15Parallel(*samples, *seed, decomp.Config{}, *parallelism)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,107 +11,219 @@
 // the paper's sizes (16..80 qubits, 20 routing trials), which takes tens of
 // minutes for the 84-qubit figures on one core.
 //
+// -profile enables profile-guided routing: every evaluation first routes a
+// pilot pass under uniform hop distances, measures per-edge SWAP pressure,
+// then re-lays-out and re-routes under pressure-weighted distances that
+// price congested links (corral fences, tree roots) above idle ones,
+// keeping the cheaper of the two routings. Roughly 2× the routing time;
+// never worse than the baseline on induced SWAPs.
+//
 // -cachedir DIR enables the content-addressed result cache with an on-disk
 // JSON tier rooted at DIR (created if missing): every (machine, circuit,
-// seed, trials, router) evaluation is stored under a hash of its inputs, so
-// regenerating a figure — or another figure sharing cells — skips routing
-// that already ran, in this process or any earlier one. Cached output is
+// seed, trials, router, profile-mode) evaluation is stored under a hash of
+// its inputs, so regenerating a figure — or another figure sharing cells —
+// skips routing that already ran, in this process or any earlier one.
+// Profile-guided and baseline evaluations are keyed separately and can
+// share a directory without cross-contamination. Cached output is
 // byte-identical to a cold run of the same build: keys are content hashes
 // of the inputs plus a pipeline version tag, so entries need no manual
 // invalidation, but a directory written by a build with different routing
 // or translation behavior (and an unbumped tag — see core.evaluateKeyDomain)
-// is only as fresh as that tag. Hit/miss counts print to stderr.
+// is only as fresh as that tag. Hit/miss counts print to stderr on every
+// exit path, including failed sweeps.
+//
+// Exactly one of -fig, -headline, -corralscaling must be chosen, and -csv
+// only applies to -fig sweeps; conflicting combinations are rejected with a
+// usage error instead of being silently ignored.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
+	"strconv"
+	"strings"
 
-	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
-	fig := flag.Int("fig", 0, "figure to regenerate: 4, 11, 12, 13, or 14")
-	headline := flag.Bool("headline", false, "compute the Heavy-Hex vs Hypercube headline ratios")
-	corral := flag.Bool("corralscaling", false, "run the §7 Corral scaling study")
-	csv := flag.Bool("csv", false, "emit sweep results as CSV")
-	full := flag.Bool("full", false, "use the paper's full sizes (slow)")
-	parallelism := flag.Int("parallelism", 0,
-		"sweep worker pool size (0 = all cores, 1 = serial; output is identical at any setting)")
-	cachedir := flag.String("cachedir", "",
-		"directory for the on-disk result cache (default off; warm entries make repeated runs skip identical routing)")
-	flag.Parse()
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if err == nil {
+		return
+	}
+	// -h/-help is a successful outcome (matching flag.ExitOnError), and
+	// flag.Parse already printed its own message+usage for parse errors.
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if !isParseError(err) {
+		fmt.Fprintln(os.Stderr, "qcbench:", err)
+	}
+	var ue usageError
+	if errors.As(err, &ue) || isParseError(err) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
 
-	var store *cache.Store[core.Metrics]
+// usageError marks a bad flag combination (exit status 2, like flag errors).
+type usageError struct{ msg string }
+
+func (e usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return usageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// parseSentinel tags errors returned by FlagSet.Parse so main neither
+// double-prints them nor conflates them with runtime failures.
+type parseSentinel struct{ err error }
+
+func (e parseSentinel) Error() string { return e.err.Error() }
+func (e parseSentinel) Unwrap() error { return e.err }
+
+func isParseError(err error) bool {
+	var ps parseSentinel
+	return errors.As(err, &ps)
+}
+
+// run is the whole program behind a single exit point: every return path
+// unwinds the defers, so the -cachedir stats line prints even when a sweep
+// fails — log.Fatal's os.Exit used to skip it.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("qcbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	fig := fs.Int("fig", 0, "figure to regenerate: 4, 11, 12, 13, or 14")
+	headline := fs.Bool("headline", false, "compute the Heavy-Hex vs Hypercube headline ratios")
+	corral := fs.Bool("corralscaling", false, "run the §7 Corral scaling study")
+	csv := fs.Bool("csv", false, "emit sweep results as CSV (-fig only)")
+	full := fs.Bool("full", false, "use the paper's full sizes (slow)")
+	profile := fs.Bool("profile", false,
+		"profile-guided routing: pilot pass, per-edge SWAP pressure, pressure-weighted final pass (~2x routing time, never more SWAPs)")
+	parallelism := fs.Int("parallelism", 0,
+		"sweep worker pool size (0 = all cores, 1 = serial; output is identical at any setting)")
+	cachedir := fs.String("cachedir", "",
+		"directory for the on-disk result cache (default off; warm entries make repeated runs skip identical routing)")
+	posts := fs.String("posts", "6,8,10,12,16",
+		"comma-separated Corral ring sizes for -corralscaling (each ≥5 posts)")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return parseSentinel{err: err}
+	}
+	if fs.NArg() > 0 {
+		return usagef("unexpected arguments %q (qcbench takes flags only)", fs.Args())
+	}
+
+	// Reject conflicting or silently-ignored combinations up front: the old
+	// CLI let -headline win over an explicit -fig and dropped -csv under
+	// -headline/-corralscaling without a word.
+	var modes []string
+	if *fig != 0 {
+		modes = append(modes, "-fig")
+	}
+	if *headline {
+		modes = append(modes, "-headline")
+	}
+	if *corral {
+		modes = append(modes, "-corralscaling")
+	}
+	if len(modes) == 0 {
+		fs.Usage()
+		return usagef("choose one of -fig, -headline, -corralscaling")
+	}
+	if len(modes) > 1 {
+		return usagef("%v are mutually exclusive; choose one", modes)
+	}
+	if *csv && *fig == 0 {
+		return usagef("-csv only applies to -fig sweeps; it would be ignored under %s", modes[0])
+	}
+	postsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "posts" {
+			postsSet = true
+		}
+	})
+	if postsSet && !*corral {
+		return usagef("-posts only applies to -corralscaling; it would be ignored under %s", modes[0])
+	}
+	postSizes, err := parsePosts(*posts)
+	if err != nil {
+		return usagef("bad -posts: %v", err)
+	}
+	quick := !*full
+	var spec experiments.SweepSpec
+	if *fig != 0 {
+		switch *fig {
+		case 4:
+			spec = experiments.Fig4Spec(quick)
+		case 11:
+			spec = experiments.Fig11Spec(quick)
+		case 12:
+			spec = experiments.Fig12Spec(quick)
+		case 13:
+			spec = experiments.Fig13Spec(quick)
+		case 14:
+			spec = experiments.Fig14Spec(quick)
+		default:
+			return usagef("unknown figure %d: want 4, 11, 12, 13, or 14", *fig)
+		}
+	}
+
+	var store *core.MetricsCache
 	if *cachedir != "" {
 		var err error
 		store, err = core.NewMetricsCache(0, *cachedir)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		defer func() {
 			st := store.Stats()
-			fmt.Fprintf(os.Stderr, "cache: %d hits (%d mem, %d disk), %d misses, %d evaluations\n",
+			fmt.Fprintf(stderr, "cache: %d hits (%d mem, %d disk), %d misses, %d evaluations\n",
 				st.Hits(), st.MemHits, st.DiskHits, st.Misses, st.Fills)
 		}()
 	}
 
-	quick := !*full
-	if *corral {
-		posts := []int{6, 8, 10, 12, 16}
-		rows, err := experiments.CorralScaling(posts, quick, *parallelism, store)
+	switch {
+	case *corral:
+		rows, err := experiments.CorralScaling(postSizes, quick, *parallelism, store, *profile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println("Corral scaling study (paper §7 future work): ring growth with")
-		fmt.Println("the long fence at ~1/3 of the ring; QV at 80% machine fill.")
-		fmt.Print(experiments.FormatCorralScaling(rows))
-		return
-	}
-	if *headline {
-		h, err := experiments.Headlines(quick, *parallelism, store)
+		fmt.Fprintln(stdout, "Corral scaling study (paper §7 future work): ring growth with")
+		fmt.Fprintln(stdout, "the long fence at ~1/3 of the ring; QV at 80% machine fill.")
+		fmt.Fprint(stdout, experiments.FormatCorralScaling(rows))
+	case *headline:
+		h, err := experiments.Headlines(quick, *parallelism, store, *profile)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("QuantumVolume average ratios, Heavy-Hex+CNOT / Hypercube+sqrtISWAP (sizes %v):\n", h.Sizes)
-		fmt.Printf("  total SWAPs        %.2fx   (paper: 2.57x)\n", h.SwapRatio)
-		fmt.Printf("  critical SWAPs     %.2fx   (paper: 5.63x)\n", h.CriticalSwapRatio)
-		fmt.Printf("  total 2Q gates     %.2fx   (paper: 3.16x)\n", h.Total2QRatio)
-		fmt.Printf("  pulse duration     %.2fx   (paper: 6.11x)\n", h.DurationRatio)
-		return
-	}
-	var spec experiments.SweepSpec
-	switch *fig {
-	case 4:
-		spec = experiments.Fig4Spec(quick)
-	case 11:
-		spec = experiments.Fig11Spec(quick)
-	case 12:
-		spec = experiments.Fig12Spec(quick)
-	case 13:
-		spec = experiments.Fig13Spec(quick)
-	case 14:
-		spec = experiments.Fig14Spec(quick)
+		fmt.Fprintf(stdout, "QuantumVolume average ratios, Heavy-Hex+CNOT / Hypercube+sqrtISWAP (sizes %v):\n", h.Sizes)
+		fmt.Fprintf(stdout, "  total SWAPs        %.2fx   (paper: 2.57x)\n", h.SwapRatio)
+		fmt.Fprintf(stdout, "  critical SWAPs     %.2fx   (paper: 5.63x)\n", h.CriticalSwapRatio)
+		fmt.Fprintf(stdout, "  total 2Q gates     %.2fx   (paper: 3.16x)\n", h.Total2QRatio)
+		fmt.Fprintf(stdout, "  pulse duration     %.2fx   (paper: 6.11x)\n", h.DurationRatio)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		spec.Parallelism = *parallelism
+		spec.Cache = store
+		spec.ProfileGuided = *profile
+		series, err := spec.Run()
+		if err != nil {
+			return err
+		}
+		if *csv {
+			fmt.Fprint(stdout, experiments.SeriesCSV(series, spec.Kind))
+			return nil
+		}
+		fmt.Fprintf(stdout, "Figure %d (%s mode%s)\n", *fig, mode(quick), profiledSuffix(*profile))
+		fmt.Fprint(stdout, experiments.FormatSeries(series, spec.Kind))
 	}
-	spec.Parallelism = *parallelism
-	spec.Cache = store
-	series, err := spec.Run()
-	if err != nil {
-		log.Fatal(err)
-	}
-	if *csv {
-		fmt.Print(experiments.SeriesCSV(series, spec.Kind))
-		return
-	}
-	fmt.Printf("Figure %d (%s mode)\n", *fig, mode(quick))
-	fmt.Print(experiments.FormatSeries(series, spec.Kind))
+	return nil
 }
 
 func mode(quick bool) string {
@@ -119,4 +231,25 @@ func mode(quick bool) string {
 		return "quick"
 	}
 	return "full"
+}
+
+func profiledSuffix(profiled bool) string {
+	if profiled {
+		return ", profile-guided"
+	}
+	return ""
+}
+
+// parsePosts parses the -posts list; range validation (≥5 posts per ring)
+// belongs to experiments.CorralScaling.
+func parsePosts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("%q is not an integer", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

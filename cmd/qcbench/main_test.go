@@ -1,0 +1,114 @@
+package main
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runQ drives run() in-process, returning stdout, stderr, and the error.
+func runQ(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb strings.Builder
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func wantUsageError(t *testing.T, err error, fragment string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected usage error containing %q, got nil", fragment)
+	}
+	var ue usageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("expected usageError, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestConflictingModesRejected(t *testing.T) {
+	// -headline used to win silently over an explicit -fig.
+	_, _, err := runQ(t, "-fig", "11", "-headline")
+	wantUsageError(t, err, "mutually exclusive")
+	_, _, err = runQ(t, "-headline", "-corralscaling")
+	wantUsageError(t, err, "mutually exclusive")
+	_, _, err = runQ(t, "-fig", "4", "-corralscaling", "-headline")
+	wantUsageError(t, err, "mutually exclusive")
+}
+
+func TestIgnoredFlagsRejected(t *testing.T) {
+	// -csv used to be dropped without a word under -headline/-corralscaling.
+	_, _, err := runQ(t, "-headline", "-csv")
+	wantUsageError(t, err, "-csv")
+	_, _, err = runQ(t, "-corralscaling", "-csv")
+	wantUsageError(t, err, "-csv")
+	_, _, err = runQ(t, "-fig", "11", "-posts", "6")
+	wantUsageError(t, err, "-posts")
+	// Explicitly passing the default value is still an explicitly-set flag.
+	_, _, err = runQ(t, "-fig", "11", "-posts", "6,8,10,12,16")
+	wantUsageError(t, err, "-posts")
+}
+
+func TestNoModeIsUsageError(t *testing.T) {
+	_, stderr, err := runQ(t)
+	wantUsageError(t, err, "choose one")
+	if !strings.Contains(stderr, "Usage of qcbench") {
+		t.Errorf("usage text not printed, stderr: %q", stderr)
+	}
+}
+
+func TestUnknownFigureRejected(t *testing.T) {
+	_, _, err := runQ(t, "-fig", "7")
+	wantUsageError(t, err, "unknown figure 7")
+}
+
+func TestPositionalArgsRejected(t *testing.T) {
+	_, _, err := runQ(t, "-headline", "extra")
+	wantUsageError(t, err, "unexpected arguments")
+}
+
+func TestBadPostsRejected(t *testing.T) {
+	_, _, err := runQ(t, "-corralscaling", "-posts", "6,eight")
+	wantUsageError(t, err, "not an integer")
+}
+
+func TestCacheStatsPrintOnFailure(t *testing.T) {
+	// A ring below 5 posts fails inside the corral study — after the cache
+	// store exists. The stats line must still print: the old log.Fatal exit
+	// skipped the deferred printer on every error path.
+	dir := filepath.Join(t.TempDir(), "cache")
+	_, stderr, err := runQ(t, "-corralscaling", "-posts", "3", "-cachedir", dir)
+	if err == nil {
+		t.Fatal("expected corral-scaling failure for 3 posts")
+	}
+	if errors.As(err, new(usageError)) {
+		t.Fatalf("runtime failure misclassified as usage error: %v", err)
+	}
+	if !strings.Contains(stderr, "cache:") {
+		t.Errorf("cache stats not printed on failure path, stderr: %q", stderr)
+	}
+}
+
+func TestCacheStatsPrintOnSuccess(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "cache")
+	stdout, stderr, err := runQ(t, "-corralscaling", "-posts", "6", "-cachedir", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout, "Corral scaling study") {
+		t.Errorf("missing study output, stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "cache:") {
+		t.Errorf("cache stats not printed, stderr: %q", stderr)
+	}
+}
+
+func TestParseErrorIsDistinguished(t *testing.T) {
+	_, _, err := runQ(t, "-no-such-flag")
+	if err == nil || !isParseError(err) {
+		t.Fatalf("expected parse error, got %v", err)
+	}
+}

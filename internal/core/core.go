@@ -54,6 +54,19 @@ type Options struct {
 	Router      RouterKind // routing algorithm
 	Parallelism int        // routing-trial workers (0 = auto, 1 = serial)
 
+	// ProfileGuided enables the two-pass pressure-weighted pipeline: a pilot
+	// pass routes under uniform hop distances and records per-edge SWAP
+	// pressure (transpile.EdgeProfile); the final pass then lays out and
+	// routes under weighted all-pairs distances that price congested links
+	// (corral fences, tree roots) above idle ones. The cheaper of the two
+	// routings — by induced SWAP count, pilot on ties — is kept, so a guided
+	// run never does worse than the baseline it profiled. Costs roughly 2×
+	// the routing time. Off by default; the default pipeline is byte-
+	// identical to a build without this feature. Results remain a pure
+	// function of (inputs, Seed, Trials, Router, ProfileGuided), and guided
+	// evaluations are cache-keyed separately from baseline ones.
+	ProfileGuided bool
+
 	// Cache, when non-nil, memoizes Evaluate results content-addressed by
 	// (machine name, topology fingerprint, basis, circuit fingerprint, seed,
 	// trials, router). Because routing is a pure function of those inputs, a
@@ -63,10 +76,14 @@ type Options struct {
 	Cache *cache.Store[Metrics]
 }
 
+// MetricsCache is the content-addressed Evaluate result cache behind
+// Options.Cache.
+type MetricsCache = cache.Store[Metrics]
+
 // NewMetricsCache builds a cache suitable for Options.Cache: maxEntries
 // bounds the in-memory LRU (0 = default), dir adds an on-disk JSON tier
 // ("" = memory-only) so warm results survive across processes.
-func NewMetricsCache(maxEntries int, dir string) (*cache.Store[Metrics], error) {
+func NewMetricsCache(maxEntries int, dir string) (*MetricsCache, error) {
 	return cache.New[Metrics](maxEntries, dir)
 }
 
@@ -103,6 +120,12 @@ type Transpiled struct {
 	Routed     *circuit.Circuit
 	Translated *circuit.Circuit
 	Metrics    Metrics
+
+	// Profile is the pilot pass's measured per-edge SWAP pressure when
+	// Options.ProfileGuided was set (nil otherwise). It always describes
+	// the pilot routing — the uniform-cost pass that was profiled — not
+	// the possibly-guided routing returned in Routed.
+	Profile *transpile.EdgeProfile
 }
 
 // Evaluate runs the full Fig. 10 flow on a logical circuit and returns the
@@ -147,31 +170,80 @@ func (m Machine) evaluateKey(c *circuit.Circuit, opt Options) cache.Key {
 	h.WriteInt(opt.Seed)
 	h.WriteInt(int64(trials))
 	h.WriteInt(int64(opt.Router))
+	// Profile-guided mode computes different numbers from the same inputs,
+	// so it must never share entries with the baseline. Appending a tagged
+	// field only in guided mode keeps every baseline key bit-identical to
+	// earlier builds (warm -cachedir entries stay valid) while guided keys
+	// live in their own namespace: Hasher fields are tagged and length-
+	// delimited, so a truncated guided key can never collide with a baseline
+	// key. Bump the suffix if the guided pipeline's behavior changes.
+	if opt.ProfileGuided {
+		h.WriteString("profile-guided/v1")
+	}
 	return h.Sum()
 }
 
-// Transpile runs placement, routing, and basis translation, returning all
-// intermediate artifacts and metrics.
-func (m Machine) Transpile(c *circuit.Circuit, opt Options) (*Transpiled, error) {
-	if m.Graph == nil {
-		return nil, fmt.Errorf("core: machine %q has no topology", m.Name)
-	}
-	layout, err := transpile.DenseLayout(m.Graph, c)
+// routeOnce runs placement and routing under one cost matrix (nil = uniform
+// hop distances) with a fresh RNG from opt.Seed, so each pass of the
+// profile-guided pipeline is independently deterministic.
+func (m Machine) routeOnce(c *circuit.Circuit, opt Options, cost [][]float64) (transpile.Layout, *transpile.RouteResult, error) {
+	layout, err := transpile.DenseLayoutCost(m.Graph, c, cost)
 	if err != nil {
-		return nil, fmt.Errorf("core: layout on %s: %w", m.Name, err)
+		return nil, nil, fmt.Errorf("core: layout on %s: %w", m.Name, err)
 	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	var routed *transpile.RouteResult
 	switch opt.Router {
 	case RouterStochastic:
-		routed, err = transpile.StochasticSwapParallel(m.Graph, c, layout, rng, opt.Trials, opt.Parallelism)
+		routed, err = transpile.StochasticSwapCost(m.Graph, c, layout, rng, opt.Trials, opt.Parallelism, cost)
 	case RouterSabre:
-		routed, err = transpile.SabreSwap(m.Graph, c, layout, rng)
+		routed, err = transpile.SabreSwapCost(m.Graph, c, layout, rng, cost)
 	default:
-		return nil, fmt.Errorf("core: unknown router %d", opt.Router)
+		return nil, nil, fmt.Errorf("core: unknown router %d", opt.Router)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("core: routing on %s: %w", m.Name, err)
+		return nil, nil, fmt.Errorf("core: routing on %s: %w", m.Name, err)
+	}
+	return layout, routed, nil
+}
+
+// Transpile runs placement, routing, and basis translation, returning all
+// intermediate artifacts and metrics. With Options.ProfileGuided set, the
+// first routing acts as a pilot whose measured per-edge SWAP pressure
+// re-weights the cost matrices for a second placement+routing pass; the
+// pass with fewer induced SWAPs wins (pilot on ties), so guided mode is
+// never worse than the baseline on the metric it optimizes.
+func (m Machine) Transpile(c *circuit.Circuit, opt Options) (*Transpiled, error) {
+	if m.Graph == nil {
+		return nil, fmt.Errorf("core: machine %q has no topology", m.Name)
+	}
+	layout, routed, err := m.routeOnce(c, opt, nil)
+	if err != nil {
+		return nil, err
+	}
+	var profile *transpile.EdgeProfile
+	if opt.ProfileGuided {
+		profile, err = transpile.ProfileRoutedCircuit(m.Graph, routed.Circuit)
+		if err != nil {
+			return nil, fmt.Errorf("core: profiling pilot on %s: %w", m.Name, err)
+		}
+		// A pilot with zero induced SWAPs is already optimal on the metric
+		// the guided pass competes on (total = algorithmic + induced, and
+		// algorithmic SWAPs are fixed by the logical circuit), so the
+		// second pass can at best tie and lose the tie — skip it.
+		if routed.SwapCount > 0 {
+			wdist, err := m.Graph.WeightedDistances(profile.Weights(transpile.DefaultPressureAlpha))
+			if err != nil {
+				return nil, fmt.Errorf("core: weighting %s: %w", m.Name, err)
+			}
+			gLayout, gRouted, err := m.routeOnce(c, opt, wdist)
+			if err != nil {
+				return nil, err
+			}
+			if gRouted.SwapCount < routed.SwapCount {
+				layout, routed = gLayout, gRouted
+			}
+		}
 	}
 	translated, err := transpile.TranslateToBasis(routed.Circuit, m.Basis)
 	if err != nil {
@@ -193,6 +265,7 @@ func (m Machine) Transpile(c *circuit.Circuit, opt Options) (*Transpiled, error)
 		Routed:     routed.Circuit,
 		Translated: translated,
 		Metrics:    met,
+		Profile:    profile,
 	}, nil
 }
 

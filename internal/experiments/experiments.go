@@ -74,6 +74,12 @@ type SweepSpec struct {
 	// skip identical routing work. Warm results are byte-identical to cold
 	// ones — every cell's seed is a pure function of its coordinates.
 	Cache *cache.Store[core.Metrics]
+	// ProfileGuided routes every cell with the pressure-weighted two-pass
+	// pipeline (core.Options.ProfileGuided): pilot, per-edge SWAP profile,
+	// re-weighted final pass, cheaper result kept. Guided cells are cache-
+	// keyed separately from baseline cells, so the two modes can share a
+	// store (or -cachedir) without cross-contamination.
+	ProfileGuided bool
 }
 
 // circuitFor builds the benchmark circuit deterministically per
@@ -162,10 +168,11 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 		t := cells[i]
 		w, m := s.Workloads[t.w], s.Machines[t.m]
 		opt := core.Options{
-			Seed:        s.taskSeed(w, t.size, m.Name),
-			Trials:      s.Trials,
-			Parallelism: 1,
-			Cache:       s.Cache,
+			Seed:          s.taskSeed(w, t.size, m.Name),
+			Trials:        s.Trials,
+			Parallelism:   1,
+			Cache:         s.Cache,
+			ProfileGuided: s.ProfileGuided,
 		}
 		met, err := m.Evaluate(circs[circKey{t.w, t.size}], opt)
 		if err != nil {
@@ -371,7 +378,9 @@ type Headline struct {
 // the ratios are identical at every setting. store, when non-nil, serves
 // repeated invocations from the content-addressed Evaluate cache — a second
 // Headlines call sharing a store performs zero additional routing.
-func Headlines(quick bool, parallelism int, store *cache.Store[core.Metrics]) (Headline, error) {
+// profileGuided routes both machines with the pressure-weighted two-pass
+// pipeline (cache-keyed separately from baseline runs).
+func Headlines(quick bool, parallelism int, store *cache.Store[core.Metrics], profileGuided bool) (Headline, error) {
 	sizes := sizes84(quick)
 	hh := core.HeavyHex84CX()
 	hc := core.Hypercube84SqrtISwap()
@@ -383,7 +392,7 @@ func Headlines(quick bool, parallelism int, store *cache.Store[core.Metrics]) (H
 		if err != nil {
 			return Headline{}, err
 		}
-		opt := core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism, Cache: store}
+		opt := core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism, Cache: store, ProfileGuided: profileGuided}
 		a, err := hh.Evaluate(c, opt)
 		if err != nil {
 			return Headline{}, err

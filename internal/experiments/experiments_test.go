@@ -142,7 +142,7 @@ func TestFig13CodesignOrdering(t *testing.T) {
 }
 
 func TestHeadlinesDirection(t *testing.T) {
-	h, err := Headlines(true, 1, nil)
+	h, err := Headlines(true, 1, nil, false)
 	if err != nil {
 		t.Fatal(err)
 	}

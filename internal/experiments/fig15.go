@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
 	"repro/internal/decomp"
 	"repro/internal/gates"
 	"repro/internal/linalg"
+	"repro/internal/par"
 )
 
 // Fig15Roots and Fig15Ks are the paper's sweep axes: n√iSWAP for n = 2..7
@@ -36,11 +38,33 @@ type Fig15Result struct {
 // template size (Fig. 15 top-right).
 func Duration(n, k int) float64 { return float64(k) / float64(n) }
 
+// fig15CellSeed derives the decomposition RNG seed of one (n, k, sample)
+// cell from its coordinates and the study's base seed via FNV — the same
+// pure-function-of-coordinates scheme as SweepSpec.taskSeed, which is what
+// makes the serial and parallel schedules byte-identical: no cell's draws
+// depend on how many draws any other cell consumed.
+func fig15CellSeed(seed int64, n, k, sample int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "fig15/%d/%d/%d/%d", n, k, sample, seed)
+	return int64(h.Sum64())
+}
+
 // RunFig15 reproduces the Fig. 15 study: decompose `samples` Haar-random 2Q
 // unitaries into every (n, k) template, then evaluate the
 // decoherence-vs-approximation trade-off across base fidelities.
-// The paper uses N=50; tests use fewer.
+// The paper uses N=50; tests use fewer. Decompositions fan out over the
+// internal/par worker pool (all cores); RunFig15Parallel exposes the knob.
 func RunFig15(samples int, seed int64, cfg decomp.Config) (*Fig15Result, error) {
+	return RunFig15Parallel(samples, seed, cfg, 0)
+}
+
+// RunFig15Parallel is RunFig15 with an explicit worker bound for the
+// (n, k, sample) decomposition cells (0 = auto/GOMAXPROCS, 1 = serial).
+// Every cell optimizes under its own FNV-derived RNG (fig15CellSeed) and
+// writes into an index-addressed slot, so the result is byte-identical at
+// every parallelism setting; the Adam objective is preallocated
+// per-Decompose call, so concurrent cells share no mutable state.
+func RunFig15Parallel(samples int, seed int64, cfg decomp.Config, parallelism int) (*Fig15Result, error) {
 	if samples < 1 {
 		return nil, fmt.Errorf("experiments: fig15 needs ≥1 sample")
 	}
@@ -54,22 +78,47 @@ func RunFig15(samples int, seed int64, cfg decomp.Config) (*Fig15Result, error) 
 		Roots:   Fig15Roots,
 		Ks:      Fig15Ks,
 	}
-	// fidelity[ni][ki][sample] = Fd.
+	// fidelity[ni][ki][sample] = Fd; infid holds 1−Fd as reported by the
+	// optimizer so averages sum the exact optimizer output.
 	fid := make([][][]float64, len(res.Roots))
+	infid := make([][][]float64, len(res.Roots))
 	res.AvgInfidelity = make([][]float64, len(res.Roots))
-	for ni, n := range res.Roots {
+	for ni := range res.Roots {
 		fid[ni] = make([][]float64, len(res.Ks))
+		infid[ni] = make([][]float64, len(res.Ks))
 		res.AvgInfidelity[ni] = make([]float64, len(res.Ks))
-		for ki, k := range res.Ks {
+		for ki := range res.Ks {
 			fid[ni][ki] = make([]float64, samples)
+			infid[ni][ki] = make([]float64, samples)
+		}
+	}
+	nCells := len(res.Roots) * len(res.Ks) * samples
+	cellAt := func(i int) (ni, ki, si int) {
+		si = i % samples
+		i /= samples
+		ki = i % len(res.Ks)
+		return i / len(res.Ks), ki, si
+	}
+	err := par.ForEach(nCells, parallelism, func(i int) error {
+		ni, ki, si := cellAt(i)
+		n, k := res.Roots[ni], res.Ks[ki]
+		cellRng := rand.New(rand.NewSource(fig15CellSeed(seed, n, k, si)))
+		r, err := decomp.Decompose(targets[si], n, k, cellRng, cfg)
+		if err != nil {
+			return fmt.Errorf("experiments: fig15 n=%d k=%d: %w", n, k, err)
+		}
+		fid[ni][ki][si] = 1 - r.Infidelity
+		infid[ni][ki][si] = r.Infidelity
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ni := range res.Roots {
+		for ki := range res.Ks {
 			sum := 0.0
-			for si, target := range targets {
-				r, err := decomp.Decompose(target, n, k, rng, cfg)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: fig15 n=%d k=%d: %w", n, k, err)
-				}
-				fid[ni][ki][si] = 1 - r.Infidelity
-				sum += r.Infidelity
+			for si := 0; si < samples; si++ {
+				sum += infid[ni][ki][si]
 			}
 			res.AvgInfidelity[ni][ki] = sum / float64(samples)
 		}
@@ -145,7 +194,7 @@ func (r *Fig15Result) InfidelityImprovement(n int, fbISwap float64) (float64, er
 	return ((1 - base) - (1 - ft)) / (1 - base), nil
 }
 
-// FormatFig15 renders the study as text tables.
+// Format renders the study as text tables.
 func (r *Fig15Result) Format() string {
 	out := "== Fig 15 (top): avg decomposition infidelity 1-Fd ==\n"
 	out += fmt.Sprintf("%-10s", "n\\k")

@@ -32,8 +32,10 @@ type CorralScalingRow struct {
 // Corral 1,2), so the design keeps its low-diameter property as it scales.
 // parallelism bounds the router's trial pool (0 = auto, 1 = serial) and
 // never changes the measured rows. store, when non-nil, memoizes the routed
-// QV evaluations so repeated studies skip identical routing.
-func CorralScaling(posts []int, quick bool, parallelism int, store *cache.Store[core.Metrics]) ([]CorralScalingRow, error) {
+// QV evaluations so repeated studies skip identical routing. profileGuided
+// routes each ring with the pressure-weighted two-pass pipeline (cache-
+// keyed separately from baseline runs).
+func CorralScaling(posts []int, quick bool, parallelism int, store *cache.Store[core.Metrics], profileGuided bool) ([]CorralScalingRow, error) {
 	var out []CorralScalingRow
 	for _, p := range posts {
 		if p < 5 {
@@ -50,7 +52,7 @@ func CorralScaling(posts []int, quick bool, parallelism int, store *cache.Store[
 			return nil, err
 		}
 		m := core.NewMachine(g.Name, g, weyl.BasisSqrtISwap)
-		met, err := m.Evaluate(c, core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism, Cache: store})
+		met, err := m.Evaluate(c, core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism, Cache: store, ProfileGuided: profileGuided})
 		if err != nil {
 			return nil, err
 		}

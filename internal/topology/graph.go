@@ -31,6 +31,9 @@ type Graph struct {
 	dist   atomic.Pointer[[][]int] // all-pairs BFS distances, computed lazily
 	distMu sync.Mutex              // serializes the one-time computation
 
+	wdistMu sync.Mutex                // guards wdist
+	wdist   map[uint64][][]float64    // weighted all-pairs distances per weight fingerprint
+
 	fp atomic.Pointer[uint64] // structural fingerprint, computed lazily
 }
 
@@ -64,6 +67,9 @@ func (g *Graph) AddEdge(a, b int) {
 	g.edges = append(g.edges, [2]int{a, b})
 	g.dist.Store(nil)
 	g.fp.Store(nil)
+	g.wdistMu.Lock()
+	g.wdist = nil
+	g.wdistMu.Unlock()
 }
 
 // Fingerprint returns a structural hash of the graph: vertex count plus the

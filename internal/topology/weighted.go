@@ -1,0 +1,132 @@
+package topology
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// EdgeWeights assigns a positive cost to every edge of a Graph, parallel to
+// the Edges() slice: weights[i] is the cost of traversing Edges()[i] in
+// either direction. The profile-guided router derives these from measured
+// per-edge SWAP pressure so congested links read as longer than idle ones.
+type EdgeWeights []float64
+
+// UniformWeights returns the all-ones weighting, under which
+// WeightedDistances reproduces Distances() exactly (hops as floats).
+func (g *Graph) UniformWeights() EdgeWeights {
+	w := make(EdgeWeights, len(g.edges))
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// weightedDistCacheMax bounds the per-graph weighted-distance cache. Unlike
+// the single hop-distance matrix, weight vectors vary per profiled circuit,
+// so the cache is a bounded map keyed by weight fingerprint; when full it is
+// cleared wholesale (entries are cheap to recompute and sweeps rarely churn
+// more than a few distinct weightings per graph at once).
+const weightedDistCacheMax = 64
+
+// WeightedDistances returns the all-pairs shortest-path cost matrix under
+// the given edge weights (Dijkstra from every source), caching results per
+// weight vector the way Distances() caches the hop matrix. Unreachable
+// pairs are +Inf (never the -1 sentinel of the hop matrix, which reads as
+// the cheapest possible cost if it leaks into a router's arithmetic).
+// Weights must be positive and parallel to Edges(). Safe for concurrent
+// callers sharing one Graph.
+func (g *Graph) WeightedDistances(w EdgeWeights) ([][]float64, error) {
+	if len(w) != len(g.edges) {
+		return nil, fmt.Errorf("topology: %d edge weights for %d edges", len(w), len(g.edges))
+	}
+	for i, wt := range w {
+		if !(wt > 0) || math.IsInf(wt, 1) {
+			return nil, fmt.Errorf("topology: edge %v weight %g must be positive and finite", g.edges[i], wt)
+		}
+	}
+	key := w.fingerprint()
+	g.wdistMu.Lock()
+	if d, ok := g.wdist[key]; ok {
+		g.wdistMu.Unlock()
+		return d, nil
+	}
+	g.wdistMu.Unlock()
+
+	d := g.dijkstraAll(w)
+
+	g.wdistMu.Lock()
+	if g.wdist == nil || len(g.wdist) >= weightedDistCacheMax {
+		g.wdist = make(map[uint64][][]float64)
+	}
+	g.wdist[key] = d
+	g.wdistMu.Unlock()
+	return d, nil
+}
+
+// fingerprint hashes the weight vector by exact bit patterns.
+func (w EdgeWeights) fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for _, v := range w {
+		bits := math.Float64bits(v)
+		for i := range buf {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	return h.Sum64()
+}
+
+// dijkstraAll runs Dijkstra from every source. n is small (≤ ~170 across
+// the paper's machines), so the O(n²) selection loop beats a heap and is
+// trivially deterministic (lowest-index tie-break).
+func (g *Graph) dijkstraAll(w EdgeWeights) [][]float64 {
+	n := g.n
+	// Per-vertex neighbor weights, mirroring the adjacency lists.
+	adjW := make([][]float64, n)
+	for v := range adjW {
+		adjW[v] = make([]float64, len(g.adj[v]))
+	}
+	for i, e := range g.edges {
+		a, b := e[0], e[1]
+		for j, nb := range g.adj[a] {
+			if nb == b {
+				adjW[a][j] = w[i]
+			}
+		}
+		for j, nb := range g.adj[b] {
+			if nb == a {
+				adjW[b][j] = w[i]
+			}
+		}
+	}
+	out := make([][]float64, n)
+	for s := 0; s < n; s++ {
+		row := make([]float64, n)
+		visited := make([]bool, n)
+		for i := range row {
+			row[i] = math.Inf(1)
+		}
+		row[s] = 0
+		for {
+			u, best := -1, math.Inf(1)
+			for v := 0; v < n; v++ {
+				if !visited[v] && row[v] < best {
+					u, best = v, row[v]
+				}
+			}
+			if u < 0 {
+				break
+			}
+			visited[u] = true
+			for j, v := range g.adj[u] {
+				if nd := row[u] + adjW[u][j]; nd < row[v] {
+					row[v] = nd
+				}
+			}
+		}
+		out[s] = row
+	}
+	return out
+}

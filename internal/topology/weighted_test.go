@@ -1,0 +1,150 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestUniformWeightsReproduceHops(t *testing.T) {
+	for _, g := range []*Graph{SquareLattice16(), Corral11(), Tree20(), Hypercube16()} {
+		d, err := g.WeightedDistances(g.UniformWeights())
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		hops := g.Distances()
+		for i := 0; i < g.N(); i++ {
+			for j := 0; j < g.N(); j++ {
+				if d[i][j] != float64(hops[i][j]) {
+					t.Fatalf("%s: weighted[%d][%d] = %g, hops = %d", g.Name, i, j, d[i][j], hops[i][j])
+				}
+			}
+		}
+	}
+}
+
+func TestWeightedDistancesDetour(t *testing.T) {
+	// Triangle 0-1-2 plus a path 0-3-2: direct edge (0,2) weighted heavy
+	// should reroute the 0→2 shortest path around it.
+	g := NewGraph("tri", 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(0, 3)
+	g.AddEdge(3, 2)
+	w := g.UniformWeights()
+	for i, e := range g.Edges() {
+		if e == [2]int{0, 2} {
+			w[i] = 10
+		}
+	}
+	d, err := g.WeightedDistances(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0][2] != 2 {
+		t.Errorf("d[0][2] = %g, want 2 (detour via 1 or 3, not the weight-10 edge)", d[0][2])
+	}
+	if d[0][2] != d[2][0] {
+		t.Errorf("asymmetric weighted distances: %g vs %g", d[0][2], d[2][0])
+	}
+}
+
+func TestWeightedDistancesDisconnected(t *testing.T) {
+	g := NewGraph("split", 4)
+	g.AddEdge(0, 1)
+	g.AddEdge(2, 3)
+	d, err := g.WeightedDistances(g.UniformWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(d[0][2], 1) {
+		t.Errorf("unreachable pair distance = %g, want +Inf", d[0][2])
+	}
+	if d[0][1] != 1 || d[2][3] != 1 {
+		t.Errorf("in-component distances wrong: %g, %g", d[0][1], d[2][3])
+	}
+}
+
+func TestWeightedDistancesValidation(t *testing.T) {
+	g := SquareLattice16()
+	if _, err := g.WeightedDistances(make(EdgeWeights, 3)); err == nil {
+		t.Error("wrong-length weights accepted")
+	}
+	w := g.UniformWeights()
+	w[0] = 0
+	if _, err := g.WeightedDistances(w); err == nil {
+		t.Error("zero weight accepted")
+	}
+	w[0] = -1
+	if _, err := g.WeightedDistances(w); err == nil {
+		t.Error("negative weight accepted")
+	}
+	w[0] = math.Inf(1)
+	if _, err := g.WeightedDistances(w); err == nil {
+		t.Error("infinite weight accepted")
+	}
+}
+
+func TestWeightedDistancesCached(t *testing.T) {
+	g := Corral11()
+	w := g.UniformWeights()
+	a, err := g.WeightedDistances(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.WeightedDistances(append(EdgeWeights(nil), w...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%p", a) != fmt.Sprintf("%p", b) {
+		t.Error("identical weight vectors did not hit the cache")
+	}
+	w2 := g.UniformWeights()
+	w2[0] = 2
+	c, err := g.WeightedDistances(w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%p", a) == fmt.Sprintf("%p", c) {
+		t.Error("distinct weight vectors shared a cache entry")
+	}
+}
+
+func TestWeightedDistancesInvalidatedByAddEdge(t *testing.T) {
+	g := NewGraph("grow", 3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	d, err := g.WeightedDistances(g.UniformWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[0][2] != 2 {
+		t.Fatalf("d[0][2] = %g, want 2", d[0][2])
+	}
+	g.AddEdge(0, 2)
+	d2, err := g.WeightedDistances(g.UniformWeights())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2[0][2] != 1 {
+		t.Errorf("after AddEdge d[0][2] = %g, want 1 (stale weighted cache?)", d2[0][2])
+	}
+}
+
+func TestWeightedDistancesConcurrent(t *testing.T) {
+	g := Tree20()
+	w := g.UniformWeights()
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			_, err := g.WeightedDistances(w)
+			done <- err
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

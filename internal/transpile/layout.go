@@ -89,11 +89,20 @@ func checkGatePairsReachable(g *topology.Graph, c *circuit.Circuit, l Layout) er
 // best-connected vertices — a faithful reimplementation of the spirit of
 // Qiskit's DenseLayout, which the paper uses for initial mapping (§5).
 func DenseLayout(g *topology.Graph, c *circuit.Circuit) (Layout, error) {
+	return DenseLayoutCost(g, c, nil)
+}
+
+// DenseLayoutCost is DenseLayout with an explicit cost matrix replacing hop
+// distances in the subset-growth tie-break, so a profile-guided caller can
+// bias placement away from regions reached only through congested links. A
+// nil cost means uniform hop distances and reproduces DenseLayout exactly;
+// density (induced coupling count) remains the primary objective either way.
+func DenseLayoutCost(g *topology.Graph, c *circuit.Circuit, cost [][]float64) (Layout, error) {
 	k := c.N
 	if k > g.N() {
 		return nil, fmt.Errorf("transpile: circuit needs %d qubits, machine has %d", k, g.N())
 	}
-	subset := densestSubset(g, k)
+	subset := densestSubset(g, k, cost)
 	if subset == nil {
 		// Only possible for k < g.N() when no connected region of k
 		// vertices exists. The old fallback (first k vertices) handed
@@ -160,10 +169,12 @@ func DenseLayout(g *topology.Graph, c *circuit.Circuit) (Layout, error) {
 // densestSubset grows a connected subset of size k from every seed vertex,
 // each step adding the candidate with the most neighbors already inside
 // (ties: smaller distance sum to the subset, then smaller index), and keeps
-// the subset with the most induced edges. Returns nil when no component
-// holds k vertices (growth is connectivity-preserving, so on a connected
-// graph it always succeeds).
-func densestSubset(g *topology.Graph, k int) []int {
+// the subset with the most induced edges. Distance sums come from cost when
+// non-nil, otherwise hop distances (as exact-integer floats, so the nil
+// path compares identically to the historical int arithmetic). Returns nil
+// when no component holds k vertices (growth is connectivity-preserving, so
+// on a connected graph it always succeeds).
+func densestSubset(g *topology.Graph, k int, cost [][]float64) []int {
 	if k == g.N() {
 		all := make([]int, k)
 		for i := range all {
@@ -171,21 +182,31 @@ func densestSubset(g *topology.Graph, k int) []int {
 		}
 		return all
 	}
-	dist := g.Distances()
 	n := g.N()
+	rowCost := func(u int) []float64 {
+		if cost != nil {
+			return cost[u]
+		}
+		return nil
+	}
+	dist := g.Distances()
 	var best []int
 	bestEdges := -1
 	for seed := 0; seed < n; seed++ {
 		in := make([]bool, n)
-		degIn := make([]int, n)   // neighbors already inside, per candidate
-		distSum := make([]int, n) // distance sum to the subset, per candidate
+		degIn := make([]int, n)       // neighbors already inside, per candidate
+		distSum := make([]float64, n) // distance sum to the subset, per candidate
 		add := func(v int) {
 			in[v] = true
 			for _, w := range g.Neighbors(v) {
 				degIn[w]++
 			}
 			for u := 0; u < n; u++ {
-				distSum[u] += dist[u][v]
+				if row := rowCost(u); row != nil {
+					distSum[u] += row[v]
+				} else {
+					distSum[u] += float64(dist[u][v])
+				}
 			}
 		}
 		add(seed)

@@ -1,0 +1,119 @@
+package transpile
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/topology"
+)
+
+// EdgeProfile records per-edge SWAP pressure observed during a pilot
+// routing pass: how many SWAPs the router placed on each physical coupling.
+// On the SNAIL machines the pressure is strongly non-uniform — the corral
+// fence links and the tree root links concentrate traffic while perimeter
+// edges sit idle — which is exactly the information the uniform hop-distance
+// cost matrices of DenseLayout/StochasticSwap/SABRE throw away. Feeding the
+// profile back as edge weights (Weights) lets a second pass price congested
+// links above idle ones and steer traffic off them.
+type EdgeProfile struct {
+	g      *topology.Graph
+	index  map[[2]int]int // (low, high) physical pair -> edge index
+	counts []int          // SWAPs observed per edge, parallel to g.Edges()
+	total  int
+}
+
+// NewEdgeProfile returns an empty profile over g's edges.
+func NewEdgeProfile(g *topology.Graph) *EdgeProfile {
+	idx := make(map[[2]int]int, g.NumEdges())
+	for i, e := range g.Edges() {
+		idx[e] = i
+	}
+	return &EdgeProfile{
+		g:      g,
+		index:  idx,
+		counts: make([]int, g.NumEdges()),
+	}
+}
+
+// RecordSwap adds one SWAP on the physical edge (a, b). Unknown pairs are an
+// error: a SWAP can only ever execute on a coupling that exists.
+func (p *EdgeProfile) RecordSwap(a, b int) error {
+	if a > b {
+		a, b = b, a
+	}
+	i, ok := p.index[[2]int{a, b}]
+	if !ok {
+		return fmt.Errorf("transpile: profiled swap on (%d,%d), not an edge of %s", a, b, p.g.Name)
+	}
+	p.counts[i]++
+	p.total++
+	return nil
+}
+
+// Count returns the recorded SWAPs on edge (a, b), 0 for non-edges.
+func (p *EdgeProfile) Count(a, b int) int {
+	if a > b {
+		a, b = b, a
+	}
+	if i, ok := p.index[[2]int{a, b}]; ok {
+		return p.counts[i]
+	}
+	return 0
+}
+
+// Total returns the total recorded SWAP count.
+func (p *EdgeProfile) Total() int { return p.total }
+
+// MaxCount returns the largest per-edge count (0 for an empty profile).
+func (p *EdgeProfile) MaxCount() int {
+	m := 0
+	for _, c := range p.counts {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// ProfileRoutedCircuit builds a profile from an already-routed physical
+// circuit by counting its SWAP ops per edge. Both router-inserted and
+// algorithmic SWAPs contribute: every SWAP pulse stresses the link it runs
+// on, whichever pass put it there.
+func ProfileRoutedCircuit(g *topology.Graph, routed *circuit.Circuit) (*EdgeProfile, error) {
+	p := NewEdgeProfile(g)
+	for _, op := range routed.Ops {
+		if op.Name != "swap" || len(op.Qubits) != 2 {
+			continue
+		}
+		if err := p.RecordSwap(op.Qubits[0], op.Qubits[1]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// DefaultPressureAlpha scales how strongly pressure inflates edge costs in
+// Weights: the hottest edge costs (1 + alpha)× a cold one. 1.0 makes the
+// most congested link read twice as long without distorting the metric so
+// far that shortest paths detour around whole regions.
+const DefaultPressureAlpha = 1.0
+
+// Weights converts recorded pressure into routing edge weights:
+//
+//	w(e) = 1 + alpha * count(e) / maxCount
+//
+// so an idle edge keeps unit cost and the hottest edge costs 1+alpha. An
+// empty profile (or alpha ≤ 0) degrades to uniform weights, under which the
+// weighted cost matrix equals the hop matrix and a guided pass reproduces
+// the baseline.
+func (p *EdgeProfile) Weights(alpha float64) topology.EdgeWeights {
+	w := p.g.UniformWeights()
+	m := p.MaxCount()
+	if m == 0 || alpha <= 0 {
+		return w
+	}
+	for i, c := range p.counts {
+		w[i] = 1 + alpha*float64(c)/float64(m)
+	}
+	return w
+}

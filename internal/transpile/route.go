@@ -44,6 +44,18 @@ func StochasticSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *
 // pre-drawn from rng, and the winning sequence is picked by (length,
 // lowest trial index) independent of completion order.
 func StochasticSwapParallel(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand, trials, parallelism int) (*RouteResult, error) {
+	return StochasticSwapCost(g, c, initial, rng, trials, parallelism, nil)
+}
+
+// StochasticSwapCost is StochasticSwapParallel with an explicit routing cost
+// matrix: cost[i][j] replaces the hop distance between physical vertices i
+// and j in the randomized trials' objective, so a profile-guided caller can
+// price congested edges above idle ones (see EdgeProfile). A nil cost means
+// uniform hop distances, which reproduces StochasticSwapParallel exactly —
+// the default pipeline routes through this same code path byte-for-byte.
+// The cost matrix only shapes the search; adjacency (when a gate can
+// execute) and the greedy fallback still come from the coupling graph.
+func StochasticSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error) {
 	if len(initial) != c.N {
 		return nil, fmt.Errorf("transpile: layout covers %d qubits, circuit has %d", len(initial), c.N)
 	}
@@ -56,9 +68,14 @@ func StochasticSwapParallel(g *topology.Graph, c *circuit.Circuit, initial Layou
 	if trials <= 0 {
 		trials = DefaultTrials
 	}
+	flat, err := flattenCost(g, cost)
+	if err != nil {
+		return nil, err
+	}
 	r := &router{
 		g:       g,
 		dist:    g.Distances(),
+		cost:    flat,
 		out:     circuit.New(g.N()),
 		layout:  initial.Copy(),
 		rng:     rng,
@@ -106,10 +123,14 @@ func StochasticSwapParallel(g *topology.Graph, c *circuit.Circuit, initial Layou
 	return &RouteResult{Circuit: r.out, SwapCount: r.swaps, FinalLayout: r.layout}, nil
 }
 
-// router carries the mutable routing state.
+// router carries the mutable routing state. dist (hops) bounds search depth
+// and drives the greedy fallback; cost (flattened n×n) is the objective the
+// randomized trials perturb — float64 hop distances by default, a weighted
+// matrix under profile-guided routing.
 type router struct {
 	g       *topology.Graph
 	dist    [][]int
+	cost    []float64
 	out     *circuit.Circuit
 	layout  Layout
 	swaps   int
@@ -117,6 +138,33 @@ type router struct {
 	trials  int
 	workers int
 	dPool   sync.Pool // perturbed-distance scratch for parallel trials
+}
+
+// flattenCost validates a routing cost matrix and flattens it row-major; a
+// nil matrix falls back to the hop-distance matrix as floats (the uniform
+// baseline the pipeline has always used).
+func flattenCost(g *topology.Graph, cost [][]float64) ([]float64, error) {
+	n := g.N()
+	flat := make([]float64, n*n)
+	if cost == nil {
+		dist := g.Distances()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				flat[i*n+j] = float64(dist[i][j])
+			}
+		}
+		return flat, nil
+	}
+	if len(cost) != n {
+		return nil, fmt.Errorf("transpile: cost matrix is %dx?, graph has %d vertices", len(cost), n)
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, fmt.Errorf("transpile: cost row %d has %d entries, want %d", i, len(row), n)
+		}
+		copy(flat[i*n:(i+1)*n], row)
+	}
+	return flat, nil
 }
 
 func (r *router) emit(op circuit.Op) {
@@ -180,13 +228,9 @@ func (r *router) findSwaps(pairs [][2]int) [][2]int {
 	}
 	n := r.g.N()
 	limit := 2*n + 4*len(pairs)
-	// Perturbation base: plain distances as floats.
-	base := make([]float64, n*n)
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			base[i*n+j] = float64(r.dist[i][j])
-		}
-	}
+	// Perturbation base: the router's cost matrix (hop distances as floats
+	// by default, pressure-weighted under profile-guided routing).
+	base := r.cost
 	seeds := make([]int64, r.trials)
 	for t := range seeds {
 		seeds[t] = r.rng.Int63()

@@ -14,6 +14,16 @@ import (
 // plus a discounted extended-set (lookahead) term. Provided as the ablation
 // comparison router for the StochasticSwap results (see bench_test.go).
 func SabreSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand) (*RouteResult, error) {
+	return SabreSwapCost(g, c, initial, rng, nil)
+}
+
+// SabreSwapCost is SabreSwap with an explicit routing cost matrix replacing
+// the hop distances in the front-layer and lookahead scores, so a
+// profile-guided caller can price congested edges above idle ones (see
+// EdgeProfile). A nil cost means uniform hop distances and reproduces
+// SabreSwap exactly. The step budget and executability checks still come
+// from the coupling graph itself.
+func SabreSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand, cost [][]float64) (*RouteResult, error) {
 	if len(initial) != c.N {
 		return nil, fmt.Errorf("transpile: layout covers %d qubits, circuit has %d", len(initial), c.N)
 	}
@@ -28,6 +38,12 @@ func SabreSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.
 		extendedWeight = 0.5 // discount on the lookahead term
 	)
 	dist := g.Distances()
+	fcost, err := flattenCost(g, cost)
+	if err != nil {
+		return nil, err
+	}
+	nv := g.N()
+	costAt := func(a, b int) float64 { return fcost[a*nv+b] }
 	layout := initial.Copy()
 	out := circuit.New(g.N())
 	swaps := 0
@@ -173,13 +189,13 @@ func SabreSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.
 			s := 0.0
 			for _, idx := range front {
 				op := c.Ops[idx]
-				s += float64(dist[layout[op.Qubits[0]]][layout[op.Qubits[1]]])
+				s += costAt(layout[op.Qubits[0]], layout[op.Qubits[1]])
 			}
 			s /= float64(len(front))
 			if len(ext) > 0 {
 				e := 0.0
 				for _, p := range ext {
-					e += float64(dist[layout[p[0]]][layout[p[1]]])
+					e += costAt(layout[p[0]], layout[p[1]])
 				}
 				s += extendedWeight * e / float64(len(ext))
 			}

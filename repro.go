@@ -194,6 +194,14 @@ func GenerateWorkload(name string, n int, rng *rand.Rand) (*Circuit, error) {
 // Layout maps virtual qubits to physical vertices.
 type Layout = transpile.Layout
 
+// EdgeProfile is the per-edge SWAP pressure measured by a pilot routing
+// pass; its Weights feed Graph.WeightedDistances to build the cost matrices
+// behind profile-guided routing (Options.ProfileGuided, qcbench -profile).
+type EdgeProfile = transpile.EdgeProfile
+
+// EdgeWeights assigns positive routing costs to a Graph's edges.
+type EdgeWeights = topology.EdgeWeights
+
 var (
 	DenseLayout      = transpile.DenseLayout
 	TrivialLayout    = transpile.TrivialLayout
@@ -202,6 +210,16 @@ var (
 	TranslateToBasis = transpile.TranslateToBasis
 	TranslateExactCX = transpile.TranslateExactCX
 	PulseDuration    = transpile.PulseDuration
+
+	// Cost-matrix variants of the placement and routing passes: a nil cost
+	// reproduces the uniform-hop baseline exactly; a weighted matrix (from
+	// EdgeProfile.Weights via Graph.WeightedDistances) steers traffic off
+	// congested links.
+	DenseLayoutCost      = transpile.DenseLayoutCost
+	StochasticSwapCost   = transpile.StochasticSwapCost
+	SabreSwapCost        = transpile.SabreSwapCost
+	NewEdgeProfile       = transpile.NewEdgeProfile
+	ProfileRoutedCircuit = transpile.ProfileRoutedCircuit
 
 	// TranslateHetero is the §7 heterogeneous-basis extension: per-gate
 	// choice between the SNAIL's full and half iSWAP pulses.
@@ -328,7 +346,10 @@ var (
 	Fig13Spec = experiments.Fig13Spec
 	Fig14Spec = experiments.Fig14Spec
 	RunFig15  = experiments.RunFig15
-	Headlines = experiments.Headlines
+	// RunFig15Parallel bounds the decomposition worker pool explicitly
+	// (RunFig15 = auto); output is byte-identical at every setting.
+	RunFig15Parallel = experiments.RunFig15Parallel
+	Headlines        = experiments.Headlines
 
 	// CorralScaling grows the fence-post ring beyond the paper's 8 posts
 	// (the §7 scaling question) and measures structure + routed QV cost.

@@ -10,13 +10,21 @@
 #   BENCH_SKIP_CHECK=1 scripts/bench.sh   # skip the vet/race preflight
 #
 # Output schema:
-#   { "goos": ..., "goarch": ..., "cpu": ..., "gomaxprocs": N,
+#   { "goos": ..., "goarch": ..., "cpu": ..., "gomaxprocs": N, "cpus": N,
 #     "benchmarks": [ { "name": ..., "iterations": N, "ns_per_op": ...,
 #                       "b_per_op": ..., "allocs_per_op": ...,
-#                       "cache_hits_per_op": ..., "cache_misses_per_op": ... }, ... ] }
+#                       "cache_hits_per_op": ..., "cache_misses_per_op": ...,
+#                       "swaps_per_op": ... }, ... ],
+#     "scaling": [ { "gomaxprocs": N, "wall_ns": ... }, ... ] }
 #
-# cache_hits_per_op / cache_misses_per_op are emitted by the warm-cache
-# benchmarks (b.ReportMetric) and stay null elsewhere.
+# cache_hits_per_op / cache_misses_per_op / swaps_per_op are emitted by the
+# warm-cache and profile-guided benchmarks (b.ReportMetric) and stay null
+# elsewhere.
+#
+# The scaling section records wall-clock of one quick `qcbench -fig 12`
+# sweep at GOMAXPROCS 1/2/4 (the ROADMAP multi-core scaling demo); on a
+# single-core runner the curve is flat — "cpus" says how to read it. Set
+# BENCH_SKIP_SCALING=1 to skip it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -24,38 +32,64 @@ OUT="${BENCH_OUT:-BENCH.json}"
 FILTER="${BENCH_FILTER:-.}"
 TIME="${BENCH_TIME:-1s}"
 RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
-export GOMAXPROCS_REPORT="${GOMAXPROCS:-$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)}"
+SCALING="$(mktemp)"
+QCBENCH="$(mktemp)"
+trap 'rm -f "$RAW" "$SCALING" "$QCBENCH"' EXIT
+CPUS="$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)"
+export GOMAXPROCS_REPORT="${GOMAXPROCS:-$CPUS}"
+export CPUS_REPORT="$CPUS"
 
 if [[ "${BENCH_SKIP_CHECK:-0}" != "1" ]]; then
     scripts/check.sh
 fi
 
+if [[ "${BENCH_SKIP_SCALING:-0}" != "1" ]]; then
+    echo "bench: sweep scaling curve (quick -fig 12 at GOMAXPROCS 1/2/4; $CPUS core(s) available)"
+    go build -o "$QCBENCH" ./cmd/qcbench
+    for p in 1 2 4; do
+        start="$(date +%s%N)"
+        GOMAXPROCS=$p "$QCBENCH" -fig 12 >/dev/null
+        end="$(date +%s%N)"
+        echo "$p $((end - start))" >> "$SCALING"
+        echo "  gomaxprocs=$p wall=$(( (end - start) / 1000000 ))ms"
+    done
+fi
+
 go test -bench="$FILTER" -benchmem -benchtime="$TIME" -count=1 -run='^$' . | tee "$RAW"
 
-awk -v out="$OUT" '
+awk -v out="$OUT" -v scalingfile="$SCALING" '
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
 /^Benchmark/ {
     # Benchmark lines: Name[-P] iters ns/op [B/op] [allocs/op] [custom metrics]
     name = $1; iters = $2; ns = $3
-    b = "null"; allocs = "null"; chits = "null"; cmisses = "null"
+    b = "null"; allocs = "null"; chits = "null"; cmisses = "null"; swaps = "null"
     for (i = 3; i <= NF; i++) {
         if ($(i) == "ns/op")           ns = $(i - 1)
         if ($(i) == "B/op")            b = $(i - 1)
         if ($(i) == "allocs/op")       allocs = $(i - 1)
         if ($(i) == "cache_hits/op")   chits = $(i - 1)
         if ($(i) == "cache_misses/op") cmisses = $(i - 1)
+        if ($(i) == "swaps")           swaps = $(i - 1)
     }
     n++
-    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s}",
-                       name, iters, ns, b, allocs, chits, cmisses)
+    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s}",
+                       name, iters, ns, b, allocs, chits, cmisses, swaps)
 }
 END {
-    printf "{\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"benchmarks\": [\n", \
-           goos, goarch, cpu, ENVIRON["GOMAXPROCS_REPORT"] > out
+    printf "{\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"cpus\": %s,\n  \"benchmarks\": [\n", \
+           goos, goarch, cpu, ENVIRON["GOMAXPROCS_REPORT"], ENVIRON["CPUS_REPORT"] > out
     for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "") >> out
+    print "  ]," >> out
+    print "  \"scaling\": [" >> out
+    m = 0
+    while ((getline line < scalingfile) > 0) {
+        split(line, f, " ")
+        m++
+        srows[m] = sprintf("    {\"gomaxprocs\": %s, \"wall_ns\": %s}", f[1], f[2])
+    }
+    for (i = 1; i <= m; i++) printf "%s%s\n", srows[i], (i < m ? "," : "") >> out
     print "  ]\n}" >> out
 }
 ' "$RAW"

@@ -1,6 +1,11 @@
 #!/usr/bin/env bash
 # check.sh — static and concurrency preflight for the repository:
 #   * go vet over every package
+#   * doc-comment name check: a Go doc comment must lead with the name of
+#     the symbol it documents; stale names (e.g. a comment saying
+#     FormatFig15 above a method renamed to Format) are rejected. Only
+#     leading words that look like code identifiers (camel-case with an
+#     internal capital) are compared, so prose-first comments never trip.
 #   * race-detector runs of the packages with real concurrency surface
 #     (the content-addressed cache and the parallel sweep engine), pinned
 #     to GOMAXPROCS=4 so races reproduce even on single-core runners.
@@ -11,6 +16,48 @@ cd "$(dirname "$0")/.."
 
 echo "check: go vet ./..."
 go vet ./...
+
+echo "check: doc-comment names match declarations"
+DOCCHECK="$(find . -name '*.go' -not -path './.git/*' | sort | xargs awk '
+FNR == 1 { incomment = 0 }  # never leak comment state across files
+/^\/\/ [A-Za-z_][A-Za-z0-9_]*/ {
+    if (!incomment) {
+        split($0, parts, " ")
+        first = parts[2]; sub(/[:,.]$/, "", first)
+        incomment = 1
+        startline = FNR
+    }
+    next
+}
+/^\/\// { next }
+/^func |^type |^const |^var / {
+    if (incomment) {
+        name = ""
+        if ($1 == "func" && $2 ~ /^\(/) {
+            nm = ""
+            for (i = 3; i <= NF; i++) { if ($(i) ~ /\)$/) { nm = $(i+1); break } }
+            sub(/\(.*/, "", nm); name = nm
+        } else if ($1 == "func" || $1 == "type") {
+            nm = $2; sub(/[\(\[].*/, "", nm); name = nm
+        } else {
+            nm = $2; sub(/[,=].*/, "", nm); name = nm
+        }
+        # Grouped declarations (const ( / var ( / type () have no single
+        # name on the declaration line; skip rather than compare against "(".
+        if (name ~ /^\(/) name = ""
+        if (name != "" && first != name && first ~ /^[A-Za-z][a-z0-9]*[A-Z]/)
+            printf "%s:%d: doc comment leads with \"%s\" but declares \"%s\"\n", FILENAME, startline, first, name
+    }
+    incomment = 0
+    next
+}
+{ incomment = 0 }
+')"
+if [[ -n "$DOCCHECK" ]]; then
+    echo "$DOCCHECK"
+    echo "check: FAILED — stale doc-comment names"
+    exit 1
+fi
 
 echo "check: race-testing cache + sweep engine (GOMAXPROCS=4)"
 GOMAXPROCS=4 go test -race -count=1 ./internal/cache/... ./internal/experiments/... ./internal/par/...
