@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/decomp"
@@ -131,9 +132,18 @@ func BenchmarkFig15(b *testing.B) {
 
 // ---- §1/§6 headline ratios ----
 
+// headlineBenchConfig is the quick serial Headlines configuration the
+// benchmarks share, with an optional store.
+func headlineBenchConfig(store *core.MetricsCache) experiments.Config {
+	cfg := experiments.QuickConfig()
+	cfg.Parallelism = 1
+	cfg.Cache = store
+	return cfg
+}
+
 func BenchmarkHeadlines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		h, err := experiments.Headlines(true, 1, nil, false)
+		h, err := experiments.Headlines(headlineBenchConfig(nil))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -154,7 +164,7 @@ func BenchmarkHeadlinesWarmCache(b *testing.B) {
 		b.Fatal(err)
 	}
 	for i := 0; i < b.N; i++ {
-		h, err := experiments.Headlines(true, 1, store, false)
+		h, err := experiments.Headlines(headlineBenchConfig(store))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -200,6 +210,38 @@ func BenchmarkProfileGuided(b *testing.B) {
 				}
 				b.ReportMetric(float64(swaps), "swaps")
 			})
+		}
+	}
+}
+
+// BenchmarkTranspilePassShares attributes default-pipeline wall-clock to
+// its passes: the layout_share/route_share/translate_share metrics are each
+// pass's fraction of total pipeline time (summing to ~1), recorded in the
+// bench JSON by scripts/bench.sh so pass-level perf regressions show up
+// between PRs even when end-to-end time moves.
+func BenchmarkTranspilePassShares(b *testing.B) {
+	m := core.Tree20SqrtISwap()
+	c, err := workloads.Generate("QuantumVolume", 16, rand.New(rand.NewSource(24)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.Options{Seed: 2022, Trials: 5}
+	perPass := map[string]time.Duration{}
+	var total time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := m.Transpile(c, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pt := range tr.Timings {
+			perPass[pt.Name] += pt.Duration
+			total += pt.Duration
+		}
+	}
+	if total > 0 {
+		for _, name := range []string{"layout", "route", "translate"} {
+			b.ReportMetric(float64(perPass[name])/float64(total), name+"_share")
 		}
 	}
 }
@@ -348,6 +390,49 @@ func BenchmarkStatevector16(b *testing.B) {
 		if _, err := sim.RunCircuit(c); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkStatevectorISwapKernel measures the iSWAP-family inner-block mix
+// kernel on a 16-qubit circuit of interleaved iswap/siswap gates — the gate
+// mix of a translated SNAIL circuit. The "generic" variant forces the same
+// ops through Apply2Q by attaching explicit unitaries, so the pair
+// quantifies the kernel specialization.
+func BenchmarkStatevectorISwapKernel(b *testing.B) {
+	const n = 16
+	rng := rand.New(rand.NewSource(23))
+	fast := NewCircuit(n)
+	for i := 0; i < 256; i++ {
+		a := rng.Intn(n)
+		c := rng.Intn(n - 1)
+		if c >= a {
+			c++
+		}
+		if i%2 == 0 {
+			fast.ISwap(a, c)
+		} else {
+			fast.SqrtISwap(a, c)
+		}
+	}
+	generic := NewCircuit(n)
+	for _, op := range fast.Ops {
+		u, err := OpUnitary(op)
+		if err != nil {
+			b.Fatal(err)
+		}
+		generic.Append(Op{Name: op.Name, Qubits: op.Qubits, U: u})
+	}
+	for _, tc := range []struct {
+		name string
+		c    *Circuit
+	}{{"mix2q", fast}, {"generic", generic}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.RunCircuit(tc.c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -5,39 +5,70 @@
 // decoherence across iSWAP base fidelities 0.90..1.00.
 //
 // The paper samples N=50 targets; use -samples to trade time for smoothness.
+// -parallelism bounds the decomposition worker pool (0 = all cores, 1 =
+// serial; output is identical at any setting). Non-positive -samples and
+// negative -parallelism are rejected with usage errors instead of being
+// silently reinterpreted downstream.
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
+	"io"
+	"os"
 
+	"repro/internal/cli"
 	"repro/internal/decomp"
 	"repro/internal/experiments"
 )
 
 func main() {
-	samples := flag.Int("samples", 50, "Haar-random targets (paper: 50)")
-	seed := flag.Int64("seed", 2022, "RNG seed")
-	parallelism := flag.Int("parallelism", 0,
-		"decomposition worker pool size (0 = all cores, 1 = serial; output is identical at any setting)")
-	flag.Parse()
+	cli.Exit("fidsweep", run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	res, err := experiments.RunFig15Parallel(*samples, *seed, decomp.Config{}, *parallelism)
-	if err != nil {
-		log.Fatal(err)
+// run is the whole program behind a single exit point, mirroring qcbench:
+// flag validation happens up front with usage errors, and the study runs
+// under the unified experiments.Config.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("fidsweep", stderr)
+	samples := fs.Int("samples", 50, "Haar-random targets (paper: 50)")
+	seed := fs.Int64("seed", experiments.DefaultSeed, "RNG seed")
+	parallelism := fs.Int("parallelism", 0,
+		"decomposition worker pool size (0 = all cores, 1 = serial; output is identical at any setting)")
+	if err := fs.Parse(args); err != nil {
+		return cli.WrapParse(err)
 	}
-	fmt.Print(res.Format())
-	fmt.Println()
-	fmt.Println("§6.3 claims: total-infidelity reduction vs sqrtISWAP at Fb(iSWAP)=0.99")
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments %q (fidsweep takes flags only)", fs.Args())
+	}
+	// Negative knob values used to be swallowed silently: RunFig15Parallel
+	// only rejected samples < 1 deep in the study, and a negative
+	// parallelism quietly meant "serial". Reject both up front.
+	if *samples < 1 {
+		return cli.Usagef("-samples must be ≥ 1, got %d", *samples)
+	}
+	if *parallelism < 0 {
+		return cli.Usagef("-parallelism must be ≥ 0 (0 = all cores), got %d", *parallelism)
+	}
+
+	cfg := experiments.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.Parallelism = *parallelism
+	res, err := experiments.RunFig15Config(*samples, decomp.Config{}, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, res.Format())
+	fmt.Fprintln(stdout)
+	fmt.Fprintln(stdout, "§6.3 claims: total-infidelity reduction vs sqrtISWAP at Fb(iSWAP)=0.99")
 	for _, tc := range []struct {
 		n     int
 		paper string
 	}{{3, "14%"}, {4, "25%"}, {5, "11%"}} {
 		imp, err := res.InfidelityImprovement(tc.n, 0.99)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  %d-th root: %+.1f%%   (paper: %s)\n", tc.n, 100*imp, tc.paper)
+		fmt.Fprintf(stdout, "  %d-th root: %+.1f%%   (paper: %s)\n", tc.n, 100*imp, tc.paper)
 	}
+	return nil
 }

@@ -16,7 +16,14 @@
 // then re-lays-out and re-routes under pressure-weighted distances that
 // price congested links (corral fences, tree roots) above idle ones,
 // keeping the cheaper of the two routings. Roughly 2× the routing time;
-// never worse than the baseline on induced SWAPs.
+// never worse than the baseline on induced SWAPs. -iterations N repeats
+// the profile→reweight→reroute loop up to N times (keeping a candidate
+// only when strictly cheaper, stopping early at a fixed point), so more
+// iterations never route worse.
+//
+// -trials overrides the stochastic router's per-layer trial count (0 =
+// mode default: 5 quick, 20 full). Negative values for -trials,
+// -parallelism, -iterations, or -posts are rejected with usage errors.
 //
 // -cachedir DIR enables the content-addressed result cache with an on-disk
 // JSON tier rooted at DIR (created if missing): every (machine, circuit,
@@ -38,7 +45,6 @@
 package main
 
 import (
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -46,57 +52,20 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
 func main() {
-	err := run(os.Args[1:], os.Stdout, os.Stderr)
-	if err == nil {
-		return
-	}
-	// -h/-help is a successful outcome (matching flag.ExitOnError), and
-	// flag.Parse already printed its own message+usage for parse errors.
-	if errors.Is(err, flag.ErrHelp) {
-		return
-	}
-	if !isParseError(err) {
-		fmt.Fprintln(os.Stderr, "qcbench:", err)
-	}
-	var ue usageError
-	if errors.As(err, &ue) || isParseError(err) {
-		os.Exit(2)
-	}
-	os.Exit(1)
-}
-
-// usageError marks a bad flag combination (exit status 2, like flag errors).
-type usageError struct{ msg string }
-
-func (e usageError) Error() string { return e.msg }
-
-func usagef(format string, args ...any) error {
-	return usageError{msg: fmt.Sprintf(format, args...)}
-}
-
-// parseSentinel tags errors returned by FlagSet.Parse so main neither
-// double-prints them nor conflates them with runtime failures.
-type parseSentinel struct{ err error }
-
-func (e parseSentinel) Error() string { return e.err.Error() }
-func (e parseSentinel) Unwrap() error { return e.err }
-
-func isParseError(err error) bool {
-	var ps parseSentinel
-	return errors.As(err, &ps)
+	cli.Exit("qcbench", run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run is the whole program behind a single exit point: every return path
 // unwinds the defers, so the -cachedir stats line prints even when a sweep
 // fails — log.Fatal's os.Exit used to skip it.
 func run(args []string, stdout, stderr io.Writer) error {
-	fs := flag.NewFlagSet("qcbench", flag.ContinueOnError)
-	fs.SetOutput(stderr)
+	fs := cli.NewFlagSet("qcbench", stderr)
 	fig := fs.Int("fig", 0, "figure to regenerate: 4, 11, 12, 13, or 14")
 	headline := fs.Bool("headline", false, "compute the Heavy-Hex vs Hypercube headline ratios")
 	corral := fs.Bool("corralscaling", false, "run the §7 Corral scaling study")
@@ -104,6 +73,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	full := fs.Bool("full", false, "use the paper's full sizes (slow)")
 	profile := fs.Bool("profile", false,
 		"profile-guided routing: pilot pass, per-edge SWAP pressure, pressure-weighted final pass (~2x routing time, never more SWAPs)")
+	iterations := fs.Int("iterations", 1,
+		"profile→reweight feedback iterations for -profile (each keeps the routing only when strictly cheaper; stops early at a fixed point)")
+	trialsFlag := fs.Int("trials", 0,
+		"stochastic-router trials per layer (0 = mode default: 5 quick, 20 full)")
 	parallelism := fs.Int("parallelism", 0,
 		"sweep worker pool size (0 = all cores, 1 = serial; output is identical at any setting)")
 	cachedir := fs.String("cachedir", "",
@@ -111,13 +84,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	posts := fs.String("posts", "6,8,10,12,16",
 		"comma-separated Corral ring sizes for -corralscaling (each ≥5 posts)")
 	if err := fs.Parse(args); err != nil {
-		if errors.Is(err, flag.ErrHelp) {
-			return err
-		}
-		return parseSentinel{err: err}
+		return cli.WrapParse(err)
 	}
 	if fs.NArg() > 0 {
-		return usagef("unexpected arguments %q (qcbench takes flags only)", fs.Args())
+		return cli.Usagef("unexpected arguments %q (qcbench takes flags only)", fs.Args())
 	}
 
 	// Reject conflicting or silently-ignored combinations up front: the old
@@ -135,26 +105,44 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if len(modes) == 0 {
 		fs.Usage()
-		return usagef("choose one of -fig, -headline, -corralscaling")
+		return cli.Usagef("choose one of -fig, -headline, -corralscaling")
 	}
 	if len(modes) > 1 {
-		return usagef("%v are mutually exclusive; choose one", modes)
+		return cli.Usagef("%v are mutually exclusive; choose one", modes)
 	}
 	if *csv && *fig == 0 {
-		return usagef("-csv only applies to -fig sweeps; it would be ignored under %s", modes[0])
+		return cli.Usagef("-csv only applies to -fig sweeps; it would be ignored under %s", modes[0])
 	}
-	postsSet := false
+	postsSet, iterationsSet := false, false
 	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "posts" {
+		switch f.Name {
+		case "posts":
 			postsSet = true
+		case "iterations":
+			iterationsSet = true
 		}
 	})
 	if postsSet && !*corral {
-		return usagef("-posts only applies to -corralscaling; it would be ignored under %s", modes[0])
+		return cli.Usagef("-posts only applies to -corralscaling; it would be ignored under %s", modes[0])
+	}
+	if iterationsSet && !*profile {
+		return cli.Usagef("-iterations only applies with -profile; it would be ignored otherwise")
+	}
+	// Negative knob values used to be swallowed silently (a negative trial
+	// or worker count reads as "use the default" deep inside the pipeline);
+	// reject them here where the mistake is visible.
+	if *trialsFlag < 0 {
+		return cli.Usagef("-trials must be ≥ 0 (0 = mode default), got %d", *trialsFlag)
+	}
+	if *parallelism < 0 {
+		return cli.Usagef("-parallelism must be ≥ 0 (0 = all cores), got %d", *parallelism)
+	}
+	if *iterations < 1 {
+		return cli.Usagef("-iterations must be ≥ 1, got %d", *iterations)
 	}
 	postSizes, err := parsePosts(*posts)
 	if err != nil {
-		return usagef("bad -posts: %v", err)
+		return cli.Usagef("bad -posts: %v", err)
 	}
 	quick := !*full
 	var spec experiments.SweepSpec
@@ -171,17 +159,25 @@ func run(args []string, stdout, stderr io.Writer) error {
 		case 14:
 			spec = experiments.Fig14Spec(quick)
 		default:
-			return usagef("unknown figure %d: want 4, 11, 12, 13, or 14", *fig)
+			return cli.Usagef("unknown figure %d: want 4, 11, 12, 13, or 14", *fig)
 		}
 	}
 
-	var store *core.MetricsCache
+	// One unified experiment configuration feeds every mode: the CLI flags
+	// land in experiments.Config once instead of positionally per harness.
+	cfg := experiments.DefaultConfig()
+	cfg.Quick = quick
+	cfg.Trials = *trialsFlag
+	cfg.Parallelism = *parallelism
+	cfg.ProfileGuided = *profile
+	cfg.ProfileIterations = *iterations
+
 	if *cachedir != "" {
-		var err error
-		store, err = core.NewMetricsCache(0, *cachedir)
+		store, err := core.NewMetricsCache(0, *cachedir)
 		if err != nil {
 			return err
 		}
+		cfg.Cache = store
 		defer func() {
 			st := store.Stats()
 			fmt.Fprintf(stderr, "cache: %d hits (%d mem, %d disk), %d misses, %d evaluations\n",
@@ -191,7 +187,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	switch {
 	case *corral:
-		rows, err := experiments.CorralScaling(postSizes, quick, *parallelism, store, *profile)
+		rows, err := experiments.CorralScaling(postSizes, cfg)
 		if err != nil {
 			return err
 		}
@@ -199,7 +195,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "the long fence at ~1/3 of the ring; QV at 80% machine fill.")
 		fmt.Fprint(stdout, experiments.FormatCorralScaling(rows))
 	case *headline:
-		h, err := experiments.Headlines(quick, *parallelism, store, *profile)
+		h, err := experiments.Headlines(cfg)
 		if err != nil {
 			return err
 		}
@@ -209,9 +205,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintf(stdout, "  total 2Q gates     %.2fx   (paper: 3.16x)\n", h.Total2QRatio)
 		fmt.Fprintf(stdout, "  pulse duration     %.2fx   (paper: 6.11x)\n", h.DurationRatio)
 	default:
-		spec.Parallelism = *parallelism
-		spec.Cache = store
-		spec.ProfileGuided = *profile
+		// Figure specs pin their historical seed and explicit trial counts
+		// (and with them their cache keys), so graft only the flag-driven
+		// knobs onto the spec's Config.
+		spec.Parallelism = cfg.Parallelism
+		spec.Cache = cfg.Cache
+		spec.ProfileGuided = cfg.ProfileGuided
+		spec.ProfileIterations = cfg.ProfileIterations
+		if *trialsFlag > 0 {
+			spec.Trials = *trialsFlag
+		}
 		series, err := spec.Run()
 		if err != nil {
 			return err
@@ -240,14 +243,18 @@ func profiledSuffix(profiled bool) string {
 	return ""
 }
 
-// parsePosts parses the -posts list; range validation (≥5 posts per ring)
-// belongs to experiments.CorralScaling.
+// parsePosts parses the -posts list. Non-positive sizes are rejected here
+// (a negative ring size is always a typo); the ≥5-posts design minimum
+// still belongs to experiments.CorralScaling.
 func parsePosts(s string) ([]int, error) {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
 			return nil, fmt.Errorf("%q is not an integer", part)
+		}
+		if v < 1 {
+			return nil, fmt.Errorf("ring size %d must be positive", v)
 		}
 		out = append(out, v)
 	}

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/cli"
 )
 
 // runQ drives run() in-process, returning stdout, stderr, and the error.
@@ -20,7 +22,7 @@ func wantUsageError(t *testing.T, err error, fragment string) {
 	if err == nil {
 		t.Fatalf("expected usage error containing %q, got nil", fragment)
 	}
-	var ue usageError
+	var ue cli.UsageError
 	if !errors.As(err, &ue) {
 		t.Fatalf("expected usageError, got %T: %v", err, err)
 	}
@@ -75,6 +77,31 @@ func TestBadPostsRejected(t *testing.T) {
 	wantUsageError(t, err, "not an integer")
 }
 
+func TestNegativeKnobsRejected(t *testing.T) {
+	// Negative values used to be swallowed silently: a negative trial or
+	// worker count reads as "use the default" deep inside the pipeline,
+	// and a negative ring size only failed later with a confusing
+	// "needs ≥5 posts".
+	_, _, err := runQ(t, "-fig", "11", "-trials", "-3")
+	wantUsageError(t, err, "-trials")
+	_, _, err = runQ(t, "-fig", "11", "-parallelism", "-1")
+	wantUsageError(t, err, "-parallelism")
+	_, _, err = runQ(t, "-corralscaling", "-posts", "-6,8")
+	wantUsageError(t, err, "must be positive")
+	_, _, err = runQ(t, "-fig", "11", "-profile", "-iterations", "0")
+	wantUsageError(t, err, "-iterations")
+	_, _, err = runQ(t, "-fig", "11", "-profile", "-iterations", "-2")
+	wantUsageError(t, err, "-iterations")
+}
+
+func TestIterationsRequiresProfile(t *testing.T) {
+	_, _, err := runQ(t, "-fig", "11", "-iterations", "2")
+	wantUsageError(t, err, "-iterations")
+	// Even the default value set explicitly is an explicitly-set flag.
+	_, _, err = runQ(t, "-headline", "-iterations", "1")
+	wantUsageError(t, err, "-iterations")
+}
+
 func TestCacheStatsPrintOnFailure(t *testing.T) {
 	// A ring below 5 posts fails inside the corral study — after the cache
 	// store exists. The stats line must still print: the old log.Fatal exit
@@ -84,7 +111,7 @@ func TestCacheStatsPrintOnFailure(t *testing.T) {
 	if err == nil {
 		t.Fatal("expected corral-scaling failure for 3 posts")
 	}
-	if errors.As(err, new(usageError)) {
+	if errors.As(err, new(cli.UsageError)) {
 		t.Fatalf("runtime failure misclassified as usage error: %v", err)
 	}
 	if !strings.Contains(stderr, "cache:") {
@@ -108,7 +135,7 @@ func TestCacheStatsPrintOnSuccess(t *testing.T) {
 
 func TestParseErrorIsDistinguished(t *testing.T) {
 	_, _, err := runQ(t, "-no-such-flag")
-	if err == nil || !isParseError(err) {
+	if err == nil || !cli.IsParseError(err) {
 		t.Fatalf("expected parse error, got %v", err)
 	}
 }

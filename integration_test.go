@@ -117,7 +117,9 @@ func TestIntegrationHeteroExtension(t *testing.T) {
 // TestIntegrationCorralScalingFacade runs the §7 scaling study through the
 // facade.
 func TestIntegrationCorralScalingFacade(t *testing.T) {
-	rows, err := CorralScaling([]int{6, 8}, true, 1, nil, false)
+	cfg := QuickExperimentConfig()
+	cfg.Parallelism = 1
+	rows, err := CorralScaling([]int{6, 8}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,77 @@
+// Package cli holds the error-classification and exit-status protocol the
+// command-line tools share: usage errors (bad flag values or combinations)
+// exit with status 2 like flag-parse errors, runtime failures with status
+// 1, and -h/-help succeeds. Each tool's run(args, stdout, stderr) returns
+// one of these error kinds and main delegates to Exit, so the behavior
+// can't drift between tools.
+package cli
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// UsageError marks a bad flag value or combination (exit status 2, like
+// flag errors).
+type UsageError struct{ msg string }
+
+// Error implements error.
+func (e UsageError) Error() string { return e.msg }
+
+// Usagef builds a UsageError, printf-style.
+func Usagef(format string, args ...any) error {
+	return UsageError{msg: fmt.Sprintf(format, args...)}
+}
+
+// parseSentinel tags errors returned by FlagSet.Parse so main neither
+// double-prints them (flag already wrote its message and usage text) nor
+// conflates them with runtime failures.
+type parseSentinel struct{ err error }
+
+func (e parseSentinel) Error() string { return e.err.Error() }
+func (e parseSentinel) Unwrap() error { return e.err }
+
+// WrapParse classifies a FlagSet.Parse error: -h/-help passes through as
+// flag.ErrHelp (a successful outcome), everything else is tagged as a
+// parse error.
+func WrapParse(err error) error {
+	if errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return parseSentinel{err: err}
+}
+
+// IsParseError reports whether err came from FlagSet.Parse via WrapParse.
+func IsParseError(err error) bool {
+	var ps parseSentinel
+	return errors.As(err, &ps)
+}
+
+// Exit terminates the process according to the shared protocol: nil and
+// flag.ErrHelp exit 0, usage and parse errors exit 2, runtime failures
+// exit 1. Errors other than parse errors (already printed by flag) are
+// written to stderr prefixed with the tool name.
+func Exit(tool string, err error) {
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if !IsParseError(err) {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	}
+	var ue UsageError
+	if errors.As(err, &ue) || IsParseError(err) {
+		os.Exit(2)
+	}
+	os.Exit(1)
+}
+
+// NewFlagSet returns a ContinueOnError FlagSet writing usage text to
+// stderr, the configuration every tool's run() uses.
+func NewFlagSet(tool string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(tool, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}

@@ -8,7 +8,6 @@ package core
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/cache"
 	"repro/internal/circuit"
@@ -54,18 +53,29 @@ type Options struct {
 	Router      RouterKind // routing algorithm
 	Parallelism int        // routing-trial workers (0 = auto, 1 = serial)
 
-	// ProfileGuided enables the two-pass pressure-weighted pipeline: a pilot
-	// pass routes under uniform hop distances and records per-edge SWAP
-	// pressure (transpile.EdgeProfile); the final pass then lays out and
-	// routes under weighted all-pairs distances that price congested links
-	// (corral fences, tree roots) above idle ones. The cheaper of the two
-	// routings — by induced SWAP count, pilot on ties — is kept, so a guided
-	// run never does worse than the baseline it profiled. Costs roughly 2×
-	// the routing time. Off by default; the default pipeline is byte-
-	// identical to a build without this feature. Results remain a pure
-	// function of (inputs, Seed, Trials, Router, ProfileGuided), and guided
-	// evaluations are cache-keyed separately from baseline ones.
+	// ProfileGuided enables the pressure-weighted pipeline: a pilot pass
+	// routes under uniform hop distances and records per-edge SWAP pressure
+	// (transpile.EdgeProfile); the guided pass then lays out and routes
+	// under weighted all-pairs distances that price congested links (corral
+	// fences, tree roots) above idle ones. The cheaper routing — by induced
+	// SWAP count, pilot on ties — is kept, so a guided run never does worse
+	// than the baseline it profiled. Costs roughly 2× the routing time per
+	// iteration. Off by default; the default pipeline is byte-identical to
+	// a build without this feature. Results remain a pure function of
+	// (inputs, Seed, Trials, Router, ProfileGuided, ProfileIterations), and
+	// guided evaluations are cache-keyed separately from baseline ones.
 	ProfileGuided bool
+
+	// ProfileIterations bounds the profile→reweight→reroute feedback loop
+	// of guided mode (transpile.ProfileGuidedPass): each iteration profiles
+	// the best routing so far, re-weights the cost matrices, and re-routes,
+	// keeping the result only when strictly cheaper. 0 (and 1) mean the
+	// single pilot→reweight step guided mode has always run, so existing
+	// configurations — and their warm cache entries — are unchanged. The
+	// loop stops early at a fixed point: when the incumbent routing's
+	// pressure profile reproduces an edge-weight vector already tried, or
+	// when no induced SWAPs remain. Ignored unless ProfileGuided is set.
+	ProfileIterations int
 
 	// Cache, when non-nil, memoizes Evaluate results content-addressed by
 	// (machine name, topology fingerprint, basis, circuit fingerprint, seed,
@@ -126,6 +136,11 @@ type Transpiled struct {
 	// the pilot routing — the uniform-cost pass that was profiled — not
 	// the possibly-guided routing returned in Routed.
 	Profile *transpile.EdgeProfile
+
+	// Timings records the wall-clock of each executed pipeline pass, in
+	// order (layout, route, optionally profile-guided, translate), so
+	// callers and benchmarks can attribute transpilation time to stages.
+	Timings []transpile.PassTiming
 }
 
 // Evaluate runs the full Fig. 10 flow on a logical circuit and returns the
@@ -179,76 +194,86 @@ func (m Machine) evaluateKey(c *circuit.Circuit, opt Options) cache.Key {
 	// key. Bump the suffix if the guided pipeline's behavior changes.
 	if opt.ProfileGuided {
 		h.WriteString("profile-guided/v1")
+		// Multi-iteration guided runs compute different numbers again, so
+		// they get their own tagged field — appended only for iterations
+		// > 1, because 0 and 1 both mean the single pilot→reweight step
+		// the profile-guided/v1 namespace has always held: warm guided
+		// entries from earlier builds keep hitting.
+		if opt.ProfileIterations > 1 {
+			h.WriteString("profile-iterations")
+			h.WriteInt(int64(opt.ProfileIterations))
+		}
 	}
 	return h.Sum()
 }
 
-// routeOnce runs placement and routing under one cost matrix (nil = uniform
-// hop distances) with a fresh RNG from opt.Seed, so each pass of the
-// profile-guided pipeline is independently deterministic.
-func (m Machine) routeOnce(c *circuit.Circuit, opt Options, cost [][]float64) (transpile.Layout, *transpile.RouteResult, error) {
-	layout, err := transpile.DenseLayoutCost(m.Graph, c, cost)
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: layout on %s: %w", m.Name, err)
-	}
-	rng := rand.New(rand.NewSource(opt.Seed))
-	var routed *transpile.RouteResult
+// routerFunc resolves the Options router selection to the pipeline's
+// RouterFunc slot.
+func (opt Options) routerFunc() (transpile.RouterFunc, error) {
 	switch opt.Router {
 	case RouterStochastic:
-		routed, err = transpile.StochasticSwapCost(m.Graph, c, layout, rng, opt.Trials, opt.Parallelism, cost)
+		return transpile.StochasticRouter, nil
 	case RouterSabre:
-		routed, err = transpile.SabreSwapCost(m.Graph, c, layout, rng, cost)
+		return transpile.SabreRouter, nil
 	default:
-		return nil, nil, fmt.Errorf("core: unknown router %d", opt.Router)
+		return nil, fmt.Errorf("core: unknown router %d", opt.Router)
 	}
-	if err != nil {
-		return nil, nil, fmt.Errorf("core: routing on %s: %w", m.Name, err)
-	}
-	return layout, routed, nil
 }
 
-// Transpile runs placement, routing, and basis translation, returning all
-// intermediate artifacts and metrics. With Options.ProfileGuided set, the
-// first routing acts as a pilot whose measured per-edge SWAP pressure
-// re-weights the cost matrices for a second placement+routing pass; the
-// pass with fewer induced SWAPs wins (pilot on ties), so guided mode is
-// never worse than the baseline on the metric it optimizes.
+// Pipeline builds the pass sequence an evaluation with these options runs:
+// dense layout, routing, optionally the profile-guided feedback loop, then
+// basis translation (Fig. 10, as composable transpile.Pass stages). The
+// default (ProfileGuided off) pipeline is layout → route → translate —
+// byte-identical to the historical monolithic Transpile. Callers composing
+// custom pipelines (extra passes, different order) can run them directly
+// over a transpile.PassContext; this is only the stock arrangement.
+func (m Machine) Pipeline(opt Options) (transpile.Pipeline, error) {
+	router, err := opt.routerFunc()
+	if err != nil {
+		return nil, err
+	}
+	pipe := transpile.Pipeline{
+		transpile.LayoutPass{},
+		transpile.RoutePass{Router: router},
+	}
+	if opt.ProfileGuided {
+		pipe = append(pipe, transpile.ProfileGuidedPass{
+			Router:     router,
+			Alpha:      transpile.DefaultPressureAlpha,
+			Iterations: opt.ProfileIterations,
+		})
+	}
+	return append(pipe, transpile.TranslatePass{}), nil
+}
+
+// Transpile runs the machine's pass pipeline — placement, routing,
+// optionally profile-guided re-routing, and basis translation — returning
+// all intermediate artifacts and metrics. With Options.ProfileGuided set,
+// the first routing acts as a pilot whose measured per-edge SWAP pressure
+// re-weights the cost matrices for up to Options.ProfileIterations further
+// placement+routing passes; the cheapest routing wins (incumbent on ties),
+// so guided mode is never worse than the baseline on the metric it
+// optimizes.
 func (m Machine) Transpile(c *circuit.Circuit, opt Options) (*Transpiled, error) {
 	if m.Graph == nil {
 		return nil, fmt.Errorf("core: machine %q has no topology", m.Name)
 	}
-	layout, routed, err := m.routeOnce(c, opt, nil)
+	pipe, err := m.Pipeline(opt)
 	if err != nil {
 		return nil, err
 	}
-	var profile *transpile.EdgeProfile
-	if opt.ProfileGuided {
-		profile, err = transpile.ProfileRoutedCircuit(m.Graph, routed.Circuit)
-		if err != nil {
-			return nil, fmt.Errorf("core: profiling pilot on %s: %w", m.Name, err)
-		}
-		// A pilot with zero induced SWAPs is already optimal on the metric
-		// the guided pass competes on (total = algorithmic + induced, and
-		// algorithmic SWAPs are fixed by the logical circuit), so the
-		// second pass can at best tie and lose the tie — skip it.
-		if routed.SwapCount > 0 {
-			wdist, err := m.Graph.WeightedDistances(profile.Weights(transpile.DefaultPressureAlpha))
-			if err != nil {
-				return nil, fmt.Errorf("core: weighting %s: %w", m.Name, err)
-			}
-			gLayout, gRouted, err := m.routeOnce(c, opt, wdist)
-			if err != nil {
-				return nil, err
-			}
-			if gRouted.SwapCount < routed.SwapCount {
-				layout, routed = gLayout, gRouted
-			}
-		}
+	ctx := &transpile.PassContext{
+		Graph:       m.Graph,
+		Basis:       m.Basis,
+		Circuit:     c,
+		Seed:        opt.Seed,
+		Trials:      opt.Trials,
+		Parallelism: opt.Parallelism,
 	}
-	translated, err := transpile.TranslateToBasis(routed.Circuit, m.Basis)
-	if err != nil {
-		return nil, fmt.Errorf("core: translation on %s: %w", m.Name, err)
+	if err := pipe.Run(ctx); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", m.Name, err)
 	}
+	routed, translated := ctx.Routed, ctx.Translated
 	met := Metrics{
 		Machine:       m.Name,
 		Width:         c.N,
@@ -261,11 +286,12 @@ func (m Machine) Transpile(c *circuit.Circuit, opt Options) (*Transpiled, error)
 		PulseDuration: transpile.PulseDuration(translated, m.Basis),
 	}
 	return &Transpiled{
-		Layout:     layout,
+		Layout:     ctx.Layout,
 		Routed:     routed.Circuit,
 		Translated: translated,
 		Metrics:    met,
-		Profile:    profile,
+		Profile:    ctx.Profile,
+		Timings:    ctx.Timings,
 	}, nil
 }
 

@@ -97,7 +97,7 @@ func TestSweepWarmCacheParallel(t *testing.T) {
 // additional Evaluate routing calls and returns identical ratios.
 func TestHeadlinesSharedStoreNoExtraRouting(t *testing.T) {
 	store := cache.NewMemory[core.Metrics](0)
-	first, err := Headlines(true, 1, store, false)
+	first, err := Headlines(serialQuickConfig(store))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +106,7 @@ func TestHeadlinesSharedStoreNoExtraRouting(t *testing.T) {
 		t.Fatal("first Headlines run filled nothing — store not threaded through")
 	}
 
-	second, err := Headlines(true, 1, store, false)
+	second, err := Headlines(serialQuickConfig(store))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,12 +126,12 @@ func TestHeadlinesSharedStoreNoExtraRouting(t *testing.T) {
 // TestCorralScalingSharedStore does the same for the §7 scaling study.
 func TestCorralScalingSharedStore(t *testing.T) {
 	store := cache.NewMemory[core.Metrics](0)
-	first, err := CorralScaling([]int{6, 8}, true, 1, store, false)
+	first, err := CorralScaling([]int{6, 8}, serialQuickConfig(store))
 	if err != nil {
 		t.Fatal(err)
 	}
 	fills := store.Stats().Fills
-	second, err := CorralScaling([]int{6, 8}, true, 1, store, false)
+	second, err := CorralScaling([]int{6, 8}, serialQuickConfig(store))
 	if err != nil {
 		t.Fatal(err)
 	}

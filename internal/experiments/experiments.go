@@ -21,7 +21,6 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/par"
@@ -29,6 +28,48 @@ import (
 	"repro/internal/weyl"
 	"repro/internal/workloads"
 )
+
+// DefaultSeed is the fixed base seed every paper experiment uses.
+const DefaultSeed = 2022
+
+// Config is the unified experiment configuration shared by every harness in
+// this package (SweepSpec, Headlines, CorralScaling, RunFig15Config) and
+// threaded through the qcbench/fidsweep CLIs and the repro facade. It
+// embeds core.Options — seed, trials, router, parallelism, profile-guided
+// mode and iterations, result cache — and adds the experiment-level Quick
+// switch, so a new evaluation knob lands in exactly one struct instead of
+// another positional parameter at every call site.
+type Config struct {
+	core.Options
+
+	// Quick shrinks sweep sizes and trial counts to the test/benchmark
+	// configuration; false runs the paper's full sizes.
+	Quick bool
+}
+
+// DefaultConfig returns the experiment-default configuration: the paper's
+// fixed seed, full sizes, and a mode-derived trial count (Trials = 0 means
+// "use the quick/full default", letting Evaluate's key normalization and
+// the historical per-harness trial choices keep their exact behavior).
+func DefaultConfig() Config {
+	return Config{Options: core.Options{Seed: DefaultSeed}}
+}
+
+// QuickConfig is DefaultConfig with Quick set.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Quick = true
+	return cfg
+}
+
+// effectiveTrials resolves the router trial count: an explicit Trials wins,
+// otherwise the historical quick/full defaults (5/20).
+func (c Config) effectiveTrials() int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	return trials(c.Quick)
+}
 
 // SweepKind selects which pair of metrics a sweep reports.
 type SweepKind int
@@ -56,30 +97,29 @@ type Series struct {
 	Points   []Point
 }
 
-// SweepSpec describes one figure's sweep.
+// SweepSpec describes one figure's sweep. The embedded Config supplies the
+// evaluation knobs, promoted so spec.Seed, spec.Trials, spec.Parallelism,
+// spec.Cache, spec.ProfileGuided, and spec.ProfileIterations read and
+// assign exactly as the old flat fields did:
+//
+//   - Parallelism bounds the sweep's worker pool (0 = auto/GOMAXPROCS, 1 =
+//     serial, n = at most n workers); output is identical at every setting
+//     — see the package comment for the determinism scheme.
+//   - Cache, when non-nil, memoizes per-cell Evaluate results so repeated
+//     or overlapping sweeps (Fig. 4/11/12 share workloads and machines)
+//     skip identical routing work; warm results are byte-identical to cold
+//     ones because every cell's seed is a pure function of its coordinates.
+//   - ProfileGuided routes every cell with the pressure-weighted pipeline
+//     (core.Options.ProfileGuided), iterated ProfileIterations times;
+//     guided cells are cache-keyed separately from baseline cells, so the
+//     two modes can share a store (or -cachedir) without contamination.
 type SweepSpec struct {
 	ID        string
 	Kind      SweepKind
 	Machines  []core.Machine
 	Workloads []string
 	Sizes     []int
-	Seed      int64
-	Trials    int
-	// Parallelism bounds the sweep's worker pool: 0 = auto (GOMAXPROCS),
-	// 1 = serial, n = at most n workers. Output is identical at every
-	// setting; see the package comment for the determinism scheme.
-	Parallelism int
-	// Cache, when non-nil, memoizes per-cell Evaluate results so repeated
-	// or overlapping sweeps (Fig. 4/11/12 share workloads and machines)
-	// skip identical routing work. Warm results are byte-identical to cold
-	// ones — every cell's seed is a pure function of its coordinates.
-	Cache *cache.Store[core.Metrics]
-	// ProfileGuided routes every cell with the pressure-weighted two-pass
-	// pipeline (core.Options.ProfileGuided): pilot, per-edge SWAP profile,
-	// re-weighted final pass, cheaper result kept. Guided cells are cache-
-	// keyed separately from baseline cells, so the two modes can share a
-	// store (or -cachedir) without cross-contamination.
-	ProfileGuided bool
+	Config
 }
 
 // circuitFor builds the benchmark circuit deterministically per
@@ -167,13 +207,16 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 	err = par.ForEachCtx(ctx, len(cells), s.Parallelism, func(i int) error {
 		t := cells[i]
 		w, m := s.Workloads[t.w], s.Machines[t.m]
-		opt := core.Options{
-			Seed:          s.taskSeed(w, t.size, m.Name),
-			Trials:        s.Trials,
-			Parallelism:   1,
-			Cache:         s.Cache,
-			ProfileGuided: s.ProfileGuided,
-		}
+		// Each cell evaluates under the spec's Options with its own
+		// FNV-derived seed; the router's internal trial pool stays serial
+		// (cells already saturate the sweep pool). Trials resolves through
+		// the Config contract (0 = mode default, 5 quick / 20 full) so a
+		// hand-built SweepSpec{Config: QuickConfig()} sweeps at the same
+		// trial count as Headlines/CorralScaling under that Config.
+		opt := s.Options
+		opt.Seed = s.taskSeed(w, t.size, m.Name)
+		opt.Trials = s.effectiveTrials()
+		opt.Parallelism = 1
 		met, err := m.Evaluate(circs[circKey{t.w, t.size}], opt)
 		if err != nil {
 			return fmt.Errorf("experiments: %s/%s/%s(%d): %w", s.ID, m.Name, w, t.size, err)
@@ -228,6 +271,17 @@ func trials(quick bool) int {
 	return 20
 }
 
+// sweepConfig is the Config every figure spec starts from: the fixed paper
+// seed and the mode's explicit trial count (spelled out, not left to
+// effectiveTrials, so sweep cache keys stay bit-identical to earlier
+// builds' explicit Trials values).
+func sweepConfig(quick bool) Config {
+	return Config{
+		Options: core.Options{Seed: DefaultSeed, Trials: trials(quick)},
+		Quick:   quick,
+	}
+}
+
 // machinesTopoOnly wraps bare topologies with the CX basis: SWAP counting
 // is basis-independent (the paper: "independent of choice of basis gate").
 func machinesTopoOnly(graphs ...*topology.Graph) []core.Machine {
@@ -253,8 +307,7 @@ func Fig4Spec(quick bool) SweepSpec {
 		),
 		Workloads: workloads.Names(),
 		Sizes:     sizes84(quick),
-		Seed:      2022,
-		Trials:    trials(quick),
+		Config:    sweepConfig(quick),
 	}
 }
 
@@ -273,8 +326,7 @@ func Fig11Spec(quick bool) SweepSpec {
 		),
 		Workloads: workloads.Names(),
 		Sizes:     sizes16(quick),
-		Seed:      2022,
-		Trials:    trials(quick),
+		Config:    sweepConfig(quick),
 	}
 }
 
@@ -292,8 +344,7 @@ func Fig12Spec(quick bool) SweepSpec {
 		),
 		Workloads: workloads.Names(),
 		Sizes:     sizes84(quick),
-		Seed:      2022,
-		Trials:    trials(quick),
+		Config:    sweepConfig(quick),
 	}
 }
 
@@ -306,8 +357,7 @@ func Fig13Spec(quick bool) SweepSpec {
 		Machines:  core.Machines16(),
 		Workloads: workloads.Names(),
 		Sizes:     sizes16(quick),
-		Seed:      2022,
-		Trials:    trials(quick),
+		Config:    sweepConfig(quick),
 	}
 }
 
@@ -319,8 +369,7 @@ func Fig14Spec(quick bool) SweepSpec {
 		Machines:  core.Machines84(),
 		Workloads: workloads.Names(),
 		Sizes:     sizes84(quick),
-		Seed:      2022,
-		Trials:    trials(quick),
+		Config:    sweepConfig(quick),
 	}
 }
 
@@ -373,26 +422,28 @@ type Headline struct {
 	DurationRatio float64
 }
 
-// Headlines computes the headline ratios on QuantumVolume circuits.
-// parallelism bounds the router's trial pool (0 = auto, 1 = serial);
-// the ratios are identical at every setting. store, when non-nil, serves
-// repeated invocations from the content-addressed Evaluate cache — a second
-// Headlines call sharing a store performs zero additional routing.
-// profileGuided routes both machines with the pressure-weighted two-pass
-// pipeline (cache-keyed separately from baseline runs).
-func Headlines(quick bool, parallelism int, store *cache.Store[core.Metrics], profileGuided bool) (Headline, error) {
-	sizes := sizes84(quick)
+// Headlines computes the headline ratios on QuantumVolume circuits under
+// the unified Config: cfg.Parallelism bounds the router's trial pool (0 =
+// auto, 1 = serial; the ratios are identical at every setting), cfg.Cache,
+// when non-nil, serves repeated invocations from the content-addressed
+// Evaluate cache — a second Headlines call sharing a store performs zero
+// additional routing — and cfg.ProfileGuided routes both machines with the
+// pressure-weighted pipeline (cache-keyed separately from baseline runs,
+// iterated cfg.ProfileIterations times).
+func Headlines(cfg Config) (Headline, error) {
+	sizes := sizes84(cfg.Quick)
 	hh := core.HeavyHex84CX()
 	hc := core.Hypercube84SqrtISwap()
 	res := Headline{Sizes: sizes}
 	var sw, cs, tq, du float64
 	n := 0
 	for _, size := range sizes {
-		c, err := circuitFor("QuantumVolume", size, 2022)
+		c, err := circuitFor("QuantumVolume", size, cfg.Seed)
 		if err != nil {
 			return Headline{}, err
 		}
-		opt := core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism, Cache: store, ProfileGuided: profileGuided}
+		opt := cfg.Options
+		opt.Trials = cfg.effectiveTrials()
 		a, err := hh.Evaluate(c, opt)
 		if err != nil {
 			return Headline{}, err

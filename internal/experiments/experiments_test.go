@@ -5,9 +5,20 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cache"
+	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/optimize"
 )
+
+// serialQuickConfig is the tests' standard harness configuration: quick
+// sizes, serial evaluation, optional shared store.
+func serialQuickConfig(store *cache.Store[core.Metrics]) Config {
+	cfg := QuickConfig()
+	cfg.Parallelism = 1
+	cfg.Cache = store
+	return cfg
+}
 
 func TestTable1Properties(t *testing.T) {
 	rows := Table1()
@@ -142,7 +153,7 @@ func TestFig13CodesignOrdering(t *testing.T) {
 }
 
 func TestHeadlinesDirection(t *testing.T) {
-	h, err := Headlines(true, 1, nil, false)
+	h, err := Headlines(serialQuickConfig(nil))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -58,6 +58,14 @@ func RunFig15(samples int, seed int64, cfg decomp.Config) (*Fig15Result, error) 
 	return RunFig15Parallel(samples, seed, cfg, 0)
 }
 
+// RunFig15Config is RunFig15 driven by the unified experiment Config: the
+// study seeds its Haar sampling from cfg.Seed and fans decomposition cells
+// over a cfg.Parallelism-bounded pool. Output is byte-identical to
+// RunFig15Parallel(samples, cfg.Seed, dc, cfg.Parallelism).
+func RunFig15Config(samples int, dc decomp.Config, cfg Config) (*Fig15Result, error) {
+	return RunFig15Parallel(samples, cfg.Seed, dc, cfg.Parallelism)
+}
+
 // RunFig15Parallel is RunFig15 with an explicit worker bound for the
 // (n, k, sample) decomposition cells (0 = auto/GOMAXPROCS, 1 = serial).
 // Every cell optimizes under its own FNV-derived RNG (fig15CellSeed) and

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+
+	"repro/internal/core"
 )
 
 // equivSpecs are reduced sweeps covering both sweep kinds and every
@@ -112,7 +114,7 @@ func TestRunContextCancelled(t *testing.T) {
 // seed of a sweep cell depends only on its coordinates, so reordering or
 // re-slicing a sweep can never change a cell's result.
 func TestTaskSeedStability(t *testing.T) {
-	a := SweepSpec{ID: "fig11", Seed: 2022}
+	a := SweepSpec{ID: "fig11", Config: Config{Options: core.Options{Seed: 2022}}}
 	if a.taskSeed("GHZ", 8, "Hypercube") != a.taskSeed("GHZ", 8, "Hypercube") {
 		t.Fatal("taskSeed not deterministic")
 	}

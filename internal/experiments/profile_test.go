@@ -33,6 +33,35 @@ func TestFig11DefaultMatchesPR2(t *testing.T) {
 	}
 }
 
+// TestFig11ProfileGuidedMatchesGolden pins the profile-guided pipeline the
+// same way the default one is pinned: the guided Fig. 11 quick-mode series
+// must reproduce the output recorded when the pass pipeline landed (PR 4).
+// A diff here means the guided pass sequence changed behavior — bump
+// core.evaluateKeyDomain (or the guided key tag) and regenerate with
+// `qcbench -fig 11 -profile`.
+func TestFig11ProfileGuidedMatchesGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig11_quick_profile_pr4.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Fig11Spec(true)
+	spec.ProfileGuided = true
+	series, err := spec.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := FormatSeries(series, SwapCounts)
+	if got != string(want) {
+		gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("guided pipeline diverged from PR 4 at line %d:\n got: %q\nwant: %q", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("guided pipeline output length diverged from PR 4: %d vs %d lines", len(gl), len(wl))
+	}
+}
+
 // corralTreeSubset filters a spec down to the SNAIL corral/tree machines.
 func corralTreeSubset(spec SweepSpec) SweepSpec {
 	var ms []core.Machine

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/topology"
 	"repro/internal/weyl"
@@ -30,12 +29,13 @@ type CorralScalingRow struct {
 // Strides follow the Corral(1,k) pattern with the long fence at roughly a
 // third of the ring (the stride-3-of-8 ratio that realizes the paper's
 // Corral 1,2), so the design keeps its low-diameter property as it scales.
-// parallelism bounds the router's trial pool (0 = auto, 1 = serial) and
-// never changes the measured rows. store, when non-nil, memoizes the routed
-// QV evaluations so repeated studies skip identical routing. profileGuided
-// routes each ring with the pressure-weighted two-pass pipeline (cache-
-// keyed separately from baseline runs).
-func CorralScaling(posts []int, quick bool, parallelism int, store *cache.Store[core.Metrics], profileGuided bool) ([]CorralScalingRow, error) {
+// The unified Config supplies the evaluation knobs: cfg.Parallelism bounds
+// the router's trial pool (0 = auto, 1 = serial) and never changes the
+// measured rows; cfg.Cache, when non-nil, memoizes the routed QV
+// evaluations so repeated studies skip identical routing; cfg.ProfileGuided
+// routes each ring with the pressure-weighted pipeline (cache-keyed
+// separately from baseline runs, iterated cfg.ProfileIterations times).
+func CorralScaling(posts []int, cfg Config) ([]CorralScalingRow, error) {
 	var out []CorralScalingRow
 	for _, p := range posts {
 		if p < 5 {
@@ -47,12 +47,14 @@ func CorralScaling(posts []int, quick bool, parallelism int, store *cache.Store[
 		g.Name = fmt.Sprintf("Corral-%dp(1,%d)", p, long)
 		row := CorralScalingRow{Posts: p, Strides: strides, Stats: g.Stats()}
 		width := g.N() * 4 / 5
-		c, err := circuitFor("QuantumVolume", width, 2022)
+		c, err := circuitFor("QuantumVolume", width, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
 		m := core.NewMachine(g.Name, g, weyl.BasisSqrtISwap)
-		met, err := m.Evaluate(c, core.Options{Seed: 2022, Trials: trials(quick), Parallelism: parallelism, Cache: store, ProfileGuided: profileGuided})
+		opt := cfg.Options
+		opt.Trials = cfg.effectiveTrials()
+		met, err := m.Evaluate(c, opt)
 		if err != nil {
 			return nil, err
 		}

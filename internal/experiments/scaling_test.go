@@ -6,7 +6,7 @@ import (
 )
 
 func TestCorralScaling(t *testing.T) {
-	rows, err := CorralScaling([]int{6, 8, 10}, true, 1, nil, false)
+	rows, err := CorralScaling([]int{6, 8, 10}, serialQuickConfig(nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +35,7 @@ func TestCorralScaling(t *testing.T) {
 	if !strings.Contains(txt, "Corral-8p") {
 		t.Error("formatting broken")
 	}
-	if _, err := CorralScaling([]int{3}, true, 1, nil, false); err == nil {
+	if _, err := CorralScaling([]int{3}, serialQuickConfig(nil)); err == nil {
 		t.Error("tiny ring accepted")
 	}
 }

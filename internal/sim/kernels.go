@@ -6,6 +6,16 @@ import (
 	"math/cmplx"
 
 	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// iSWAP-family inner-block entries, read once from the same memoized
+// matrices circuit.Unitary resolves, so the mix kernel multiplies the exact
+// floating-point values the generic path would (e.g. the iSWAP diagonal is
+// cos(π/2) ≈ 6.1e-17, not literal zero).
+var (
+	iswapDiag, iswapOff   = gates.ISwap().At(1, 1), gates.ISwap().At(1, 2)
+	siswapDiag, siswapOff = gates.SqrtISwap().At(1, 1), gates.SqrtISwap().At(1, 2)
 )
 
 // ApplyOp applies one circuit op to the state, dispatching by gate name to
@@ -60,6 +70,11 @@ func (s *State) ApplyOp(op circuit.Op) error {
 			return s.permCX(op)
 		case "swap":
 			return s.permSwap(op)
+		// ---- 2Q inner-block mixes (iSWAP family) ----
+		case "iswap":
+			return s.mix2Q(op, iswapDiag, iswapOff)
+		case "siswap":
+			return s.mix2Q(op, siswapDiag, siswapOff)
 		}
 	}
 	u, err := circuit.Unitary(op)
@@ -173,6 +188,32 @@ func (s *State) phase2Q(op circuit.Op, d00, d01, d10, d11 complex128) error {
 		if d11 != 1 {
 			amp[i00|maskA|maskB] *= d11
 		}
+	})
+	return nil
+}
+
+// mix2Q applies a unitary of the iSWAP-family inner-block form
+//
+//	[[1, 0,    0,    0],
+//	 [0, diag, off,  0],
+//	 [0, off,  diag, 0],
+//	 [0, 0,    0,    1]]
+//
+// (iSWAP: diag = cos(π/2), off = i; √iSWAP: diag = cos(π/4), off =
+// i·sin(π/4); any gates.NRootISwap member fits). Only the |01⟩/|10⟩
+// amplitude pair of each quad mixes — half the state is untouched and the
+// 4×4 matrix product collapses to a 2×2 rotation per quad.
+func (s *State) mix2Q(op circuit.Op, diag, off complex128) error {
+	maskA, maskB, err := s.check2Q(op)
+	if err != nil {
+		return err
+	}
+	amp := s.Amp
+	quad2Q(len(amp), maskA, maskB, func(i00 int) {
+		i01, i10 := i00|maskB, i00|maskA
+		a01, a10 := amp[i01], amp[i10]
+		amp[i01] = diag*a01 + off*a10
+		amp[i10] = off*a01 + diag*a10
 	})
 	return nil
 }

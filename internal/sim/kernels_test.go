@@ -80,9 +80,11 @@ func TestFastPathsMatchGeneric(t *testing.T) {
 		{Name: "rzz", Qubits: []int{0, 1}, Params: []float64{0.9}},
 		{Name: "cx", Qubits: []int{0, 1}},
 		{Name: "swap", Qubits: []int{0, 1}},
+		{Name: "iswap", Qubits: []int{0, 1}},
+		{Name: "siswap", Qubits: []int{0, 1}},
 		// Non-specialized names exercise the generic fallback inside ApplyOp.
 		{Name: "h", Qubits: []int{0}},
-		{Name: "siswap", Qubits: []int{0, 1}},
+		{Name: "syc", Qubits: []int{0, 1}},
 	}
 	for _, op := range cases {
 		t.Run(op.Name, func(t *testing.T) {
@@ -104,6 +106,44 @@ func TestFastPathsMatchGeneric(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestISwapFamilyCircuitCrossval runs a whole random circuit built from
+// iSWAP-family gates interleaved with 1Q rotations twice — once through the
+// ApplyOp mix2Q fast path, once through the generic Apply2Q kernel — and
+// requires the final states to agree. This exercises the kernel the way
+// translated SNAIL circuits do: long chains of siswap ops on overlapping
+// qubit pairs.
+func TestISwapFamilyCircuitCrossval(t *testing.T) {
+	const n = 8
+	rng := rand.New(rand.NewSource(99))
+	c := circuit.New(n)
+	for i := 0; i < 120; i++ {
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		switch rng.Intn(3) {
+		case 0:
+			c.ISwap(a, b)
+		case 1:
+			c.SqrtISwap(a, b)
+		default:
+			c.Append(circuit.Op{Name: "ry", Qubits: []int{a}, Params: []float64{rng.Float64()}})
+		}
+	}
+	fast := randomState(t, n, rng)
+	slow := fast.Copy()
+	if err := fast.Run(c); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range c.Ops {
+		applyGeneric(t, slow, op)
+	}
+	if d := maxAmpDiff(fast, slow); d > 1e-10 {
+		t.Fatalf("iSWAP-family circuit diverges from generic kernels by %g", d)
 	}
 }
 
@@ -143,6 +183,8 @@ func TestApplyOpValidation(t *testing.T) {
 		{Name: "cx", Qubits: []int{0, 0}},
 		{Name: "swap", Qubits: []int{1, 5}},
 		{Name: "cz", Qubits: []int{2}},
+		{Name: "iswap", Qubits: []int{2, 2}},
+		{Name: "siswap", Qubits: []int{0, 4}},
 	}
 	for _, op := range bad {
 		if err := s.ApplyOp(op); err == nil {

@@ -9,10 +9,12 @@
 // and Apply2Q each index quad exactly once, never scanning amplitudes it
 // won't touch. On top of the generic kernels, ApplyOp (used by Run)
 // dispatches known gate names to specialized fast paths: diagonal gates
-// (z/s/sdg/t/tdg/rz/p/cz/cp/rzz) reduce to pure phase multiplies and
-// permutation gates (x/cx/swap) to amplitude exchanges, skipping the 2×2
-// or 4×4 complex matrix arithmetic entirely. Every fast path is verified
-// against the generic kernels in kernels_test.go.
+// (z/s/sdg/t/tdg/rz/p/cz/cp/rzz) reduce to pure phase multiplies,
+// permutation gates (x/cx/swap) to amplitude exchanges, and the iSWAP
+// family (iswap/siswap — the SNAIL-native basis gates) to a 2×2 inner-block
+// mix of each quad's |01⟩/|10⟩ pair, skipping the 2×2 or 4×4 complex
+// matrix arithmetic entirely. Every fast path is verified against the
+// generic kernels in kernels_test.go.
 package sim
 
 import (

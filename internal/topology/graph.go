@@ -31,8 +31,8 @@ type Graph struct {
 	dist   atomic.Pointer[[][]int] // all-pairs BFS distances, computed lazily
 	distMu sync.Mutex              // serializes the one-time computation
 
-	wdistMu sync.Mutex                // guards wdist
-	wdist   map[uint64][][]float64    // weighted all-pairs distances per weight fingerprint
+	wdistMu sync.Mutex             // guards wdist
+	wdist   map[uint64][][]float64 // weighted all-pairs distances per weight fingerprint
 
 	fp atomic.Pointer[uint64] // structural fingerprint, computed lazily
 }

@@ -45,7 +45,7 @@ func (g *Graph) WeightedDistances(w EdgeWeights) ([][]float64, error) {
 			return nil, fmt.Errorf("topology: edge %v weight %g must be positive and finite", g.edges[i], wt)
 		}
 	}
-	key := w.fingerprint()
+	key := w.Fingerprint()
 	g.wdistMu.Lock()
 	if d, ok := g.wdist[key]; ok {
 		g.wdistMu.Unlock()
@@ -64,8 +64,13 @@ func (g *Graph) WeightedDistances(w EdgeWeights) ([][]float64, error) {
 	return d, nil
 }
 
-// fingerprint hashes the weight vector by exact bit patterns.
-func (w EdgeWeights) fingerprint() uint64 {
+// Fingerprint hashes the weight vector by exact bit patterns. Two weight
+// vectors with equal fingerprints drive WeightedDistances — and everything
+// downstream of it (layout, routing) — identically, which is what lets the
+// profile-guided fixed-point iteration detect convergence: a repeated
+// fingerprint means the next candidate routing would be a deterministic
+// replay of one already tried.
+func (w EdgeWeights) Fingerprint() uint64 {
 	h := fnv.New64a()
 	var buf [8]byte
 	for _, v := range w {

@@ -1,0 +1,345 @@
+package transpile
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/circuit"
+	"repro/internal/topology"
+	"repro/internal/weyl"
+)
+
+// PassContext is the shared state a Pipeline threads through its passes:
+// the immutable problem description (graph, basis, logical circuit, seed,
+// trials, parallelism) plus the artifacts the stages of the paper's Fig. 10
+// flow produce and consume — the routing cost matrix, the chosen layout,
+// the routed circuit, the measured pressure profile, and the translated
+// circuit. Passes communicate exclusively through this struct, so any stage
+// can be replaced, reordered, or repeated without touching the others.
+type PassContext struct {
+	// Inputs. Circuit is the logical circuit and is never mutated; Seed is
+	// the deterministic base every routing pass derives its RNG from (a
+	// fresh rand.New(rand.NewSource(Seed)) per pass, so each pass is
+	// independently reproducible); Trials and Parallelism parameterize the
+	// stochastic router exactly as in StochasticSwapCost.
+	Graph       *topology.Graph
+	Basis       weyl.Basis
+	Circuit     *circuit.Circuit
+	Seed        int64
+	Trials      int
+	Parallelism int
+
+	// Cost is the routing cost matrix consumed by layout and routing
+	// passes: nil means uniform hop distances (the baseline pipeline);
+	// ReweightPass replaces it with pressure-weighted all-pairs distances.
+	Cost [][]float64
+
+	// Artifacts, in pipeline order.
+	Layout     Layout
+	Routed     *RouteResult
+	Profile    *EdgeProfile // pilot pressure profile (ProfileGuidedPass/ProfilePass)
+	Translated *circuit.Circuit
+
+	// Timings records one entry per executed pass (appended by
+	// Pipeline.Run), so callers can attribute wall-clock to stages.
+	Timings []PassTiming
+}
+
+// PassTiming is the measured wall-clock of one executed pass.
+type PassTiming struct {
+	Name     string
+	Duration time.Duration
+}
+
+// Pass is one stage of the transpilation pipeline: a named transformation
+// of the shared PassContext. Passes must be deterministic functions of the
+// context (deriving any randomness from PassContext.Seed) so that a
+// pipeline's output is a pure function of its inputs.
+type Pass interface {
+	Name() string
+	Apply(ctx *PassContext) error
+}
+
+// Pipeline is an ordered sequence of passes. The zero value is an empty
+// pipeline; Run on it is a no-op.
+type Pipeline []Pass
+
+// Run applies each pass in order, recording per-pass wall-clock in
+// ctx.Timings. The first failing pass aborts the run with its name wrapped
+// into the error.
+func (p Pipeline) Run(ctx *PassContext) error {
+	for _, pass := range p {
+		start := time.Now()
+		if err := pass.Apply(ctx); err != nil {
+			return fmt.Errorf("%s pass: %w", pass.Name(), err)
+		}
+		ctx.Timings = append(ctx.Timings, PassTiming{Name: pass.Name(), Duration: time.Since(start)})
+	}
+	return nil
+}
+
+// RouterFunc is the routing algorithm slot of RoutePass and
+// ProfileGuidedPass: route c onto g from layout under cost (nil = uniform
+// hops) with the caller's rng. StochasticRouter and SabreRouter adapt the
+// two in-tree routers; alternative routers plug in without a new pass type.
+type RouterFunc func(g *topology.Graph, c *circuit.Circuit, layout Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error)
+
+// StochasticRouter adapts StochasticSwapCost to the RouterFunc slot.
+func StochasticRouter(g *topology.Graph, c *circuit.Circuit, layout Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error) {
+	return StochasticSwapCost(g, c, layout, rng, trials, parallelism, cost)
+}
+
+// SabreRouter adapts SabreSwapCost to the RouterFunc slot (SABRE has no
+// trial fan-out, so trials and parallelism are unused).
+func SabreRouter(g *topology.Graph, c *circuit.Circuit, layout Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error) {
+	return SabreSwapCost(g, c, layout, rng, cost)
+}
+
+// LayoutPass chooses the initial placement with DenseLayoutCost under the
+// context's current cost matrix (nil = uniform hop distances).
+type LayoutPass struct{}
+
+// Name implements Pass.
+func (LayoutPass) Name() string { return "layout" }
+
+// Apply implements Pass.
+func (LayoutPass) Apply(ctx *PassContext) error {
+	l, err := DenseLayoutCost(ctx.Graph, ctx.Circuit, ctx.Cost)
+	if err != nil {
+		return err
+	}
+	ctx.Layout = l
+	return nil
+}
+
+// RoutePass inserts SWAPs with the configured router, reading the layout
+// and cost matrix from the context and seeding a fresh RNG from ctx.Seed so
+// the pass is independently deterministic wherever it sits in a pipeline.
+type RoutePass struct {
+	Router RouterFunc
+}
+
+// Name implements Pass.
+func (RoutePass) Name() string { return "route" }
+
+// Apply implements Pass.
+func (p RoutePass) Apply(ctx *PassContext) error {
+	router := p.Router
+	if router == nil {
+		router = StochasticRouter
+	}
+	if ctx.Layout == nil {
+		return fmt.Errorf("no layout (run a layout pass first)")
+	}
+	rng := rand.New(rand.NewSource(ctx.Seed))
+	routed, err := router(ctx.Graph, ctx.Circuit, ctx.Layout, rng, ctx.Trials, ctx.Parallelism, ctx.Cost)
+	if err != nil {
+		return err
+	}
+	ctx.Routed = routed
+	return nil
+}
+
+// ProfilePass measures the per-edge SWAP pressure of the routed circuit
+// into ctx.Profile. It is a pure measurement: deterministic for a fixed
+// routed circuit, no artifact is modified.
+type ProfilePass struct{}
+
+// Name implements Pass.
+func (ProfilePass) Name() string { return "profile" }
+
+// Apply implements Pass.
+func (ProfilePass) Apply(ctx *PassContext) error {
+	if ctx.Routed == nil {
+		return fmt.Errorf("no routed circuit (run a route pass first)")
+	}
+	prof, err := ProfileRoutedCircuit(ctx.Graph, ctx.Routed.Circuit)
+	if err != nil {
+		return err
+	}
+	ctx.Profile = prof
+	return nil
+}
+
+// ReweightPass converts the measured pressure profile into a weighted
+// all-pairs cost matrix (EdgeProfile.Weights → Graph.WeightedDistances) and
+// installs it as ctx.Cost, so subsequent layout/route passes price
+// congested links above idle ones. Alpha ≤ 0 uses DefaultPressureAlpha.
+type ReweightPass struct {
+	Alpha float64
+}
+
+// Name implements Pass.
+func (ReweightPass) Name() string { return "reweight" }
+
+// Apply implements Pass.
+func (p ReweightPass) Apply(ctx *PassContext) error {
+	if ctx.Profile == nil {
+		return fmt.Errorf("no pressure profile (run a profile pass first)")
+	}
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = DefaultPressureAlpha
+	}
+	cost, err := ctx.Graph.WeightedDistances(ctx.Profile.Weights(alpha))
+	if err != nil {
+		return err
+	}
+	ctx.Cost = cost
+	return nil
+}
+
+// TranslatePass rewrites the routed circuit into the machine's native basis
+// with TranslateToBasis.
+type TranslatePass struct{}
+
+// Name implements Pass.
+func (TranslatePass) Name() string { return "translate" }
+
+// Apply implements Pass.
+func (TranslatePass) Apply(ctx *PassContext) error {
+	if ctx.Routed == nil {
+		return fmt.Errorf("no routed circuit (run a route pass first)")
+	}
+	tr, err := TranslateToBasis(ctx.Routed.Circuit, ctx.Basis)
+	if err != nil {
+		return err
+	}
+	ctx.Translated = tr
+	return nil
+}
+
+// PeepholePass applies the local simplification pass (1Q merges, 2Q
+// self-inverse cancellation) to the most processed circuit available: the
+// translated circuit when translation ran, otherwise the routed one. It is
+// not part of the default pipeline — the paper's metrics count gates before
+// peephole clean-up — but slots in after TranslatePass for callers that
+// want executable-circuit output.
+type PeepholePass struct{}
+
+// Name implements Pass.
+func (PeepholePass) Name() string { return "peephole" }
+
+// Apply implements Pass.
+func (PeepholePass) Apply(ctx *PassContext) error {
+	switch {
+	case ctx.Translated != nil:
+		out, err := Peephole(ctx.Translated)
+		if err != nil {
+			return err
+		}
+		ctx.Translated = out
+	case ctx.Routed != nil:
+		out, err := Peephole(ctx.Routed.Circuit)
+		if err != nil {
+			return err
+		}
+		ctx.Routed = &RouteResult{Circuit: out, SwapCount: ctx.Routed.SwapCount, FinalLayout: ctx.Routed.FinalLayout}
+	default:
+		return fmt.Errorf("no circuit to simplify (run a route pass first)")
+	}
+	return nil
+}
+
+// ProfileGuidedPass iterates the pressure feedback loop of profile-guided
+// routing to a fixed point: profile the best routing so far, re-weight the
+// cost matrices, re-place and re-route under them, and keep the cheaper
+// routing (by induced SWAP count, incumbent on ties). With Iterations = 1
+// it is exactly the single pilot→reweight step of the original
+// profile-guided pipeline; larger values let an improved routing be
+// profiled again, which can expose a different congestion pattern.
+//
+// Invariants, preserved at every iteration:
+//
+//   - keep-cheapest: the incumbent routing is replaced only by a strictly
+//     cheaper candidate, so N iterations never yield more induced SWAPs
+//     than N−1 (the iteration sequence is deterministic, and a longer run
+//     extends — never revises — a shorter one);
+//   - convergence: iteration stops early when the pressure profile of the
+//     incumbent produces an edge-weight vector already tried (fingerprint
+//     repeat) — rerouting under identical weights is a deterministic
+//     replay — or when the incumbent has zero induced SWAPs (already
+//     optimal on the contested metric).
+//
+// ctx.Profile is set to the *pilot* profile (the pressure measured on the
+// incoming routing), matching the original contract that the exposed
+// profile always describes the uniform-cost pass that seeded guidance.
+// ctx.Cost is left untouched: the winning routing already absorbed any
+// reweighting, and downstream passes (translation) are cost-independent.
+type ProfileGuidedPass struct {
+	Router     RouterFunc
+	Alpha      float64 // ≤ 0 → DefaultPressureAlpha
+	Iterations int     // < 1 → 1
+}
+
+// Name implements Pass.
+func (ProfileGuidedPass) Name() string { return "profile-guided" }
+
+// Apply implements Pass.
+func (p ProfileGuidedPass) Apply(ctx *PassContext) error {
+	if ctx.Routed == nil {
+		return fmt.Errorf("no pilot routing (run a route pass first)")
+	}
+	router := p.Router
+	if router == nil {
+		router = StochasticRouter
+	}
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = DefaultPressureAlpha
+	}
+	iters := p.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	pilot, err := ProfileRoutedCircuit(ctx.Graph, ctx.Routed.Circuit)
+	if err != nil {
+		return err
+	}
+	ctx.Profile = pilot
+	bestLayout, bestRouted := ctx.Layout, ctx.Routed
+	profile := pilot
+	tried := make(map[uint64]bool, iters)
+	for it := 0; it < iters; it++ {
+		// A routing with zero induced SWAPs is already optimal on the
+		// metric the guided pass competes on (total = algorithmic +
+		// induced, and algorithmic SWAPs are fixed by the logical
+		// circuit), so any further candidate can at best tie and lose the
+		// tie.
+		if bestRouted.SwapCount == 0 {
+			break
+		}
+		weights := profile.Weights(alpha)
+		fp := weights.Fingerprint()
+		if tried[fp] {
+			break // fixed point: identical weights replay an earlier candidate
+		}
+		tried[fp] = true
+		cost, err := ctx.Graph.WeightedDistances(weights)
+		if err != nil {
+			return err
+		}
+		layout, err := DenseLayoutCost(ctx.Graph, ctx.Circuit, cost)
+		if err != nil {
+			return err
+		}
+		rng := rand.New(rand.NewSource(ctx.Seed))
+		routed, err := router(ctx.Graph, ctx.Circuit, layout, rng, ctx.Trials, ctx.Parallelism, cost)
+		if err != nil {
+			return err
+		}
+		if routed.SwapCount >= bestRouted.SwapCount {
+			// Candidate lost: the incumbent is unchanged, so the next
+			// iteration would profile the same routing into the same
+			// weights and replay this exact candidate.
+			break
+		}
+		bestLayout, bestRouted = layout, routed
+		if profile, err = ProfileRoutedCircuit(ctx.Graph, routed.Circuit); err != nil {
+			return err
+		}
+	}
+	ctx.Layout, ctx.Routed = bestLayout, bestRouted
+	return nil
+}

@@ -230,6 +230,47 @@ var (
 	Peephole = transpile.Peephole
 )
 
+// ---- Pass pipeline (the Fig. 10 flow as composable stages) ----
+
+// Pass is one named stage of the transpilation pipeline.
+type Pass = transpile.Pass
+
+// PassContext is the shared state a Pipeline threads through its passes.
+type PassContext = transpile.PassContext
+
+// Pipeline is an ordered sequence of passes; Machine.Pipeline builds the
+// stock arrangement (layout → route → [profile-guided] → translate) and
+// custom pipelines compose freely from the exported passes.
+type Pipeline = transpile.Pipeline
+
+// PassTiming is the measured wall-clock of one executed pass
+// (Transpiled.Timings).
+type PassTiming = transpile.PassTiming
+
+// RouterFunc is the pluggable routing-algorithm slot of RoutePass and
+// ProfileGuidedPass.
+type RouterFunc = transpile.RouterFunc
+
+// The stock passes: initial placement, SWAP routing, pressure profiling,
+// cost reweighting, the profile-guided fixed-point loop, basis translation,
+// and peephole clean-up.
+type (
+	LayoutPass        = transpile.LayoutPass
+	RoutePass         = transpile.RoutePass
+	ProfilePass       = transpile.ProfilePass
+	ReweightPass      = transpile.ReweightPass
+	ProfileGuidedPass = transpile.ProfileGuidedPass
+	TranslatePass     = transpile.TranslatePass
+	PeepholePass      = transpile.PeepholePass
+)
+
+var (
+	// StochasticRouter and SabreRouter adapt the in-tree routers to the
+	// RouterFunc slot.
+	StochasticRouter = transpile.StochasticRouter
+	SabreRouter      = transpile.SabreRouter
+)
+
 // ---- Weyl / KAK ----
 
 // KAKDecomposition is a full Cartan factorization of a 2Q unitary.
@@ -331,6 +372,23 @@ type Series = experiments.Series
 // SweepSpec describes a figure's sweep.
 type SweepSpec = experiments.SweepSpec
 
+// ExperimentConfig is the unified experiment configuration threaded through
+// every harness (SweepSpec, Headlines, CorralScaling, RunFig15Config) and
+// both CLIs: core.Options (seed, trials, router, parallelism, cache,
+// profile-guided mode and iterations) plus the Quick size switch. It
+// replaces the old positional (quick, parallelism, store, profileGuided)
+// parameter lists.
+type ExperimentConfig = experiments.Config
+
+var (
+	// DefaultExperimentConfig is the paper-default configuration (full
+	// sizes, seed 2022, mode-derived trial count).
+	DefaultExperimentConfig = experiments.DefaultConfig
+	// QuickExperimentConfig is DefaultExperimentConfig at test/benchmark
+	// sizes.
+	QuickExperimentConfig = experiments.QuickConfig
+)
+
 // Fig15Result is the pulse-duration sensitivity study output.
 type Fig15Result = experiments.Fig15Result
 
@@ -349,7 +407,10 @@ var (
 	// RunFig15Parallel bounds the decomposition worker pool explicitly
 	// (RunFig15 = auto); output is byte-identical at every setting.
 	RunFig15Parallel = experiments.RunFig15Parallel
-	Headlines        = experiments.Headlines
+	// RunFig15Config drives the study from an ExperimentConfig (seed +
+	// parallelism).
+	RunFig15Config = experiments.RunFig15Config
+	Headlines      = experiments.Headlines
 
 	// CorralScaling grows the fence-post ring beyond the paper's 8 posts
 	// (the §7 scaling question) and measures structure + routed QV cost.

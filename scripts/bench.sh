@@ -14,12 +14,16 @@
 #     "benchmarks": [ { "name": ..., "iterations": N, "ns_per_op": ...,
 #                       "b_per_op": ..., "allocs_per_op": ...,
 #                       "cache_hits_per_op": ..., "cache_misses_per_op": ...,
-#                       "swaps_per_op": ... }, ... ],
+#                       "swaps_per_op": ...,
+#                       "layout_share": ..., "route_share": ...,
+#                       "translate_share": ... }, ... ],
 #     "scaling": [ { "gomaxprocs": N, "wall_ns": ... }, ... ] }
 #
 # cache_hits_per_op / cache_misses_per_op / swaps_per_op are emitted by the
 # warm-cache and profile-guided benchmarks (b.ReportMetric) and stay null
-# elsewhere.
+# elsewhere. layout_share / route_share / translate_share are each pass's
+# fraction of transpile-pipeline wall-clock (BenchmarkTranspilePassShares,
+# fed by Transpiled.Timings), also null elsewhere.
 #
 # The scaling section records wall-clock of one quick `qcbench -fig 12`
 # sweep at GOMAXPROCS 1/2/4 (the ROADMAP multi-core scaling demo); on a
@@ -65,6 +69,7 @@ awk -v out="$OUT" -v scalingfile="$SCALING" '
     # Benchmark lines: Name[-P] iters ns/op [B/op] [allocs/op] [custom metrics]
     name = $1; iters = $2; ns = $3
     b = "null"; allocs = "null"; chits = "null"; cmisses = "null"; swaps = "null"
+    lshare = "null"; rshare = "null"; tshare = "null"
     for (i = 3; i <= NF; i++) {
         if ($(i) == "ns/op")           ns = $(i - 1)
         if ($(i) == "B/op")            b = $(i - 1)
@@ -72,10 +77,13 @@ awk -v out="$OUT" -v scalingfile="$SCALING" '
         if ($(i) == "cache_hits/op")   chits = $(i - 1)
         if ($(i) == "cache_misses/op") cmisses = $(i - 1)
         if ($(i) == "swaps")           swaps = $(i - 1)
+        if ($(i) == "layout_share")    lshare = $(i - 1)
+        if ($(i) == "route_share")     rshare = $(i - 1)
+        if ($(i) == "translate_share") tshare = $(i - 1)
     }
     n++
-    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s}",
-                       name, iters, ns, b, allocs, chits, cmisses, swaps)
+    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s, \"layout_share\": %s, \"route_share\": %s, \"translate_share\": %s}",
+                       name, iters, ns, b, allocs, chits, cmisses, swaps, lshare, rshare, tshare)
 }
 END {
     printf "{\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"cpus\": %s,\n  \"benchmarks\": [\n", \

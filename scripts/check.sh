@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
 # check.sh — static and concurrency preflight for the repository:
+#   * gofmt -l over every Go file: unformatted code is rejected repo-wide
 #   * go vet over every package
 #   * doc-comment name check: a Go doc comment must lead with the name of
 #     the symbol it documents; stale names (e.g. a comment saying
@@ -7,12 +8,22 @@
 #     leading words that look like code identifiers (camel-case with an
 #     internal capital) are compared, so prose-first comments never trip.
 #   * race-detector runs of the packages with real concurrency surface
-#     (the content-addressed cache and the parallel sweep engine), pinned
-#     to GOMAXPROCS=4 so races reproduce even on single-core runners.
+#     (the content-addressed cache, the parallel sweep engine, the
+#     transpile pass pipeline with its parallel router trials, and the
+#     sim kernels exercised under it), pinned to GOMAXPROCS=4 so races
+#     reproduce even on single-core runners.
 #
 # Run directly, or via scripts/bench.sh which uses it as its preflight.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "check: gofmt"
+UNFORMATTED="$(find . -name '*.go' -not -path './.git/*' -print0 | xargs -0 gofmt -l)"
+if [[ -n "$UNFORMATTED" ]]; then
+    echo "$UNFORMATTED"
+    echo "check: FAILED — run gofmt -w on the files above"
+    exit 1
+fi
 
 echo "check: go vet ./..."
 go vet ./...
@@ -59,7 +70,9 @@ if [[ -n "$DOCCHECK" ]]; then
     exit 1
 fi
 
-echo "check: race-testing cache + sweep engine (GOMAXPROCS=4)"
-GOMAXPROCS=4 go test -race -count=1 ./internal/cache/... ./internal/experiments/... ./internal/par/...
+echo "check: race-testing cache + sweep engine + transpile pipeline + sim kernels (GOMAXPROCS=4)"
+GOMAXPROCS=4 go test -race -count=1 \
+    ./internal/cache/... ./internal/experiments/... ./internal/par/... \
+    ./internal/transpile/... ./internal/sim/...
 
 echo "check: ok"
