@@ -393,6 +393,50 @@ func BenchmarkStatevector16(b *testing.B) {
 	}
 }
 
+// BenchmarkStatevectorFusion measures the gate-fusion scheduler (ISSUE 5
+// tentpole) on a 16-qubit circuit shaped like real workloads after
+// transpilation: per-layer 1Q dressing runs (h/rz/rx), diagonal cz/cp
+// ladders, and su4 blocks preceded by 1Q frames. The fused variant runs
+// sim.Run's default schedule; "unfused" forces the historical op-by-op
+// path, so the pair quantifies fusion end to end.
+func BenchmarkStatevectorFusion(b *testing.B) {
+	const n = 16
+	rng := rand.New(rand.NewSource(31))
+	c := NewCircuit(n)
+	for layer := 0; layer < 24; layer++ {
+		for q := 0; q < n; q++ {
+			c.H(q)
+			c.RZ(q, rng.Float64())
+			c.RX(q, rng.Float64())
+		}
+		for q := 0; q < n-1; q += 2 {
+			c.CP(q, q+1, rng.Float64())
+			c.CZ(q, q+1)
+		}
+		a := rng.Intn(n - 1)
+		c.SU4(a, a+1, gates.RandomSU4(rng))
+	}
+	for _, tc := range []struct {
+		name string
+		run  func(s *sim.State) error
+	}{
+		{"fused", func(s *sim.State) error { return s.Run(c) }},
+		{"unfused", func(s *sim.State) error { return s.RunUnfused(c) }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s, err := sim.NewState(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := tc.run(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkStatevectorISwapKernel measures the iSWAP-family inner-block mix
 // kernel on a 16-qubit circuit of interleaved iswap/siswap gates — the gate
 // mix of a translated SNAIL circuit. The "generic" variant forces the same

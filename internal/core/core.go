@@ -77,6 +77,20 @@ type Options struct {
 	// when no induced SWAPs remain. Ignored unless ProfileGuided is set.
 	ProfileIterations int
 
+	// Verify appends transpile.VerifyPass to the pipeline: after routing,
+	// the routed circuit is simulated against the logical circuit on the
+	// fused statevector engine and the evaluation fails loudly if they
+	// disagree (up to global phase and the final-layout permutation) —
+	// catching router bugs at the source instead of publishing wrong
+	// metrics. It is exponential in the touched-qubit count and errors
+	// beyond sim.MaxQubits, so it is an opt-in assurance knob for the
+	// small machines, not a default. Verification changes no artifact or
+	// metric, so it needs no cache-key field of its own — but a verified
+	// Evaluate never *reads* the cache either: serving a cached (possibly
+	// never-verified) result would skip the very check the knob asks for.
+	// Verified runs always run the full pipeline.
+	Verify bool
+
 	// Cache, when non-nil, memoizes Evaluate results content-addressed by
 	// (machine name, topology fingerprint, basis, circuit fingerprint, seed,
 	// trials, router). Because routing is a pure function of those inputs, a
@@ -155,7 +169,11 @@ func (m Machine) Evaluate(c *circuit.Circuit, opt Options) (Metrics, error) {
 		}
 		return t.Metrics, nil
 	}
-	if opt.Cache == nil || m.Graph == nil {
+	// Verify must actually verify: a cache hit would return metrics from
+	// an evaluation whose routing may never have been simulated, so
+	// verified runs bypass the cache entirely (the metrics they produce
+	// are identical to cached ones, just independently checked).
+	if opt.Cache == nil || m.Graph == nil || opt.Verify {
 		return eval()
 	}
 	return opt.Cache.Do(m.evaluateKey(c, opt), eval)
@@ -242,6 +260,12 @@ func (m Machine) Pipeline(opt Options) (transpile.Pipeline, error) {
 			Alpha:      transpile.DefaultPressureAlpha,
 			Iterations: opt.ProfileIterations,
 		})
+	}
+	if opt.Verify {
+		// After the final routing (pilot or guided), before translation:
+		// the translated circuit is a counting artifact with placeholder
+		// 1Q gates, so the routed circuit is the semantic ground truth.
+		pipe = append(pipe, transpile.VerifyPass{})
 	}
 	return append(pipe, transpile.TranslatePass{}), nil
 }

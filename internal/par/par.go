@@ -41,6 +41,21 @@ func ForEach(n, parallelism int, fn func(i int) error) error {
 // done, no new task starts and the context error is returned (unless a
 // task error arrived first).
 func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int) error) error {
+	return ForEachWorkerCtx(ctx, n, parallelism, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the executing worker's pool slot passed to
+// fn alongside the task index. Worker slots are dense in [0, W) where W is
+// the resolved worker count (clamped to n), and at most one task runs on a
+// slot at a time, so callers can give each slot its own reusable scratch
+// state without locking. Task-to-slot assignment is scheduling-dependent;
+// only the slot-exclusivity invariant is guaranteed.
+func ForEachWorker(n, parallelism int, fn func(worker, i int) error) error {
+	return ForEachWorkerCtx(context.Background(), n, parallelism, fn)
+}
+
+// ForEachWorkerCtx is ForEachWorker with caller-supplied cancellation.
+func ForEachWorkerCtx(ctx context.Context, n, parallelism int, fn func(worker, i int) error) error {
 	workers := Resolve(parallelism)
 	if workers > n {
 		workers = n
@@ -50,7 +65,7 @@ func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int) error) e
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -79,7 +94,7 @@ func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int) error) e
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				if stop.Load() {
@@ -93,12 +108,12 @@ func ForEachCtx(ctx context.Context, n, parallelism int, fn func(i int) error) e
 					fail(i, err)
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					fail(i, err)
 					return
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return bestErr

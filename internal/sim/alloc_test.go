@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+)
+
+// TestKernelAllocs is the allocation regression guard for the statevector
+// kernels: applying gates to an existing state — generic 1Q/2Q matrix
+// kernels, the diagonal/permutation/mix fast paths, and the fused
+// serial-arm kernels — must not allocate at all. A regression here
+// multiplies across the 2^n amplitude sweeps of every simulation-backed
+// test and example.
+func TestKernelAllocs(t *testing.T) {
+	s, err := NewState(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	su4 := gates.RandomSU4(rng)
+	// Ops are built once: the guard measures the kernels, not the test's
+	// own slice literals.
+	diagOp := circuit.Op{Name: "rz", Qubits: []int{3}, Params: []float64{0.3}}
+	permOp := circuit.Op{Name: "cx", Qubits: []int{0, 5}}
+	mixOp := circuit.Op{Name: "siswap", Qubits: []int{2, 6}}
+	cases := []struct {
+		name string
+		fn   func() error
+	}{
+		{"Apply1Q", func() error { return s.Apply1Q(2, gates.H()) }},
+		{"Apply2Q", func() error { return s.Apply2Q(1, 4, su4) }},
+		{"ApplyOp/diag", func() error { return s.ApplyOp(diagOp) }},
+		{"ApplyOp/perm", func() error { return s.ApplyOp(permOp) }},
+		{"ApplyOp/mix", func() error { return s.ApplyOp(mixOp) }},
+		{"fusedMat1Q", func() error { s.fusedMat1Q(1, gates.H()); return nil }},
+		{"fusedDiag1Q", func() error { s.fusedDiag1Q(4, 1, 1i); return nil }},
+		{"fusedDiag2Q", func() error { s.fusedDiag2Q(0, 7, [4]complex128{1, 1i, -1i, -1}); return nil }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		if err := tc.fn(); err != nil { // warm up and sanity-check
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := tc.fn(); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s allocates %.1f times per application; want 0", tc.name, allocs)
+		}
+	}
+}

@@ -1,0 +1,539 @@
+// Gate-fusion scheduler: a pre-pass over a circuit that coalesces runs of
+// gates into fewer, denser state sweeps before the simulator touches the
+// exponentially large amplitude array.
+//
+// Three rewrites are applied, all exact (the fused operators are ordinary
+// matrix/phase products of the originals, so amplitudes agree with the
+// unfused path to rounding):
+//
+//   - every maximal run of consecutive 1Q gates on a qubit collapses into
+//     one 2×2 (via linalg.Mul2x2) — one state sweep instead of len(run);
+//     runs may extend across gates they commute with (a diagonal 1Q run
+//     flows through diagonal 2Q gates on the same qubit);
+//   - adjacent diagonal gates (z/s/sdg/t/tdg/rz/p on a qubit, cz/cp/rzz on
+//     a pair) merge into single phase sweeps, including across any
+//     intervening diagonal or disjoint gates, which all commute;
+//   - a pending 1Q run next to a 2Q gate that would take the generic 4×4
+//     path anyway (su4 blocks, rxx/can/..., explicit unitaries) is
+//     absorbed into that gate's matrix (U·(A⊗B) via linalg.Mul4x4): the 4×4
+//     sweep costs the same and the 1Q sweeps disappear. Gates with
+//     specialized kernels (cx/cz/swap/iswap/...) are never absorbed into —
+//     trading a phase or permutation kernel for a generic 4×4 is a loss.
+//
+// Single leftover gates stay as ordinary ops and keep their ApplyOp fast
+// paths. For states with at least fusionShardThreshold amplitudes, the
+// fused 1Q and diagonal kernels shard the amplitude array across the
+// internal/par worker pool in disjoint index ranges, so the parallel
+// result is byte-identical to the serial one (each amplitude is written by
+// exactly one worker, with the same arithmetic).
+package sim
+
+import (
+	"fmt"
+	"math/cmplx"
+
+	"repro/internal/circuit"
+	"repro/internal/gates"
+	"repro/internal/linalg"
+	"repro/internal/par"
+)
+
+// expi returns e^{iθ}, the phase factor the diagonal kernels use (the same
+// expression ApplyOp evaluates, so fused and unfused phases are identical).
+func expi(t float64) complex128 { return cmplx.Exp(complex(0, t)) }
+
+// fused op kinds.
+const (
+	fkOp     = iota // passthrough: execute via ApplyOp (keeps fast paths)
+	fkMat1Q         // fused 2×2 on q
+	fkDiag1Q        // merged 1Q phase sweep: diag(d[0], d[1]) on q
+	fkDiag2Q        // merged 2Q phase sweep: diag(d) in the |qa qb⟩ basis
+	fkMat2Q         // fused 4×4 on (qa, qb): a 2Q gate with absorbed 1Q runs
+)
+
+// fusedOp is one step of a compiled schedule.
+type fusedOp struct {
+	kind int
+	idx  int        // index of the first source op (error reporting)
+	op   circuit.Op // fkOp only
+	qa   int        // target qubit (1Q kinds) or first qubit (2Q kinds)
+	qb   int
+	d    [4]complex128  // fkDiag1Q uses d[0..1]; fkDiag2Q all four
+	u    *linalg.Matrix // fkMat1Q (2×2) and fkMat2Q (4×4)
+}
+
+// Program is a compiled, fusion-scheduled circuit, reusable across runs
+// (Schedule once, RunProgram many — the schedule is independent of state).
+type Program struct {
+	n   int
+	ops []fusedOp
+
+	// Fused counts how many source ops were folded into fused entries
+	// (diagnostics and tests).
+	Fused int
+}
+
+// mergeWindow bounds the backward commuting-scan when merging diagonal
+// gates, keeping Schedule linear-ish on pathological circuits.
+const mergeWindow = 32
+
+// fusionShardThreshold is the state size, in amplitudes, at and above
+// which the fused 1Q/diagonal kernels spread their sweep over the worker
+// pool (2^18 amplitudes = 18 qubits, 4 MiB). Variable so tests can force
+// the sharded arms on small states; results are byte-identical either way.
+var fusionShardThreshold = 1 << 18
+
+// pending1Q accumulates a run of consecutive 1Q gates on one qubit.
+type pending1Q struct {
+	active bool
+	mat    *linalg.Matrix // product of the run, latest gate leftmost
+	count  int
+	first  circuit.Op // the run's first op (passthrough when count == 1)
+	idx    int        // source index of the run's first op
+}
+
+// fastDiag1Q reports whether a named 1Q gate dispatches to the phase1Q
+// kernel (mirrors ApplyOp).
+func fastDiag1Q(op circuit.Op) bool {
+	if op.U != nil {
+		return false
+	}
+	switch op.Name {
+	case "z", "s", "sdg", "t", "tdg":
+		return true
+	case "p", "rz":
+		return len(op.Params) == 1
+	}
+	return false
+}
+
+// fast2Q reports whether a named 2Q gate has a specialized kernel in
+// ApplyOp (phase, permutation, or inner-block mix), i.e. absorbing a 1Q
+// run into it would be unprofitable.
+func fast2Q(op circuit.Op) bool {
+	if op.U != nil {
+		return false
+	}
+	switch op.Name {
+	case "cz", "cx", "swap", "iswap", "siswap":
+		return true
+	case "cp", "rzz":
+		return len(op.Params) == 1
+	}
+	return false
+}
+
+// diag2QPhases returns the diagonal of a named 2Q phase gate in the
+// |qa qb⟩ basis, mirroring the constants ApplyOp feeds phase2Q.
+func diag2QPhases(op circuit.Op) ([4]complex128, bool) {
+	if op.U != nil {
+		return [4]complex128{}, false
+	}
+	switch op.Name {
+	case "cz":
+		return [4]complex128{1, 1, 1, -1}, true
+	case "cp":
+		if len(op.Params) == 1 {
+			return [4]complex128{1, 1, 1, expi(op.Params[0])}, true
+		}
+	case "rzz":
+		if len(op.Params) == 1 {
+			e, ec := expi(-op.Params[0]/2), expi(op.Params[0]/2)
+			return [4]complex128{e, ec, ec, e}, true
+		}
+	}
+	return [4]complex128{}, false
+}
+
+// isDiagonalEntry reports whether a schedule entry is a pure phase
+// operation (commutes with every other diagonal, on any qubits).
+func (f *fusedOp) isDiagonalEntry() bool {
+	switch f.kind {
+	case fkDiag1Q, fkDiag2Q:
+		return true
+	case fkOp:
+		return fastDiag1Q(f.op)
+	}
+	return false
+}
+
+// touches reports whether the entry acts on qubit q.
+func (f *fusedOp) touches(q int) bool {
+	if f.kind == fkOp {
+		for _, oq := range f.op.Qubits {
+			if oq == q {
+				return true
+			}
+		}
+		return false
+	}
+	if f.qa == q {
+		return true
+	}
+	return (f.kind == fkDiag2Q || f.kind == fkMat2Q) && f.qb == q
+}
+
+// isDiag2x2 reports whether a 2×2 matrix has exactly zero off-diagonals
+// (products of diagonal gates keep them exactly zero, so runs of named
+// diagonal gates are recognized without tolerance).
+func isDiag2x2(m *linalg.Matrix) bool {
+	return m.Data[1] == 0 && m.Data[2] == 0
+}
+
+// Schedule builds the fused schedule of a circuit. It never fails: ops it
+// cannot fuse (unknown gates, malformed arities) pass through unchanged
+// and surface their error — with the original op index — when the program
+// runs.
+func Schedule(c *circuit.Circuit) *Program {
+	p := &Program{n: c.N}
+	pend := make([]pending1Q, c.N)
+
+	flush := func(q int) {
+		pd := &pend[q]
+		if !pd.active {
+			return
+		}
+		switch {
+		case pd.count == 1:
+			p.ops = append(p.ops, fusedOp{kind: fkOp, idx: pd.idx, op: pd.first})
+		case isDiag2x2(pd.mat):
+			p.Fused += pd.count
+			d0, d1 := pd.mat.Data[0], pd.mat.Data[3]
+			if !p.mergeDiag1Q(q, d0, d1) {
+				p.ops = append(p.ops, fusedOp{kind: fkDiag1Q, idx: pd.idx, qa: q, d: [4]complex128{d0, d1}})
+			}
+		default:
+			p.Fused += pd.count
+			p.ops = append(p.ops, fusedOp{kind: fkMat1Q, idx: pd.idx, qa: q, u: pd.mat})
+		}
+		pd.active = false
+	}
+
+	for i, op := range c.Ops {
+		switch len(op.Qubits) {
+		case 1:
+			q := op.Qubits[0]
+			if q < 0 || q >= c.N {
+				p.ops = append(p.ops, fusedOp{kind: fkOp, idx: i, op: op})
+				continue
+			}
+			u, err := circuit.Unitary(op)
+			if err != nil || u.Rows != 2 || u.Cols != 2 {
+				flush(q)
+				p.ops = append(p.ops, fusedOp{kind: fkOp, idx: i, op: op})
+				continue
+			}
+			pd := &pend[q]
+			if !pd.active {
+				*pd = pending1Q{active: true, mat: u, count: 1, first: op, idx: i}
+			} else {
+				pd.mat = linalg.Mul2x2(u, pd.mat) // op follows the run: left-multiply
+				pd.count++
+			}
+		case 2:
+			qa, qb := op.Qubits[0], op.Qubits[1]
+			if qa < 0 || qa >= c.N || qb < 0 || qb >= c.N || qa == qb {
+				p.ops = append(p.ops, fusedOp{kind: fkOp, idx: i, op: op})
+				continue
+			}
+			if d, ok := diag2QPhases(op); ok {
+				// Diagonal 2Q gate: it commutes with any diagonal pending
+				// runs on its qubits, so only non-diagonal runs must flush
+				// before it (a diagonal run emitted later still applies
+				// the same total operator).
+				for _, q := range [2]int{qa, qb} {
+					if pend[q].active && !isDiag2x2(pend[q].mat) {
+						flush(q)
+					}
+				}
+				if p.mergeDiag2Q(qa, qb, d) {
+					p.Fused++
+					continue
+				}
+				p.ops = append(p.ops, fusedOp{kind: fkDiag2Q, idx: i, qa: qa, qb: qb, d: d})
+				continue
+			}
+			if fast2Q(op) {
+				// Specialized kernel: run it as-is; absorbing 1Q runs here
+				// would trade a phase/permutation/mix kernel for a generic
+				// 4×4 sweep.
+				flush(qa)
+				flush(qb)
+				p.ops = append(p.ops, fusedOp{kind: fkOp, idx: i, op: op})
+				continue
+			}
+			// Generic-path 2Q gate: absorb any pending 1Q runs on its
+			// qubits into its 4×4 — the sweep cost is unchanged and the 1Q
+			// sweeps disappear.
+			u2q, err := circuit.Unitary(op)
+			if err != nil || u2q.Rows != 4 || u2q.Cols != 4 {
+				flush(qa)
+				flush(qb)
+				p.ops = append(p.ops, fusedOp{kind: fkOp, idx: i, op: op})
+				continue
+			}
+			if !pend[qa].active && !pend[qb].active {
+				p.ops = append(p.ops, fusedOp{kind: fkOp, idx: i, op: op})
+				continue
+			}
+			ua, ub := gates.I2(), gates.I2()
+			absorbed := 0
+			if pd := &pend[qa]; pd.active {
+				ua = pd.mat
+				absorbed += pd.count
+				pd.active = false
+			}
+			if pd := &pend[qb]; pd.active {
+				ub = pd.mat
+				absorbed += pd.count
+				pd.active = false
+			}
+			p.Fused += absorbed
+			kron := linalg.New(4, 4)
+			linalg.KronInto(kron, ua, ub) // qa is the high bit of the gate basis
+			p.ops = append(p.ops, fusedOp{kind: fkMat2Q, idx: i, qa: qa, qb: qb, u: linalg.Mul4x4(u2q, kron)})
+		default:
+			p.ops = append(p.ops, fusedOp{kind: fkOp, idx: i, op: op})
+		}
+	}
+	for q := 0; q < c.N; q++ {
+		flush(q)
+	}
+	return p
+}
+
+// mergeDiag1Q folds diag(d0, d1) on qubit q into an earlier fkDiag1Q entry
+// on the same qubit if one is reachable by commuting backward over
+// diagonal or disjoint entries. Reports whether it merged.
+func (p *Program) mergeDiag1Q(q int, d0, d1 complex128) bool {
+	for i, steps := len(p.ops)-1, 0; i >= 0 && steps < mergeWindow; i, steps = i-1, steps+1 {
+		f := &p.ops[i]
+		if f.kind == fkDiag1Q && f.qa == q {
+			f.d[0] *= d0
+			f.d[1] *= d1
+			return true
+		}
+		if f.isDiagonalEntry() || !f.touches(q) {
+			continue // commutes: keep scanning backward
+		}
+		return false
+	}
+	return false
+}
+
+// mergeDiag2Q folds a diagonal in the |qa qb⟩ basis into an earlier
+// fkDiag2Q entry on the same unordered pair if one is reachable by
+// commuting backward over diagonal or disjoint entries. Reports whether it
+// merged.
+func (p *Program) mergeDiag2Q(qa, qb int, d [4]complex128) bool {
+	for i, steps := len(p.ops)-1, 0; i >= 0 && steps < mergeWindow; i, steps = i-1, steps+1 {
+		f := &p.ops[i]
+		if f.kind == fkDiag2Q && ((f.qa == qa && f.qb == qb) || (f.qa == qb && f.qb == qa)) {
+			if f.qa != qa {
+				d[1], d[2] = d[2], d[1] // opposite orientation: |01⟩ and |10⟩ swap
+			}
+			f.d[0] *= d[0]
+			f.d[1] *= d[1]
+			f.d[2] *= d[2]
+			f.d[3] *= d[3]
+			return true
+		}
+		if f.isDiagonalEntry() || (!f.touches(qa) && !f.touches(qb)) {
+			continue
+		}
+		return false
+	}
+	return false
+}
+
+// RunProgram applies a compiled schedule to the state.
+func (s *State) RunProgram(p *Program) error {
+	if p.n > s.N {
+		return fmt.Errorf("sim: program has %d qubits, state has %d", p.n, s.N)
+	}
+	for i := range p.ops {
+		f := &p.ops[i]
+		var err error
+		switch f.kind {
+		case fkOp:
+			err = s.ApplyOp(f.op)
+		case fkMat1Q:
+			s.fusedMat1Q(f.qa, f.u)
+		case fkDiag1Q:
+			s.fusedDiag1Q(f.qa, f.d[0], f.d[1])
+		case fkDiag2Q:
+			s.fusedDiag2Q(f.qa, f.qb, f.d)
+		case fkMat2Q:
+			err = s.Apply2Q(f.qa, f.qb, f.u)
+		}
+		if err != nil {
+			if f.kind == fkOp {
+				return fmt.Errorf("sim: op %d (%s): %w", f.idx, f.op, err)
+			}
+			return fmt.Errorf("sim: op %d (fused): %w", f.idx, err)
+		}
+	}
+	return nil
+}
+
+// fusionShardWorkers overrides the sharded kernels' worker count when
+// non-zero (tests force the parallel arms on small states and single-core
+// runners); 0 means the par.Resolve auto default.
+var fusionShardWorkers = 0
+
+// shardSpan picks the worker count for a fused kernel sweep: 1 (serial)
+// below the threshold or when the pool is one core.
+func (s *State) shardSpan() int {
+	if len(s.Amp) < fusionShardThreshold {
+		return 1
+	}
+	if fusionShardWorkers > 0 {
+		return fusionShardWorkers
+	}
+	return par.Resolve(0)
+}
+
+// fusedMat1Q applies a fused 2×2 to qubit q: the serial arm is Apply1Q's
+// loop; the sharded arm splits the pair-index space [0, 2^(n-1)) into one
+// contiguous range per worker (pair p maps to amplitude index
+// ((p &^ (mask-1)) << 1) | (p & (mask-1))), so every amplitude is written
+// by exactly one worker with identical arithmetic.
+func (s *State) fusedMat1Q(q int, u *linalg.Matrix) {
+	mask := 1 << s.bitPos(q)
+	u00, u01 := u.Data[0], u.Data[1]
+	u10, u11 := u.Data[2], u.Data[3]
+	amp := s.Amp
+	workers := s.shardSpan()
+	if workers <= 1 {
+		for base := 0; base < len(amp); base += mask << 1 {
+			for i := base; i < base+mask; i++ {
+				j := i + mask
+				a0, a1 := amp[i], amp[j]
+				amp[i] = u00*a0 + u01*a1
+				amp[j] = u10*a0 + u11*a1
+			}
+		}
+		return
+	}
+	total := len(amp) >> 1
+	chunk := (total + workers - 1) / workers
+	low := mask - 1
+	par.ForEach(workers, workers, func(w int) error {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > total {
+			hi = total
+		}
+		for pIdx := lo; pIdx < hi; pIdx++ {
+			i := ((pIdx &^ low) << 1) | (pIdx & low)
+			j := i + mask
+			a0, a1 := amp[i], amp[j]
+			amp[i] = u00*a0 + u01*a1
+			amp[j] = u10*a0 + u11*a1
+		}
+		return nil
+	})
+}
+
+// fusedDiag1Q applies a merged phase sweep diag(d0, d1) on qubit q,
+// keeping phase1Q's skip of unit factors; the sharded arm mirrors
+// fusedMat1Q's disjoint pair ranges.
+func (s *State) fusedDiag1Q(q int, d0, d1 complex128) {
+	mask := 1 << s.bitPos(q)
+	amp := s.Amp
+	workers := s.shardSpan()
+	if workers <= 1 {
+		for base := 0; base < len(amp); base += mask << 1 {
+			if d0 != 1 {
+				for i := base; i < base+mask; i++ {
+					amp[i] *= d0
+				}
+			}
+			if d1 != 1 {
+				for i := base + mask; i < base+(mask<<1); i++ {
+					amp[i] *= d1
+				}
+			}
+		}
+		return
+	}
+	total := len(amp) >> 1
+	chunk := (total + workers - 1) / workers
+	low := mask - 1
+	par.ForEach(workers, workers, func(w int) error {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > total {
+			hi = total
+		}
+		for pIdx := lo; pIdx < hi; pIdx++ {
+			i := ((pIdx &^ low) << 1) | (pIdx & low)
+			if d0 != 1 {
+				amp[i] *= d0
+			}
+			if d1 != 1 {
+				amp[i+mask] *= d1
+			}
+		}
+		return nil
+	})
+}
+
+// fusedDiag2Q applies a merged phase sweep diag(d) in the |qa qb⟩ basis,
+// keeping phase2Q's skip of unit factors; the sharded arm splits the
+// quad-index space into contiguous per-worker ranges (quad p expands to
+// its |00⟩ index by re-inserting a zero bit at each mask position).
+func (s *State) fusedDiag2Q(qa, qb int, d [4]complex128) {
+	maskA := 1 << s.bitPos(qa)
+	maskB := 1 << s.bitPos(qb)
+	amp := s.Amp
+	d00, d01, d10, d11 := d[0], d[1], d[2], d[3]
+	workers := s.shardSpan()
+	if workers <= 1 {
+		// The serial closure is kept separate from the sharded one so it
+		// never escapes (the kernel allocation guard pins this at zero).
+		quad2Q(len(amp), maskA, maskB, func(i00 int) {
+			if d00 != 1 {
+				amp[i00] *= d00
+			}
+			if d01 != 1 {
+				amp[i00|maskB] *= d01
+			}
+			if d10 != 1 {
+				amp[i00|maskA] *= d10
+			}
+			if d11 != 1 {
+				amp[i00|maskA|maskB] *= d11
+			}
+		})
+		return
+	}
+	lo, hi := maskA, maskB
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	total := len(amp) >> 2
+	chunk := (total + workers - 1) / workers
+	l1, h1 := lo-1, hi-1
+	par.ForEach(workers, workers, func(w int) error {
+		from, to := w*chunk, (w+1)*chunk
+		if to > total {
+			to = total
+		}
+		for pIdx := from; pIdx < to; pIdx++ {
+			x := ((pIdx &^ l1) << 1) | (pIdx & l1)
+			i00 := ((x &^ h1) << 1) | (x & h1)
+			if d00 != 1 {
+				amp[i00] *= d00
+			}
+			if d01 != 1 {
+				amp[i00|maskB] *= d01
+			}
+			if d10 != 1 {
+				amp[i00|maskA] *= d10
+			}
+			if d11 != 1 {
+				amp[i00|maskA|maskB] *= d11
+			}
+		}
+		return nil
+	})
+}

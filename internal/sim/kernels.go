@@ -107,7 +107,10 @@ func (s *State) check2Q(op circuit.Op) (maskA, maskB int, err error) {
 		return 0, 0, fmt.Errorf("sim: %s needs two qubits, got %d", op.Name, len(op.Qubits))
 	}
 	qa, qb := op.Qubits[0], op.Qubits[1]
-	if qa < 0 || qa >= s.N || qb < 0 || qb >= s.N || qa == qb {
+	if qa == qb {
+		return 0, 0, fmt.Errorf("sim: %s needs two distinct qubits, got qubit %d twice", op.Name, qa)
+	}
+	if qa < 0 || qa >= s.N || qb < 0 || qb >= s.N {
 		return 0, 0, fmt.Errorf("sim: invalid qubit pair (%d,%d)", qa, qb)
 	}
 	return 1 << s.bitPos(qa), 1 << s.bitPos(qb), nil

@@ -94,9 +94,15 @@ func (s *State) Apply1Q(q int, u *linalg.Matrix) error {
 }
 
 // Apply2Q applies a 4x4 unitary to (qa, qb), with qa as the most significant
-// bit of the gate's 2-bit basis (matching package gates conventions).
+// bit of the gate's 2-bit basis (matching package gates conventions). A
+// repeated qubit (qa == qb) is rejected up front: the quad iteration would
+// otherwise read the same amplitude under two basis labels and corrupt the
+// state.
 func (s *State) Apply2Q(qa, qb int, u *linalg.Matrix) error {
-	if qa < 0 || qa >= s.N || qb < 0 || qb >= s.N || qa == qb {
+	if qa == qb {
+		return fmt.Errorf("sim: Apply2Q needs two distinct qubits, got qubit %d twice", qa)
+	}
+	if qa < 0 || qa >= s.N || qb < 0 || qb >= s.N {
 		return fmt.Errorf("sim: invalid qubit pair (%d,%d)", qa, qb)
 	}
 	if u.Rows != 4 || u.Cols != 4 {
@@ -130,9 +136,27 @@ func (s *State) Apply2Q(qa, qb int, u *linalg.Matrix) error {
 	return nil
 }
 
-// Run applies every op of the circuit in order, dispatching each through
-// the ApplyOp fast paths.
+// Run applies the circuit through the gate-fusion scheduler (Schedule):
+// runs of 1Q gates, merged diagonals, and absorbed 4×4s execute as single
+// sweeps, and large states shard the fused 1Q/diagonal kernels over the
+// worker pool. Amplitudes agree with the unfused path to rounding
+// (crossvalidated in fusion_test.go); RunUnfused is the op-by-op escape
+// hatch for debugging a suspected fusion discrepancy. An empty circuit is
+// a no-op.
 func (s *State) Run(c *circuit.Circuit) error {
+	if c.N > s.N {
+		return fmt.Errorf("sim: circuit has %d qubits, state has %d", c.N, s.N)
+	}
+	if len(c.Ops) == 0 {
+		return nil
+	}
+	return s.RunProgram(Schedule(c))
+}
+
+// RunUnfused applies every op of the circuit in order, dispatching each
+// through the ApplyOp fast paths with no fusion pre-pass. It is the
+// reference semantics Run's fused schedule is validated against.
+func (s *State) RunUnfused(c *circuit.Circuit) error {
 	if c.N > s.N {
 		return fmt.Errorf("sim: circuit has %d qubits, state has %d", c.N, s.N)
 	}

@@ -35,7 +35,13 @@ func (l Layout) Copy() Layout {
 
 // Inverse returns the physical→virtual map (-1 for unused vertices).
 func (l Layout) Inverse(n int) []int {
-	inv := make([]int, n)
+	return l.InverseInto(make([]int, n))
+}
+
+// InverseInto fills inv (fully — every entry is overwritten) with the
+// physical→virtual map, -1 for unused vertices, and returns it. It is the
+// allocation-free form of Inverse for callers with a reusable buffer.
+func (l Layout) InverseInto(inv []int) []int {
 	for i := range inv {
 		inv[i] = -1
 	}
@@ -116,7 +122,7 @@ func DenseLayoutCost(g *topology.Graph, c *circuit.Circuit, cost [][]float64) (L
 			g.Name, k)
 	}
 	// Order physical vertices by induced degree (descending, stable).
-	inSubset := make(map[int]bool, k)
+	inSubset := make([]bool, g.N())
 	for _, v := range subset {
 		inSubset[v] = true
 	}
@@ -130,12 +136,12 @@ func DenseLayoutCost(g *topology.Graph, c *circuit.Circuit, cost [][]float64) (L
 		return d
 	}
 	phys := append([]int(nil), subset...)
-	sort.SliceStable(phys, func(i, j int) bool {
-		di, dj := inducedDeg(phys[i]), inducedDeg(phys[j])
-		if di != dj {
-			return di > dj
+	insertionSortInts(phys, func(a, b int) bool {
+		da, db := inducedDeg(a), inducedDeg(b)
+		if da != db {
+			return da > db
 		}
-		return phys[i] < phys[j]
+		return a < b
 	})
 	// Order virtual qubits by interaction weight (number of 2Q ops touching
 	// them), descending.
@@ -150,11 +156,11 @@ func DenseLayoutCost(g *topology.Graph, c *circuit.Circuit, cost [][]float64) (L
 	for i := range virt {
 		virt[i] = i
 	}
-	sort.SliceStable(virt, func(i, j int) bool {
-		if weight[virt[i]] != weight[virt[j]] {
-			return weight[virt[i]] > weight[virt[j]]
+	insertionSortInts(virt, func(a, b int) bool {
+		if weight[a] != weight[b] {
+			return weight[a] > weight[b]
 		}
-		return virt[i] < virt[j]
+		return a < b
 	})
 	layout := make(Layout, k)
 	for rank, v := range virt {
@@ -192,10 +198,16 @@ func densestSubset(g *topology.Graph, k int, cost [][]float64) []int {
 	dist := g.Distances()
 	var best []int
 	bestEdges := -1
+	// Per-seed growth state, reset (not reallocated) for each of the n
+	// seeds: the seed loop dominated DenseLayout's allocation profile.
+	in := make([]bool, n)
+	degIn := make([]int, n)       // neighbors already inside, per candidate
+	distSum := make([]float64, n) // distance sum to the subset, per candidate
+	subset := make([]int, 0, k)
 	for seed := 0; seed < n; seed++ {
-		in := make([]bool, n)
-		degIn := make([]int, n)       // neighbors already inside, per candidate
-		distSum := make([]float64, n) // distance sum to the subset, per candidate
+		clear(in)
+		clear(degIn)
+		clear(distSum)
 		add := func(v int) {
 			in[v] = true
 			for _, w := range g.Neighbors(v) {
@@ -210,7 +222,7 @@ func densestSubset(g *topology.Graph, k int, cost [][]float64) []int {
 			}
 		}
 		add(seed)
-		subset := []int{seed}
+		subset = append(subset[:0], seed)
 		edges := 0
 		for len(subset) < k {
 			bestV := -1
@@ -240,4 +252,17 @@ func densestSubset(g *topology.Graph, k int, cost [][]float64) []int {
 	}
 	sort.Ints(best)
 	return best
+}
+
+// insertionSortInts sorts distinct ints in place with the given strict
+// order. The slices it replaces sort.SliceStable on hold distinct values
+// under a total order (an a < b tie-break), where every correct sort
+// produces the same permutation — it exists only to drop SliceStable's
+// reflection allocations from the per-cell layout path.
+func insertionSortInts(s []int, less func(a, b int) bool) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && less(s[j], s[j-1]); j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
 }

@@ -1,0 +1,81 @@
+package transpile
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// eagerPerturb is the historical perturbation loop: copy the base matrix
+// and scale every unordered pair by 1 + 0.1|gauss| drawn in row-major i<j
+// order from rand.New(&splitmix64{state: seed}). It is the reference the
+// lazy consumption-pass scheme must reproduce bit for bit.
+func eagerPerturb(base []float64, n int, seed uint64) []float64 {
+	d := make([]float64, n*n)
+	copy(d, base)
+	trng := rand.New(&splitmix64{state: seed})
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := 1 + 0.1*absf(trng.NormFloat64())
+			d[i*n+j] *= s
+			d[j*n+i] = d[i*n+j]
+		}
+	}
+	return d
+}
+
+// TestLazyPerturbMatchesEager materializes every off-diagonal entry of the
+// lazy perturbed matrix, in adversarial (reverse and mixed-orientation)
+// read orders, across enough seeds and sizes to hit ziggurat slow-path
+// draws, and requires bit-identity with the eager loop.
+func TestLazyPerturbMatchesEager(t *testing.T) {
+	for _, n := range []int{2, 5, 17, 84} {
+		base := make([]float64, n*n)
+		brng := rand.New(rand.NewSource(int64(n)))
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				v := float64(brng.Intn(7) + 1)
+				base[i*n+j], base[j*n+i] = v, v
+			}
+		}
+		for seed := uint64(0); seed < 50; seed++ {
+			want := eagerPerturb(base, n, seed)
+			sc := &routerScratch{
+				d:     make([]float64, n*n),
+				stamp: make([]uint32, n*n),
+			}
+			sc.prep(seed, n*(n-1)/2)
+			// Read back-to-front and in both orientations, so fills happen
+			// in an order unrelated to the draw order.
+			for x := n - 1; x >= 0; x-- {
+				for y := 0; y < n; y++ {
+					if x == y {
+						continue
+					}
+					if got := sc.at(base, n, x, y); got != want[x*n+y] {
+						t.Fatalf("n=%d seed=%d entry (%d,%d): lazy %v != eager %v",
+							n, seed, x, y, got, want[x*n+y])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLazyPerturbGenerationIsolation re-preps a scratch with a new seed and
+// checks no stale entry from the previous trial leaks through the stamps.
+func TestLazyPerturbGenerationIsolation(t *testing.T) {
+	const n = 9
+	base := make([]float64, n*n)
+	for i := range base {
+		base[i] = 2
+	}
+	sc := &routerScratch{d: make([]float64, n*n), stamp: make([]uint32, n*n)}
+	sc.prep(11, n*(n-1)/2)
+	first := sc.at(base, n, 3, 7)
+	sc.prep(12, n*(n-1)/2)
+	want := eagerPerturb(base, n, 12)
+	got := sc.at(base, n, 3, 7)
+	if got != want[3*n+7] {
+		t.Fatalf("after re-prep: lazy %v != eager %v (stale? first trial had %v)", got, want[3*n+7], first)
+	}
+}

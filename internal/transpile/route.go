@@ -3,7 +3,6 @@ package transpile
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/circuit"
 	"repro/internal/par"
@@ -127,6 +126,12 @@ func StochasticSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, r
 // and drives the greedy fallback; cost (flattened n×n) is the objective the
 // randomized trials perturb — float64 hop distances by default, a weighted
 // matrix under profile-guided routing.
+//
+// All per-layer and per-trial working memory lives in reusable buffers:
+// scratches holds one routerScratch per trial worker (slot 0 doubles as the
+// serial-path scratch), and the seeds/lens/best/inv buffers plus the qubit
+// arena amortize the remaining per-layer allocations, so the N-trials ×
+// L-layers inner loop stops re-making O(n²) state (see routerScratch).
 type router struct {
 	g       *topology.Graph
 	dist    [][]int
@@ -137,7 +142,159 @@ type router struct {
 	rng     *rand.Rand
 	trials  int
 	workers int
-	dPool   sync.Pool // perturbed-distance scratch for parallel trials
+
+	scratches []*routerScratch // lazily sized to the resolved worker count
+	seeds     []int64          // per-trial RNG seeds, drawn up front
+	lens      []int            // per-trial result lengths (parallel path)
+	best      [][2]int         // winning swap sequence, reused across layers
+	inv       []int            // physical→virtual scratch for applySwaps
+	arena     intArena         // backing storage for emitted ops' qubit slices
+}
+
+// routerScratch is the reusable working state of one routing trial
+// (trialSearch): the lazily materialized perturbed cost matrix, the
+// per-pair endpoint and per-vertex incidence tables, the epoch-stamped
+// visited marks, and the swap sequence under construction. One scratch is
+// bound to one par worker slot at a time, so trials reuse these buffers
+// without locking and the trial loop runs allocation-free after warm-up.
+//
+// The perturbed matrix is not computed up front. A trial draws one gaussian
+// per unordered vertex pair — the stream order is fixed, so prep walks the
+// whole stream once — but the greedy search typically reads only the
+// entries around the current pairs' positions, a tiny fraction of the n²
+// matrix on the 84-vertex machines (the single-gate fallback path reads a
+// handful). prep therefore performs an integer-only "consumption pass"
+// (fast ziggurat acceptance test, no float math, no stores) and records
+// just the rare slow-path draws; at() reconstructs any entry on demand from
+// the splitmix64 counter property state_k = state_0 + k·γ, bit-identical to
+// the eager computation (pinned by TestLazyPerturbMatchesEager).
+type routerScratch struct {
+	d       []float64 // perturbed n×n cost entries, valid where stamped
+	stamp   []uint32  // generation marks for d (gen bumps per trial)
+	gen     uint32
+	state0  uint64    // trial seed (splitmix64 state before the first draw)
+	slowOrd []int32   // ordinals whose draw took the ziggurat slow path, ascending
+	slowCum []int32   // cumulative extra Uint64s consumed through slowOrd[i]
+	slowVal []float64 // |gaussian| drawn at slowOrd[i]
+
+	pos     [][2]int // current physical endpoints per pair
+	pairsAt [][]int  // pair indices touching each vertex
+	seen    []int    // epoch marks per pair (monotone epoch ⇒ no clearing)
+	epoch   int
+	touched []int    // pairs adjacent to the edge being applied
+	seq     [][2]int // swap sequence under construction
+}
+
+// scratch returns the worker's reusable trial scratch, growing the slot
+// table and the matrix buffers on first use (the router is per-call, so n
+// is fixed for its lifetime).
+func (r *router) scratch(worker int) *routerScratch {
+	for len(r.scratches) <= worker {
+		r.scratches = append(r.scratches, &routerScratch{})
+	}
+	sc := r.scratches[worker]
+	if n := r.g.N(); len(sc.d) != n*n {
+		sc.d = make([]float64, n*n)
+		sc.stamp = make([]uint32, n*n)
+		sc.gen = 0
+		sc.pairsAt = make([][]int, n)
+	}
+	return sc
+}
+
+// prep seeds the scratch for one trial: bump the matrix generation and run
+// the consumption pass over all nPairs gaussian draws, recording ordinal,
+// cumulative extra stream consumption, and value for the slow-path draws
+// only (~1% of draws). Fast-path draws are a pure function of their stream
+// offset and are reconstructed by fill when (if ever) read.
+func (sc *routerScratch) prep(seed uint64, nPairs int) {
+	sc.state0 = seed
+	sc.gen++
+	if sc.gen == 0 { // generation wrap: stale stamps could collide
+		clear(sc.stamp)
+		sc.gen = 1
+	}
+	sc.slowOrd = sc.slowOrd[:0]
+	sc.slowCum = sc.slowCum[:0]
+	sc.slowVal = sc.slowVal[:0]
+	sm := splitmix64{state: seed}
+	extra := int32(0)
+	for k := 0; k < nPairs; k++ {
+		sm.state += smGamma
+		j := int32(uint32(smScramble(sm.state) >> 32))
+		i := j & 0x7F
+		if zigAbsInt32(j) < zigKn[i] {
+			continue // fast path: value reconstructible from the offset alone
+		}
+		g, consumed := sm.slowNormFloat64(j)
+		extra += consumed
+		sc.slowOrd = append(sc.slowOrd, int32(k))
+		sc.slowCum = append(sc.slowCum, extra)
+		sc.slowVal = append(sc.slowVal, absf(g))
+	}
+}
+
+// at returns the perturbed cost entry for the (distinct) vertices x, y,
+// materializing it on first read in this trial.
+func (sc *routerScratch) at(base []float64, n, x, y int) float64 {
+	idx := x*n + y
+	if sc.stamp[idx] != sc.gen {
+		sc.fill(base, n, x, y, idx)
+	}
+	return sc.d[idx]
+}
+
+// fill materializes one symmetric pair of perturbed entries: look up the
+// unordered pair's draw ordinal, recover the gaussian — directly from the
+// counter offset for fast-path draws, from the slow-path records otherwise
+// — and store base·(1 + 0.1|gauss|) under both orientations, exactly the
+// values the historical eager loop produced.
+func (sc *routerScratch) fill(base []float64, n, x, y, idx int) {
+	lo, hi := x, y
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	// Ordinal of (lo, hi) in the row-major i<j draw order.
+	k := int32(lo*n - lo*(lo+1)/2 + (hi - lo - 1))
+	var g float64
+	// Binary search the slow-draw records for k (they are few and sorted).
+	a, b := 0, len(sc.slowOrd)
+	for a < b {
+		m := (a + b) / 2
+		if sc.slowOrd[m] < k {
+			a = m + 1
+		} else {
+			b = m
+		}
+	}
+	if a < len(sc.slowOrd) && sc.slowOrd[a] == k {
+		g = sc.slowVal[a]
+	} else {
+		var extra int32
+		if a > 0 {
+			extra = sc.slowCum[a-1]
+		}
+		state := sc.state0 + uint64(uint64(k)+uint64(extra)+1)*smGamma
+		j := int32(uint32(smScramble(state) >> 32))
+		i := j & 0x7F
+		// |float64(j)·w| == float64(|j|)·w bit-for-bit: IEEE negation is
+		// exact and rounding is sign-symmetric.
+		g = float64(zigAbsInt32(j)) * zigWn64[i]
+	}
+	v := base[lo*n+hi] * (1 + 0.1*g)
+	sym := y*n + x
+	sc.d[idx], sc.d[sym] = v, v
+	sc.stamp[idx], sc.stamp[sym] = sc.gen, sc.gen
+}
+
+// grow resizes a scratch slice to n, preserving capacity across calls.
+// Stale contents are the caller's concern (the epoch scheme makes stale
+// seen marks harmless; other users overwrite before reading).
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // flattenCost validates a routing cost matrix and flattens it row-major; a
@@ -168,7 +325,7 @@ func flattenCost(g *topology.Graph, cost [][]float64) ([]float64, error) {
 }
 
 func (r *router) emit(op circuit.Op) {
-	phys := make([]int, len(op.Qubits))
+	phys := r.arena.take(len(op.Qubits))
 	for i, q := range op.Qubits {
 		phys[i] = r.layout[q]
 	}
@@ -176,10 +333,13 @@ func (r *router) emit(op circuit.Op) {
 }
 
 func (r *router) applySwaps(seq [][2]int) {
-	inv := r.layout.Inverse(r.g.N())
+	r.inv = grow(r.inv, r.g.N())
+	inv := r.layout.InverseInto(r.inv)
 	for _, e := range seq {
 		a, b := e[0], e[1]
-		r.out.Swap(a, b)
+		q := r.arena.take(2)
+		q[0], q[1] = a, b
+		r.out.Append(circuit.Op{Name: "swap", Qubits: q})
 		r.swaps++
 		va, vb := inv[a], inv[b]
 		if va >= 0 {
@@ -215,85 +375,108 @@ func (r *router) greedyStep(p [2]int) [][2]int {
 
 // findSwaps runs randomized trials and returns the shortest SWAP sequence
 // (list of physical edges, applied in order) that makes every pair adjacent,
-// or nil if no trial succeeds within the depth limit.
+// or nil if no trial succeeds within the depth limit. The returned slice
+// aliases a router-owned buffer that stays valid until the next findSwaps
+// call (callers apply it immediately).
 //
 // Every trial gets its own RNG seeded from the router's stream before any
 // trial runs, and the winner is the minimum-length sequence with ties
 // broken by lowest trial index. Both choices make the outcome independent
 // of execution schedule, so the serial and worker-pool paths below are
-// interchangeable bit-for-bit.
+// interchangeable bit-for-bit: the parallel path records only each trial's
+// sequence length and deterministically replays the winning trial, which
+// is byte-identical to having kept its sequence.
 func (r *router) findSwaps(pairs [][2]int) [][2]int {
 	if r.allAdjacent(pairs) {
 		return [][2]int{}
 	}
 	n := r.g.N()
 	limit := 2*n + 4*len(pairs)
-	// Perturbation base: the router's cost matrix (hop distances as floats
-	// by default, pressure-weighted under profile-guided routing).
-	base := r.cost
-	seeds := make([]int64, r.trials)
-	for t := range seeds {
-		seeds[t] = r.rng.Int63()
-	}
-	// runTrial perturbs distances into d (d' = d·(1 + 0.1|gauss|), symmetric
-	// per unordered pair) and searches under them.
-	runTrial := func(t int, d []float64) [][2]int {
-		trng := rand.New(&splitmix64{state: uint64(seeds[t])})
-		copy(d, base)
-		for i := 0; i < n; i++ {
-			for j := i + 1; j < n; j++ {
-				s := 1 + 0.1*absf(trng.NormFloat64())
-				d[i*n+j] *= s
-				d[j*n+i] = d[i*n+j]
-			}
-		}
-		return r.trialSearch(pairs, d, limit)
+	r.seeds = grow(r.seeds, r.trials)
+	for t := range r.seeds {
+		r.seeds[t] = r.rng.Int63()
 	}
 	if r.workers <= 1 {
-		d := make([]float64, n*n)
-		var best [][2]int
+		sc := r.scratch(0)
+		bestLen := -1
 		for t := 0; t < r.trials; t++ {
-			if seq := runTrial(t, d); seq != nil {
-				if best == nil || len(seq) < len(best) {
-					best = seq
+			if ok := r.runTrial(pairs, t, limit, sc); ok {
+				if bestLen < 0 || len(sc.seq) < bestLen {
+					bestLen = len(sc.seq)
+					r.best = append(r.best[:0], sc.seq...)
 				}
-				if len(best) == 0 {
+				if bestLen == 0 {
 					break // can't beat an already-adjacent layer
 				}
 			}
 		}
-		return best
-	}
-	// Parallel path: trialSearch only reads router state (g, dist, layout),
-	// so trials share nothing but their results slots. Distance scratch is
-	// pooled across trials and layers instead of allocated per trial.
-	results := make([][][2]int, r.trials)
-	par.ForEach(r.trials, r.workers, func(t int) error {
-		d, _ := r.dPool.Get().([]float64)
-		if len(d) != n*n {
-			d = make([]float64, n*n)
+		if bestLen < 0 {
+			return nil
 		}
-		results[t] = runTrial(t, d)
-		r.dPool.Put(d)
+		return r.best
+	}
+	// Parallel path: trialSearch only reads shared router state (g, dist,
+	// layout) and mutates only its worker-slot scratch, so trials share
+	// nothing but their result slots. Scratch slots are grown up front —
+	// inside the pool, workers index r.scratches without mutating it.
+	slots := r.workers
+	if slots > r.trials {
+		slots = r.trials
+	}
+	for w := 0; w < slots; w++ {
+		r.scratch(w)
+	}
+	r.lens = grow(r.lens, r.trials)
+	par.ForEachWorker(r.trials, r.workers, func(worker, t int) error {
+		sc := r.scratches[worker]
+		if r.runTrial(pairs, t, limit, sc) {
+			r.lens[t] = len(sc.seq)
+		} else {
+			r.lens[t] = -1
+		}
 		return nil
 	})
-	var best [][2]int
-	for _, seq := range results {
-		if seq != nil && (best == nil || len(seq) < len(best)) {
-			best = seq
+	winner := -1
+	for t, l := range r.lens {
+		if l >= 0 && (winner < 0 || l < r.lens[winner]) {
+			winner = t
 		}
 	}
-	return best
+	if winner < 0 {
+		return nil
+	}
+	sc := r.scratch(0)
+	r.runTrial(pairs, winner, limit, sc) // deterministic replay of the winner
+	r.best = append(r.best[:0], sc.seq...)
+	return r.best
+}
+
+// runTrial prepares the scratch's lazily perturbed view of the router's
+// cost matrix (d' = d·(1 + 0.1|gauss|), symmetric per unordered pair — hop
+// distances by default, pressure-weighted under profile-guided routing) and
+// greedily searches under it, leaving the resulting swap sequence in
+// sc.seq. It reports whether the trial made every pair adjacent within the
+// limit.
+func (r *router) runTrial(pairs [][2]int, t, limit int, sc *routerScratch) bool {
+	n := r.g.N()
+	sc.prep(uint64(r.seeds[t]), n*(n-1)/2)
+	return r.trialSearch(pairs, sc, limit)
 }
 
 // trialSearch greedily applies the cost-minimizing swap until every pair is
 // adjacent, a local minimum is hit, or the depth limit is reached. Cost
 // deltas are evaluated incrementally: a candidate swap only affects pairs
-// with an endpoint on the swapped edge.
-func (r *router) trialSearch(pairs [][2]int, d []float64, limit int) [][2]int {
+// with an endpoint on the swapped edge. All working state lives in sc, so
+// steady-state trials allocate nothing.
+func (r *router) trialSearch(pairs [][2]int, sc *routerScratch, limit int) bool {
 	n := r.g.N()
-	pos := make([][2]int, len(pairs)) // current physical endpoints per pair
-	pairsAt := make([][]int, n)       // pair indices touching each vertex
+	base := r.cost
+	sc.pos = grow(sc.pos, len(pairs))
+	pos := sc.pos
+	pairsAt := sc.pairsAt
+	for v := range pairsAt {
+		pairsAt[v] = pairsAt[v][:0]
+	}
 	notAdj := 0
 	for i, p := range pairs {
 		pa, pb := r.layout[p[0]], r.layout[p[1]]
@@ -304,8 +487,9 @@ func (r *router) trialSearch(pairs [][2]int, d []float64, limit int) [][2]int {
 			notAdj++
 		}
 	}
-	// movedTo maps a vertex to its post-swap replacement during delta
-	// evaluation of a candidate edge.
+	// pairDelta maps each endpoint to its post-swap replacement during
+	// delta evaluation of a candidate edge. Cost entries come from the
+	// scratch's lazily materialized perturbed matrix.
 	pairDelta := func(i, a, b int) float64 {
 		remap := func(v int) int {
 			switch v {
@@ -317,11 +501,14 @@ func (r *router) trialSearch(pairs [][2]int, d []float64, limit int) [][2]int {
 			return v
 		}
 		oa, ob := pos[i][0], pos[i][1]
-		return d[remap(oa)*n+remap(ob)] - d[oa*n+ob]
+		return sc.at(base, n, remap(oa), remap(ob)) - sc.at(base, n, oa, ob)
 	}
-	seen := make([]int, len(pairs))
-	epoch := 0
-	var seq [][2]int
+	// seen marks are epoch-stamped and the epoch is monotone per scratch,
+	// so stale marks from earlier trials can never collide and the buffer
+	// is reused without clearing.
+	sc.seen = grow(sc.seen, len(pairs))
+	seen := sc.seen
+	sc.seq = sc.seq[:0]
 	for step := 0; step < limit && notAdj > 0; step++ {
 		bestDelta := -1e-12
 		bestEdge := [2]int{-1, -1}
@@ -330,14 +517,14 @@ func (r *router) trialSearch(pairs [][2]int, d []float64, limit int) [][2]int {
 			if len(pairsAt[a]) == 0 && len(pairsAt[b]) == 0 {
 				continue
 			}
-			epoch++
+			sc.epoch++
 			delta := 0.0
 			for _, i := range pairsAt[a] {
-				seen[i] = epoch
+				seen[i] = sc.epoch
 				delta += pairDelta(i, a, b)
 			}
 			for _, i := range pairsAt[b] {
-				if seen[i] == epoch {
+				if seen[i] == sc.epoch {
 					continue
 				}
 				delta += pairDelta(i, a, b)
@@ -351,10 +538,21 @@ func (r *router) trialSearch(pairs [][2]int, d []float64, limit int) [][2]int {
 			break // local minimum under this perturbation
 		}
 		a, b := bestEdge[0], bestEdge[1]
-		// Apply the swap to the trial state.
-		epoch++
-		touched := touchedPairs(pairsAt, a, b, seen, epoch)
-		for _, i := range touched {
+		// Apply the swap to the trial state: collect the pairs touching the
+		// edge, move their endpoints, and rebuild the two incidence lists
+		// in place (touched is captured first, so truncating is safe).
+		sc.epoch++
+		sc.touched = sc.touched[:0]
+		for _, i := range pairsAt[a] {
+			seen[i] = sc.epoch
+			sc.touched = append(sc.touched, i)
+		}
+		for _, i := range pairsAt[b] {
+			if seen[i] != sc.epoch {
+				sc.touched = append(sc.touched, i)
+			}
+		}
+		for _, i := range sc.touched {
 			if r.g.HasEdge(pos[i][0], pos[i][1]) {
 				notAdj++
 			}
@@ -372,40 +570,18 @@ func (r *router) trialSearch(pairs [][2]int, d []float64, limit int) [][2]int {
 				notAdj--
 			}
 		}
-		pairsAt[a], pairsAt[b] = rebuildAt(touched, pos, a), rebuildAt(touched, pos, b)
-		seq = append(seq, bestEdge)
-	}
-	if notAdj > 0 {
-		return nil
-	}
-	return seq
-}
-
-// touchedPairs returns the deduplicated pair indices with an endpoint at a
-// or b.
-func touchedPairs(pairsAt [][]int, a, b int, seen []int, epoch int) []int {
-	var out []int
-	for _, i := range pairsAt[a] {
-		seen[i] = epoch
-		out = append(out, i)
-	}
-	for _, i := range pairsAt[b] {
-		if seen[i] != epoch {
-			out = append(out, i)
+		pairsAt[a], pairsAt[b] = pairsAt[a][:0], pairsAt[b][:0]
+		for _, i := range sc.touched {
+			if pos[i][0] == a || pos[i][1] == a {
+				pairsAt[a] = append(pairsAt[a], i)
+			}
+			if pos[i][0] == b || pos[i][1] == b {
+				pairsAt[b] = append(pairsAt[b], i)
+			}
 		}
+		sc.seq = append(sc.seq, bestEdge)
 	}
-	return out
-}
-
-// rebuildAt recomputes the pair list for vertex v among the touched pairs.
-func rebuildAt(touched []int, pos [][2]int, v int) []int {
-	var out []int
-	for _, i := range touched {
-		if pos[i][0] == v || pos[i][1] == v {
-			out = append(out, i)
-		}
-	}
-	return out
+	return notAdj == 0
 }
 
 func absf(x float64) float64 {
@@ -418,18 +594,28 @@ func absf(x float64) float64 {
 // splitmix64 is a tiny rand.Source64 with O(1) construction, used for the
 // per-trial RNGs: the default math/rand source runs a 607-step seeding
 // procedure, which dominated findSwaps on small topologies where one
-// trial's whole perturbation pass is only a few hundred draws.
+// trial's whole perturbation pass is only a few hundred draws. The state
+// advances by a fixed increment per draw, so the k-th output is the O(1)
+// function smScramble(state + k·smGamma) — the property routerScratch's
+// lazy perturbation relies on.
 type splitmix64 struct{ state uint64 }
 
-func (s *splitmix64) Uint64() uint64 {
-	s.state += 0x9E3779B97F4A7C15
-	z := s.state
+// smGamma is the splitmix64 state increment (Weyl sequence constant).
+const smGamma = 0x9E3779B97F4A7C15
+
+// smScramble is the splitmix64 output function over a raw state value.
+func smScramble(z uint64) uint64 {
 	z ^= z >> 30
 	z *= 0xBF58476D1CE4E5B9
 	z ^= z >> 27
 	z *= 0x94D049BB133111EB
 	z ^= z >> 31
 	return z
+}
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += smGamma
+	return smScramble(s.state)
 }
 
 func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }

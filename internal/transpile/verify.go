@@ -1,0 +1,104 @@
+package transpile
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/sim"
+)
+
+// DefaultVerifyTol is the fidelity slack VerifyPass allows for float64
+// rounding across the two simulations.
+const DefaultVerifyTol = 1e-9
+
+// VerifyPass simulates the logical circuit and the routed circuit on the
+// fused statevector engine and fails the pipeline unless they agree (up to
+// global phase and the final-layout qubit permutation). It turns a silent
+// routing bug — a dropped SWAP, a bad layout update — into a loud pipeline
+// error instead of a wrong paper metric.
+//
+// The routed circuit lives on the machine's full vertex set, so it is
+// first compacted to the qubits it actually touches; verification is
+// feasible whenever that count (≥ the circuit width, + SWAP traffic) stays
+// within sim.MaxQubits. Wider routings fail with a descriptive error —
+// this pass is an opt-in debugging/assurance tool (core.Options.Verify),
+// not part of the default pipeline, and it does not alter any artifact:
+// metrics with and without it are identical, which is why Evaluate caches
+// may share entries across the two modes.
+type VerifyPass struct {
+	Tol float64 // fidelity tolerance; ≤ 0 → DefaultVerifyTol
+}
+
+// Name implements Pass.
+func (VerifyPass) Name() string { return "verify" }
+
+// Apply implements Pass.
+func (p VerifyPass) Apply(ctx *PassContext) error {
+	if ctx.Routed == nil {
+		return fmt.Errorf("no routed circuit (run a route pass first)")
+	}
+	tol := p.Tol
+	if tol <= 0 {
+		tol = DefaultVerifyTol
+	}
+	logical := ctx.Circuit
+	if logical.N > sim.MaxQubits {
+		return fmt.Errorf("circuit is %d qubits wide; verification simulates at most %d", logical.N, sim.MaxQubits)
+	}
+	compact, mapping := ctx.Routed.Circuit.CompactQubits()
+	if compact.N > sim.MaxQubits {
+		return fmt.Errorf("routed circuit touches %d physical qubits; verification simulates at most %d", compact.N, sim.MaxQubits)
+	}
+	want, err := sim.RunCircuit(logical)
+	if err != nil {
+		return fmt.Errorf("simulating logical circuit: %w", err)
+	}
+	got, err := sim.RunCircuit(compact)
+	if err != nil {
+		return fmt.Errorf("simulating routed circuit: %w", err)
+	}
+	// Scatter the logical amplitudes to their physical homes: virtual q
+	// ends at physical FinalLayout[q], which the compaction relabeled to
+	// mapping[FinalLayout[q]]. A virtual qubit whose physical home no op
+	// ever touched must be |0⟩ in the logical result (it had no gates), so
+	// any |1⟩ mass there is itself a mismatch.
+	expected, err := sim.NewState(compact.N)
+	if err != nil {
+		return err
+	}
+	for i := range expected.Amp {
+		expected.Amp[i] = 0
+	}
+	layout := ctx.Routed.FinalLayout
+	for idx, a := range want.Amp {
+		if a == 0 {
+			continue
+		}
+		cidx := 0
+		lost := false
+		for q := 0; q < logical.N; q++ {
+			if (idx>>(logical.N-1-q))&1 == 0 {
+				continue
+			}
+			cp := mapping[layout[q]]
+			if cp < 0 {
+				lost = true
+				break
+			}
+			cidx |= 1 << (compact.N - 1 - cp)
+		}
+		if lost {
+			return fmt.Errorf("verification failed: logical state has |1⟩ mass on a qubit the routed circuit never touches")
+		}
+		expected.Amp[cidx] = a
+	}
+	ip, err := expected.Inner(got)
+	if err != nil {
+		return err
+	}
+	if f := cmplx.Abs(ip); math.Abs(f-1) > tol {
+		return fmt.Errorf("verification failed: |⟨expected|routed⟩| = %.12f (routed circuit does not implement the logical circuit)", f)
+	}
+	return nil
+}

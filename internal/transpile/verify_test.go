@@ -1,0 +1,108 @@
+package transpile
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/topology"
+	"repro/internal/weyl"
+	"repro/internal/workloads"
+)
+
+// routeCtx lays out and routes a workload, returning a PassContext ready
+// for VerifyPass.
+func routeCtx(t *testing.T, g *topology.Graph, c *circuit.Circuit, seed int64) *PassContext {
+	t.Helper()
+	ctx := &PassContext{Graph: g, Basis: weyl.BasisCX, Circuit: c, Seed: seed, Trials: 8}
+	if err := (Pipeline{LayoutPass{}, RoutePass{}}).Run(ctx); err != nil {
+		t.Fatal(err)
+	}
+	return ctx
+}
+
+// TestVerifyPassAcceptsCorrectRouting runs the verifier over the stock
+// routing of several workloads and topologies; a failure here means either
+// the router or the verifier is wrong — both are bugs.
+func TestVerifyPassAcceptsCorrectRouting(t *testing.T) {
+	cases := []struct {
+		g *topology.Graph
+		c *circuit.Circuit
+	}{
+		{topology.HeavyHex20(), workloads.GHZ(8)},
+		{topology.Tree20(), workloads.QFT(6, true)},
+		{topology.Corral11(), workloads.Adder(3)},
+		{topology.Hypercube16(), workloads.QuantumVolume(6, rand.New(rand.NewSource(2)))},
+	}
+	for i, tc := range cases {
+		ctx := routeCtx(t, tc.g, tc.c, int64(300+i))
+		if err := (VerifyPass{}).Apply(ctx); err != nil {
+			t.Errorf("case %d (%s): verification rejected a stock routing: %v", i, tc.g.Name, err)
+		}
+	}
+}
+
+// TestVerifyPassCatchesTampering corrupts a routed circuit in ways a buggy
+// router could (drop a SWAP, mangle the final layout) and requires the
+// verifier to notice. The workload must be permutation-sensitive —
+// QFT/GHZ from |0…0⟩ end in qubit-symmetric states where tampering is
+// invisible — so it uses a Haar-random QuantumVolume state.
+func TestVerifyPassCatchesTampering(t *testing.T) {
+	ctx := routeCtx(t, topology.Tree20(), workloads.QuantumVolume(8, rand.New(rand.NewSource(9))), 77)
+	// Drop the last SWAP the router inserted. (The first can be a semantic
+	// no-op: a swap of two still-|0⟩ qubits before any gate touches them.)
+	lastSwap := -1
+	for i, op := range ctx.Routed.Circuit.Ops {
+		if op.Name == "swap" {
+			lastSwap = i
+		}
+	}
+	if lastSwap < 0 {
+		t.Skip("routing inserted no SWAPs; tampering test needs one")
+	}
+	dropped := circuit.New(ctx.Routed.Circuit.N)
+	for i, op := range ctx.Routed.Circuit.Ops {
+		if i == lastSwap {
+			continue
+		}
+		dropped.Append(op)
+	}
+	tampered := *ctx
+	tampered.Routed = &RouteResult{Circuit: dropped, SwapCount: ctx.Routed.SwapCount - 1, FinalLayout: ctx.Routed.FinalLayout}
+	if err := (VerifyPass{}).Apply(&tampered); err == nil {
+		t.Error("verification accepted a routed circuit with a SWAP removed")
+	}
+	// Mangle the final layout (swap two entries).
+	bad := ctx.Routed.FinalLayout.Copy()
+	bad[0], bad[1] = bad[1], bad[0]
+	tampered = *ctx
+	tampered.Routed = &RouteResult{Circuit: ctx.Routed.Circuit, SwapCount: ctx.Routed.SwapCount, FinalLayout: bad}
+	if err := (VerifyPass{}).Apply(&tampered); err == nil {
+		t.Error("verification accepted a mangled final layout")
+	}
+}
+
+// TestVerifyPassWidthGuard pins the descriptive error when the routed
+// circuit touches more qubits than the simulator can hold.
+func TestVerifyPassWidthGuard(t *testing.T) {
+	g := topology.Hypercube84()
+	c := workloads.QuantumVolume(32, rand.New(rand.NewSource(4)))
+	ctx := routeCtx(t, g, c, 55)
+	compact, _ := ctx.Routed.Circuit.CompactQubits()
+	if compact.N <= 22 {
+		t.Skipf("routing only touched %d qubits; width guard not exercised", compact.N)
+	}
+	err := (VerifyPass{}).Apply(ctx)
+	if err == nil || !strings.Contains(err.Error(), "at most") {
+		t.Fatalf("got %v, want a width-guard error", err)
+	}
+}
+
+// TestVerifyPassNeedsRouting pins the missing-artifact error.
+func TestVerifyPassNeedsRouting(t *testing.T) {
+	ctx := &PassContext{Graph: topology.Tree20(), Circuit: workloads.GHZ(4)}
+	if err := (VerifyPass{}).Apply(ctx); err == nil {
+		t.Fatal("VerifyPass on an unrouted context succeeded")
+	}
+}

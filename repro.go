@@ -252,14 +252,16 @@ type PassTiming = transpile.PassTiming
 type RouterFunc = transpile.RouterFunc
 
 // The stock passes: initial placement, SWAP routing, pressure profiling,
-// cost reweighting, the profile-guided fixed-point loop, basis translation,
-// and peephole clean-up.
+// cost reweighting, the profile-guided fixed-point loop, simulation-backed
+// routing verification (Options.Verify), basis translation, and peephole
+// clean-up.
 type (
 	LayoutPass        = transpile.LayoutPass
 	RoutePass         = transpile.RoutePass
 	ProfilePass       = transpile.ProfilePass
 	ReweightPass      = transpile.ReweightPass
 	ProfileGuidedPass = transpile.ProfileGuidedPass
+	VerifyPass        = transpile.VerifyPass
 	TranslatePass     = transpile.TranslatePass
 	PeepholePass      = transpile.PeepholePass
 )
@@ -291,6 +293,16 @@ var (
 
 // State is a dense statevector.
 type State = sim.State
+
+// SimProgram is a compiled, fusion-scheduled circuit: ScheduleCircuit
+// once, run it on many states with State.RunProgram (State.Run schedules
+// internally; State.RunUnfused is the op-by-op debugging path).
+type SimProgram = sim.Program
+
+// ScheduleCircuit builds the gate-fusion schedule of a circuit: maximal 1Q
+// runs collapse to single 2×2 sweeps, adjacent diagonals merge into phase
+// sweeps, and 1Q runs absorb into neighboring generic 4×4 gates.
+var ScheduleCircuit = sim.Schedule
 
 // NoiseModel is a gate-attached Pauli/depolarizing error model covering the
 // paper's two §3.1 error regimes (per-gate control error, duration-

@@ -29,6 +29,13 @@
 # sweep at GOMAXPROCS 1/2/4 (the ROADMAP multi-core scaling demo); on a
 # single-core runner the curve is flat — "cpus" says how to read it. Set
 # BENCH_SKIP_SCALING=1 to skip it.
+#
+# The deltas section makes the perf trajectory machine-readable per PR: for
+# every benchmark also present in the newest prior BENCH_*.json (by mtime,
+# excluding the file being written), it records
+#   { "name", "ns_ratio": prior_ns/new_ns, "allocs_ratio": prior/new }
+# so ratios > 1 are improvements. "deltas_vs" names the baseline file
+# (null, with an empty list, when this is the first snapshot).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -61,7 +68,18 @@ fi
 
 go test -bench="$FILTER" -benchmem -benchtime="$TIME" -count=1 -run='^$' . | tee "$RAW"
 
-awk -v out="$OUT" -v scalingfile="$SCALING" '
+# Newest prior snapshot (for the deltas section); empty when none exists.
+PRIOR="$(ls -t BENCH_*.json 2>/dev/null | grep -Fxv "$OUT" | head -1 || true)"
+
+awk -v out="$OUT" -v scalingfile="$SCALING" -v prior="$PRIOR" '
+function jsonnum(line, key,   s) {
+    # Extract a numeric field from a machine-written benchmark line;
+    # returns "" when absent or null.
+    if (match(line, "\"" key "\": [0-9.eE+-]+") == 0) return ""
+    s = substr(line, RSTART, RLENGTH)
+    sub(/.*: /, "", s)
+    return s
+}
 /^goos:/   { goos = $2 }
 /^goarch:/ { goarch = $2 }
 /^cpu:/    { sub(/^cpu: */, ""); cpu = $0 }
@@ -84,6 +102,7 @@ awk -v out="$OUT" -v scalingfile="$SCALING" '
     n++
     lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s, \"layout_share\": %s, \"route_share\": %s, \"translate_share\": %s}",
                        name, iters, ns, b, allocs, chits, cmisses, swaps, lshare, rshare, tshare)
+    names[n] = name; nsval[n] = ns; allocval[n] = allocs
 }
 END {
     printf "{\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"cpus\": %s,\n  \"benchmarks\": [\n", \
@@ -98,6 +117,36 @@ END {
         srows[m] = sprintf("    {\"gomaxprocs\": %s, \"wall_ns\": %s}", f[1], f[2])
     }
     for (i = 1; i <= m; i++) printf "%s%s\n", srows[i], (i < m ? "," : "") >> out
+    print "  ]," >> out
+    # Deltas against the newest prior snapshot: ratios prior/new, so > 1
+    # is an improvement; benchmarks missing from either side are skipped.
+    if (prior != "") {
+        while ((getline line < prior) > 0) {
+            if (match(line, /"name": "[^"]+"/) == 0) continue
+            pname = substr(line, RSTART + 9, RLENGTH - 10)
+            # Only benchmark rows carry ns_per_op; the prior file own
+            # deltas rows must not clobber them.
+            pv = jsonnum(line, "ns_per_op")
+            if (pv == "") continue
+            pns[pname] = pv
+            pallocs[pname] = jsonnum(line, "allocs_per_op")
+        }
+        printf "  \"deltas_vs\": \"%s\",\n", prior >> out
+    } else {
+        print "  \"deltas_vs\": null," >> out
+    }
+    print "  \"deltas\": [" >> out
+    dn = 0
+    for (i = 1; i <= n; i++) {
+        if (!(names[i] in pns) || pns[names[i]] == "" || nsval[i] + 0 == 0) continue
+        nsr = pns[names[i]] / nsval[i]
+        ar = "null"
+        if (allocval[i] != "null" && pallocs[names[i]] != "" && allocval[i] + 0 > 0)
+            ar = sprintf("%.4g", pallocs[names[i]] / allocval[i])
+        dn++
+        drows[dn] = sprintf("    {\"name\": \"%s\", \"ns_ratio\": %.4g, \"allocs_ratio\": %s}", names[i], nsr, ar)
+    }
+    for (i = 1; i <= dn; i++) printf "%s%s\n", drows[i], (i < dn ? "," : "") >> out
     print "  ]\n}" >> out
 }
 ' "$RAW"

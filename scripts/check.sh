@@ -9,8 +9,10 @@
 #     internal capital) are compared, so prose-first comments never trip.
 #   * race-detector runs of the packages with real concurrency surface
 #     (the content-addressed cache, the parallel sweep engine, the
-#     transpile pass pipeline with its parallel router trials, and the
-#     sim kernels exercised under it), pinned to GOMAXPROCS=4 so races
+#     transpile pass pipeline with its parallel router trials and
+#     per-worker routing scratch, and the sim package including the
+#     sharded fusion kernels — TestShardedKernelsByteIdentical forces the
+#     parallel arms with 4 workers), pinned to GOMAXPROCS=4 so races
 #     reproduce even on single-core runners.
 #
 # Run directly, or via scripts/bench.sh which uses it as its preflight.
