@@ -12,10 +12,12 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/dynamics"
 	"repro/internal/experiments"
+	"repro/internal/faultinject"
 	"repro/internal/gates"
 	"repro/internal/optimize"
 	"repro/internal/sim"
@@ -490,4 +492,46 @@ func BenchmarkDecomposeSqrtISwapK3(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// ---- Robustness: disk-tier fault absorption ----
+
+// BenchmarkCacheDiskFaultRetry measures the two-tier cache's disk layer
+// under a deterministic 10% injected read/write fault rate with retries
+// enabled. disk_retries/op is how many backoff retries the tier absorbed
+// per operation; degraded is 1 if the error budget ever quarantined the
+// disk tier (expected 0 here: absorbed transients never charge the
+// budget). The memory LRU is kept tiny so gets actually reach the disk.
+func BenchmarkCacheDiskFaultRetry(b *testing.B) {
+	ffs := faultinject.NewFaultFS(cache.OSFS{}, 1)
+	ffs.ReadFail, ffs.WriteFail = 0.1, 0.1
+	store, err := cache.New[int](2, b.TempDir(),
+		cache.WithFS(ffs), cache.WithRetry(4, 0), cache.WithJitterSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := make([]cache.Key, 64)
+	for i := range keys {
+		h := cache.NewHasher("bench/disk-fault")
+		h.WriteInt(int64(i))
+		keys[i] = h.Sum()
+	}
+	for i, k := range keys {
+		store.Put(k, i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		if v, ok := store.Get(k); ok && v != i%len(keys) {
+			b.Fatalf("corrupted value %d for key %d", v, i%len(keys))
+		}
+	}
+	b.StopTimer()
+	st := store.Stats()
+	b.ReportMetric(float64(st.Retries)/float64(b.N), "disk_retries/op")
+	degraded := 0.0
+	if st.Degraded {
+		degraded = 1
+	}
+	b.ReportMetric(degraded, "degraded")
 }

@@ -39,16 +39,33 @@
 // is only as fresh as that tag. Hit/miss counts print to stderr on every
 // exit path, including failed sweeps.
 //
-// Exactly one of -fig, -headline, -corralscaling must be chosen, and -csv
-// only applies to -fig sweeps; conflicting combinations are rejected with a
-// usage error instead of being silently ignored.
+// Long unattended runs are bounded and interruptible: -cell-timeout D
+// fails any single evaluation exceeding D (the sweep continues under
+// -tolerant), -deadline D bounds the whole invocation, and Ctrl-C cancels
+// cooperatively — in-flight cells stop at their next poll, partial results
+// (under -tolerant) and cache stats still print. -tolerant completes a
+// -fig sweep around failing cells instead of aborting on the first one,
+// reporting the casualties on stderr. -resume FILE journals every
+// completed cell to FILE (created if missing) and replays cells already
+// journaled, so a killed sweep restarted with the same journal recomputes
+// only what is missing and prints output byte-identical to an
+// uninterrupted run. None of these knobs changes any number a completed
+// run reports.
+//
+// Exactly one of -fig, -headline, -corralscaling must be chosen, and -csv,
+// -tolerant, and -resume only apply to -fig sweeps; conflicting
+// combinations are rejected with a usage error instead of being silently
+// ignored.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
@@ -83,6 +100,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"directory for the on-disk result cache (default off; warm entries make repeated runs skip identical routing)")
 	posts := fs.String("posts", "6,8,10,12,16",
 		"comma-separated Corral ring sizes for -corralscaling (each ≥5 posts)")
+	cellTimeout := fs.Duration("cell-timeout", 0,
+		"per-evaluation wall-clock budget (0 = unbounded; an expired cell fails with deadline exceeded)")
+	deadline := fs.Duration("deadline", 0,
+		"whole-run wall-clock budget (0 = unbounded)")
+	tolerant := fs.Bool("tolerant", false,
+		"complete a -fig sweep around failing cells instead of aborting; failures print to stderr")
+	resume := fs.String("resume", "",
+		"journal file for crash-resumable -fig sweeps (created if missing; journaled cells replay instead of recomputing)")
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapParse(err)
 	}
@@ -140,6 +165,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *iterations < 1 {
 		return cli.Usagef("-iterations must be ≥ 1, got %d", *iterations)
 	}
+	if *cellTimeout < 0 {
+		return cli.Usagef("-cell-timeout must be ≥ 0 (0 = unbounded), got %v", *cellTimeout)
+	}
+	if *deadline < 0 {
+		return cli.Usagef("-deadline must be ≥ 0 (0 = unbounded), got %v", *deadline)
+	}
+	if *tolerant && *fig == 0 {
+		return cli.Usagef("-tolerant only applies to -fig sweeps; it would be ignored under %s", modes[0])
+	}
+	if *resume != "" && *fig == 0 {
+		return cli.Usagef("-resume only applies to -fig sweeps; it would be ignored under %s", modes[0])
+	}
 	postSizes, err := parsePosts(*posts)
 	if err != nil {
 		return cli.Usagef("bad -posts: %v", err)
@@ -163,6 +200,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	// Ctrl-C cancels cooperatively instead of killing the process: every
+	// in-flight cell stops at its next poll, and the deferred cache-stats
+	// (and, under -tolerant, partial-results) paths still run.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	// One unified experiment configuration feeds every mode: the CLI flags
 	// land in experiments.Config once instead of positionally per harness.
 	cfg := experiments.DefaultConfig()
@@ -171,6 +214,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.Parallelism = *parallelism
 	cfg.ProfileGuided = *profile
 	cfg.ProfileIterations = *iterations
+	cfg.CellTimeout = *cellTimeout
+	cfg.Deadline = *deadline
+	cfg.Tolerant = *tolerant
 
 	if *cachedir != "" {
 		store, err := core.NewMetricsCache(0, *cachedir)
@@ -187,7 +233,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	switch {
 	case *corral:
-		rows, err := experiments.CorralScaling(postSizes, cfg)
+		rows, err := experiments.CorralScalingContext(ctx, postSizes, cfg)
 		if err != nil {
 			return err
 		}
@@ -195,7 +241,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stdout, "the long fence at ~1/3 of the ring; QV at 80% machine fill.")
 		fmt.Fprint(stdout, experiments.FormatCorralScaling(rows))
 	case *headline:
-		h, err := experiments.Headlines(cfg)
+		h, err := experiments.HeadlinesContext(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -212,11 +258,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 		spec.Cache = cfg.Cache
 		spec.ProfileGuided = cfg.ProfileGuided
 		spec.ProfileIterations = cfg.ProfileIterations
+		spec.CellTimeout = cfg.CellTimeout
+		spec.Deadline = cfg.Deadline
+		spec.Tolerant = cfg.Tolerant
 		if *trialsFlag > 0 {
 			spec.Trials = *trialsFlag
 		}
-		series, err := spec.Run()
+		if *resume != "" {
+			j, err := experiments.OpenJournal(*resume)
+			if err != nil {
+				return err
+			}
+			defer j.Close()
+			resumed := j.Len()
+			defer func() {
+				fmt.Fprintf(stderr, "journal: %d cells replayed, %d recorded this run\n",
+					resumed, j.Len()-resumed)
+			}()
+			spec.Journal = j
+		}
+		series, err := spec.RunContext(ctx)
 		if err != nil {
+			// A tolerant sweep still returns its surviving cells: print them
+			// as partial results before reporting the aggregate failure.
+			var ce experiments.CellErrors
+			if !errors.As(err, &ce) {
+				return err
+			}
+			if *csv {
+				fmt.Fprint(stdout, experiments.SeriesCSV(series, spec.Kind))
+			} else {
+				fmt.Fprintf(stdout, "Figure %d (%s mode%s) — PARTIAL, %d cells failed\n",
+					*fig, mode(quick), profiledSuffix(*profile), len(ce))
+				fmt.Fprint(stdout, experiments.FormatSeries(series, spec.Kind))
+			}
+			for _, c := range ce {
+				fmt.Fprintf(stderr, "cell failed: %v\n", c)
+			}
 			return err
 		}
 		if *csv {

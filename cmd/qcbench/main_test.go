@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"path/filepath"
 	"strings"
@@ -137,5 +138,58 @@ func TestParseErrorIsDistinguished(t *testing.T) {
 	_, _, err := runQ(t, "-no-such-flag")
 	if err == nil || !cli.IsParseError(err) {
 		t.Fatalf("expected parse error, got %v", err)
+	}
+}
+
+func TestRobustnessFlagsValidated(t *testing.T) {
+	_, _, err := runQ(t, "-fig", "11", "-cell-timeout", "-1s")
+	wantUsageError(t, err, "-cell-timeout")
+	_, _, err = runQ(t, "-fig", "11", "-deadline", "-1s")
+	wantUsageError(t, err, "-deadline")
+	// -tolerant and -resume are sweep machinery; reject them where they
+	// would be silently ignored.
+	_, _, err = runQ(t, "-headline", "-tolerant")
+	wantUsageError(t, err, "-tolerant")
+	_, _, err = runQ(t, "-corralscaling", "-resume", "sweep.journal")
+	wantUsageError(t, err, "-resume")
+}
+
+func TestFaultDeadlineExpires(t *testing.T) {
+	// An already-expired whole-run deadline must surface as the context
+	// error, not a synthetic sweep failure, on every mode.
+	_, _, err := runQ(t, "-fig", "11", "-deadline", "1ns")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("-fig under 1ns deadline = %v, want context.DeadlineExceeded", err)
+	}
+	_, _, err = runQ(t, "-headline", "-deadline", "1ns")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("-headline under 1ns deadline = %v, want context.DeadlineExceeded", err)
+	}
+	_, _, err = runQ(t, "-corralscaling", "-deadline", "1ns")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("-corralscaling under 1ns deadline = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestResumeJournalReplaysSweep(t *testing.T) {
+	// First run populates the journal; the second must replay every cell
+	// (0 recorded) and print byte-identical results.
+	journal := filepath.Join(t.TempDir(), "fig11.journal")
+	out1, stderr1, err := runQ(t, "-fig", "11", "-resume", journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stderr1, "journal: 0 cells replayed") {
+		t.Errorf("first run should start from an empty journal, stderr: %q", stderr1)
+	}
+	out2, stderr2, err := runQ(t, "-fig", "11", "-resume", journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Fatal("journal-replayed sweep output diverged from the recording run")
+	}
+	if !strings.Contains(stderr2, "0 recorded this run") {
+		t.Errorf("second run should replay every cell, stderr: %q", stderr2)
 	}
 }

@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func key(s string) Key {
@@ -303,6 +306,214 @@ func TestNilStoreIsNoop(t *testing.T) {
 	}
 	if st := s.Stats(); st != (Stats{}) {
 		t.Fatalf("nil stats %+v", st)
+	}
+}
+
+// TestFillPanicErrorCarriesValue pins the waiter-side contract of a
+// panicked fill: the error handed to waiters includes the recovered panic
+// value (so they can diagnose what killed the computation), the panic
+// itself re-propagates unchanged, and the flight entry is unregistered.
+// Driving fill directly keeps the test deterministic — no racing goroutine
+// needed to guarantee a waiter joined before the panic.
+func TestFillPanicErrorCarriesValue(t *testing.T) {
+	s := NewMemory[int](0)
+	k := key("k")
+	c := &call[int]{done: make(chan struct{})}
+	s.flightMu.Lock()
+	s.flight[k] = c
+	s.flightMu.Unlock()
+	func() {
+		defer func() {
+			if r := recover(); r != "boom" {
+				t.Fatalf("re-panic value %v, want \"boom\" unchanged", r)
+			}
+		}()
+		s.fill(k, c, func() (int, error) { panic("boom") })
+	}()
+	<-c.done
+	if c.err == nil || !strings.Contains(c.err.Error(), "panicked: boom") {
+		t.Fatalf("waiter error %v, want it to contain the panic value", c.err)
+	}
+	s.flightMu.Lock()
+	_, still := s.flight[k]
+	s.flightMu.Unlock()
+	if still {
+		t.Fatal("flight entry leaked after panicked fill")
+	}
+}
+
+// flakyFS fails the first failReads/failWrites operations of each kind with
+// a transient error, then delegates to the real disk — the shape of a disk
+// that recovers under retry.
+type flakyFS struct {
+	failReads  atomic.Int64
+	failWrites atomic.Int64
+	inner      OSFS
+}
+
+func (f *flakyFS) ReadFile(path string) ([]byte, error) {
+	if f.failReads.Add(-1) >= 0 {
+		return nil, errors.New("injected transient read fault")
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *flakyFS) WriteFile(dir, path string, data []byte) error {
+	if f.failWrites.Add(-1) >= 0 {
+		return errors.New("injected transient write fault")
+	}
+	return f.inner.WriteFile(dir, path, data)
+}
+
+func (f *flakyFS) Remove(path string) error { return f.inner.Remove(path) }
+
+// TestDiskRetryRecoversTransientFault: one injected failure per op is
+// absorbed by the retry budget — the op succeeds, Retries counts the extra
+// attempt, and DiskErrs stays zero because nothing failed post-retries.
+func TestDiskRetryRecoversTransientFault(t *testing.T) {
+	dir := t.TempDir()
+	ffs := &flakyFS{}
+	ffs.failWrites.Store(1)
+	s, err := New[payload](0, dir, WithFS(ffs), WithRetry(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload{A: 9, C: "retry"}
+	s.Put(key("k"), want)
+	if st := s.Stats(); st.Retries != 1 || st.DiskErrs != 0 || st.Degraded {
+		t.Fatalf("after flaky put: stats %+v", st)
+	}
+
+	// Fresh store over the same dir, first read injected to fail once.
+	ffs2 := &flakyFS{}
+	ffs2.failReads.Store(1)
+	s2, err := New[payload](0, dir, WithFS(ffs2), WithRetry(2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key("k"))
+	if !ok || got != want {
+		t.Fatalf("flaky get = (%+v, %v), want (%+v, true)", got, ok, want)
+	}
+	if st := s2.Stats(); st.Retries != 1 || st.DiskErrs != 0 || st.DiskHits != 1 {
+		t.Fatalf("after flaky get: stats %+v", st)
+	}
+}
+
+// brokenFS fails every operation while broken is set — a disk that has
+// gone away entirely, then comes back.
+type brokenFS struct {
+	broken atomic.Bool
+	inner  OSFS
+}
+
+func (f *brokenFS) ReadFile(path string) ([]byte, error) {
+	if f.broken.Load() {
+		return nil, errors.New("injected dead disk")
+	}
+	return f.inner.ReadFile(path)
+}
+
+func (f *brokenFS) WriteFile(dir, path string, data []byte) error {
+	if f.broken.Load() {
+		return errors.New("injected dead disk")
+	}
+	return f.inner.WriteFile(dir, path, data)
+}
+
+func (f *brokenFS) Remove(path string) error {
+	if f.broken.Load() {
+		return errors.New("injected dead disk")
+	}
+	return f.inner.Remove(path)
+}
+
+// TestDiskQuarantineAndRecovery walks the full degradation lifecycle: the
+// error budget trips after consecutive failures, the store keeps serving
+// memory-only (no evaluation ever fails), and once the disk heals the
+// health probe lifts the quarantine and persistence resumes.
+func TestDiskQuarantineAndRecovery(t *testing.T) {
+	dir := t.TempDir()
+	bfs := &brokenFS{}
+	bfs.broken.Store(true)
+	s, err := New[payload](0, dir,
+		WithFS(bfs), WithRetry(0, 0), WithErrorBudget(2), WithProbeInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(key("a"), payload{A: 1}) // failure 1 of 2
+	if st := s.Stats(); st.Degraded || st.DiskErrs != 1 {
+		t.Fatalf("before budget trips: stats %+v", st)
+	}
+	s.Put(key("b"), payload{A: 2}) // failure 2 of 2 → quarantine
+	st := s.Stats()
+	if !st.Degraded || st.Quarantines != 1 || st.DiskErrs != 2 {
+		t.Fatalf("after budget trips: stats %+v", st)
+	}
+
+	// Degraded = memory-only, not broken: both entries still serve from the
+	// LRU and Do still computes and returns values.
+	if v, ok := s.Get(key("a")); !ok || v.A != 1 {
+		t.Fatalf("degraded mem get = (%+v, %v)", v, ok)
+	}
+	if v, err := s.Do(key("c"), func() (payload, error) { return payload{A: 3}, nil }); err != nil || v.A != 3 {
+		t.Fatalf("degraded Do = (%+v, %v)", v, err)
+	}
+
+	// While the disk is still dead, probes fail and the quarantine holds.
+	if _, ok := s.Get(key("zz")); ok {
+		t.Fatal("hit on a key never stored")
+	}
+	if st := s.Stats(); !st.Degraded {
+		t.Fatal("quarantine lifted while the disk is still dead")
+	}
+
+	// Disk comes back: the next access probes, the probe passes, and the
+	// tier re-enables — writes reach the real directory again.
+	bfs.broken.Store(false)
+	s.Put(key("d"), payload{A: 4})
+	if st := s.Stats(); st.Degraded {
+		t.Fatalf("quarantine not lifted after heal: stats %+v", st)
+	}
+	fresh, err := New[payload](0, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fresh.Get(key("d")); !ok || v.A != 4 {
+		t.Fatalf("post-recovery persistence = (%+v, %v), want A=4", v, ok)
+	}
+}
+
+// TestStaleTmpSwept: New removes hour-old "tmp-*" staging debris from an
+// interrupted diskPut, and nothing else — fresh temp files (a concurrent
+// writer mid-publish) and real cache entries survive.
+func TestStaleTmpSwept(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "tmp-orphan")
+	fresh := filepath.Join(dir, "tmp-live")
+	entry := filepath.Join(dir, "deadbeef.json")
+	for _, p := range []string{old, fresh, entry} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stale := time.Now().Add(-2 * time.Hour)
+	for _, p := range []string{old, entry} {
+		if err := os.Chtimes(p, stale, stale); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := New[int](0, dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(old); !os.IsNotExist(err) {
+		t.Error("stale tmp file not swept")
+	}
+	if _, err := os.Stat(fresh); err != nil {
+		t.Error("fresh tmp file swept — could be a live writer's staging file")
+	}
+	if _, err := os.Stat(entry); err != nil {
+		t.Error("real cache entry swept")
 	}
 }
 

@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// The injector must keep satisfying the cache's FS surface — the
+// structural match is the whole reason faultinject needs no cache import.
+var _ FS = (*faultinject.FaultFS)(nil)
+
+// TestChaosConcurrentCorruptionSelfHeals hammers one on-disk key from many
+// reader goroutines while a fault-injected writer keeps corrupting it:
+// every read must come back as the valid value or a clean miss — never
+// garbage — and a controlled final corruption is removed exactly once even
+// with all readers racing to heal it. Run under -race by the chaos arm of
+// scripts/check.sh.
+func TestChaosConcurrentCorruptionSelfHeals(t *testing.T) {
+	dir := t.TempDir()
+	k := key("contested")
+	want := payload{A: 42, B: 0.5, C: "good"}
+
+	// Writer: roughly half its publishes store poison bytes instead of the
+	// value. ErrorBudget 0 keeps the disk tier in play no matter how many
+	// corruptions readers hit.
+	writerFS := faultinject.NewFaultFS(OSFS{}, 7)
+	writerFS.Corrupt = 0.5
+	writer, err := New[payload](0, dir,
+		WithFS(writerFS), WithRetry(0, 0), WithErrorBudget(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Readers share one store but call diskGet directly so every read hits
+	// the disk tier (the mem tier would hide the contest after one hit).
+	readerFS := faultinject.NewFaultFS(OSFS{}, 8) // transparent, counts removes
+	reader, err := New[payload](0, dir,
+		WithFS(readerFS), WithRetry(0, 0), WithErrorBudget(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		readers       = 8
+		readsEach     = 200
+		writerPublish = 300
+	)
+	var wg sync.WaitGroup
+	wg.Add(1 + readers)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writerPublish; i++ {
+			writer.Put(k, want)
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < readsEach; i++ {
+				if v, ok := reader.diskGet(k); ok && v != want {
+					t.Errorf("reader got corrupt value %+v served as a hit", v)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if writerFS.Corruptions.Load() == 0 {
+		t.Fatal("chaos writer never corrupted — the test exercised nothing")
+	}
+
+	// Controlled finale: plant exactly one corruption, then race all
+	// readers at it. Whoever decodes the poison tries to remove it; the
+	// file must be deleted exactly once (losers get ENOENT, counted by
+	// the FaultFS as unsuccessful), and nobody may see a valid hit.
+	writerFS.Corrupt = 1
+	writer.Put(k, want)
+	removedBefore := readerFS.RemovedOK.Load()
+	var fin sync.WaitGroup
+	fin.Add(readers)
+	for r := 0; r < readers; r++ {
+		go func() {
+			defer fin.Done()
+			if v, ok := reader.diskGet(k); ok {
+				t.Errorf("read of a corrupt-only slot hit with %+v", v)
+			}
+		}()
+	}
+	fin.Wait()
+	if removed := readerFS.RemovedOK.Load() - removedBefore; removed != 1 {
+		t.Fatalf("corrupt file removed %d times, want exactly 1", removed)
+	}
+	// The slot healed: a clean publish round-trips again.
+	writerFS.Corrupt = 0
+	writer.Put(k, want)
+	if v, ok := reader.diskGet(k); !ok || v != want {
+		t.Fatalf("healed slot = (%+v, %v), want (%+v, true)", v, ok, want)
+	}
+}

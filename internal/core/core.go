@@ -7,7 +7,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/circuit"
@@ -52,6 +54,17 @@ type Options struct {
 	Trials      int        // StochasticSwap trials (0 → default 20)
 	Router      RouterKind // routing algorithm
 	Parallelism int        // routing-trial workers (0 = auto, 1 = serial)
+
+	// CellTimeout bounds the wall-clock of one evaluation (one sweep cell):
+	// EvaluateContext derives a deadline child context and the pipeline's
+	// cooperative polls (per routed layer, per simulation sweep) stop the
+	// work shortly after it expires, failing the cell with
+	// context.DeadlineExceeded instead of wedging the sweep. 0 means no
+	// per-cell bound. Like Parallelism, the timeout can only change
+	// *whether* an evaluation completes, never what it computes, so it is
+	// excluded from cache keys — a cell that timed out under a tight budget
+	// and was recomputed under a looser one produces the identical entry.
+	CellTimeout time.Duration
 
 	// ProfileGuided enables the pressure-weighted pipeline: a pilot pass
 	// routes under uniform hop distances and records per-edge SWAP pressure
@@ -106,9 +119,11 @@ type MetricsCache = cache.Store[Metrics]
 
 // NewMetricsCache builds a cache suitable for Options.Cache: maxEntries
 // bounds the in-memory LRU (0 = default), dir adds an on-disk JSON tier
-// ("" = memory-only) so warm results survive across processes.
-func NewMetricsCache(maxEntries int, dir string) (*MetricsCache, error) {
-	return cache.New[Metrics](maxEntries, dir)
+// ("" = memory-only) so warm results survive across processes. Options
+// tune the disk tier's robustness machinery (retry policy, error budget,
+// health-probe interval, filesystem seam) and default sensibly.
+func NewMetricsCache(maxEntries int, dir string, opts ...cache.Option) (*MetricsCache, error) {
+	return cache.New[Metrics](maxEntries, dir, opts...)
 }
 
 // DefaultOptions is the configuration used by the experiment harnesses.
@@ -162,8 +177,24 @@ type Transpiled struct {
 // content-addressed cache when an identical evaluation already ran (or is
 // running concurrently); cold and warm calls return identical Metrics.
 func (m Machine) Evaluate(c *circuit.Circuit, opt Options) (Metrics, error) {
+	return m.EvaluateContext(context.Background(), c, opt)
+}
+
+// EvaluateContext is Evaluate with caller-supplied cancellation plus the
+// Options.CellTimeout per-cell budget: the effective context is the
+// caller's, tightened by the timeout when one is set. A cancelled or
+// expired evaluation fails with the context's error (never cached —
+// errors are not cacheable — so a later retry under a looser budget
+// recomputes cleanly). Concurrent deduplicated callers of the same key
+// share the first caller's outcome, including its timeout error.
+func (m Machine) EvaluateContext(ctx context.Context, c *circuit.Circuit, opt Options) (Metrics, error) {
+	if opt.CellTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.CellTimeout)
+		defer cancel()
+	}
 	eval := func() (Metrics, error) {
-		t, err := m.Transpile(c, opt)
+		t, err := m.TranspileContext(ctx, c, opt)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -176,7 +207,7 @@ func (m Machine) Evaluate(c *circuit.Circuit, opt Options) (Metrics, error) {
 	if opt.Cache == nil || m.Graph == nil || opt.Verify {
 		return eval()
 	}
-	return opt.Cache.Do(m.evaluateKey(c, opt), eval)
+	return opt.Cache.Do(m.EvaluateKey(c, opt), eval)
 }
 
 // evaluateKeyDomain versions the Evaluate cache key. The key hashes the
@@ -187,10 +218,14 @@ func (m Machine) Evaluate(c *circuit.Circuit, opt Options) (Metrics, error) {
 // older build serves the old algorithm's numbers as if freshly computed.
 const evaluateKeyDomain = "core.Evaluate/v1"
 
-// evaluateKey derives the content hash of one Evaluate call: everything the
-// metrics depend on and nothing else. Trials is normalized so the implicit
-// default and an explicit DefaultTrials share an entry.
-func (m Machine) evaluateKey(c *circuit.Circuit, opt Options) cache.Key {
+// EvaluateKey derives the content hash of one Evaluate call: everything the
+// metrics depend on and nothing else (CellTimeout and Parallelism change
+// only whether/how fast a run completes, never its numbers, so they are
+// excluded). Trials is normalized so the implicit default and an explicit
+// DefaultTrials share an entry. Exported so the sweep journal can address
+// completed cells by the same identity the cache uses — a resumed run
+// replays exactly the cells an uninterrupted run would have served warm.
+func (m Machine) EvaluateKey(c *circuit.Circuit, opt Options) cache.Key {
 	trials := opt.Trials
 	if trials <= 0 {
 		trials = transpile.DefaultTrials
@@ -279,6 +314,14 @@ func (m Machine) Pipeline(opt Options) (transpile.Pipeline, error) {
 // so guided mode is never worse than the baseline on the metric it
 // optimizes.
 func (m Machine) Transpile(c *circuit.Circuit, opt Options) (*Transpiled, error) {
+	return m.TranspileContext(context.Background(), c, opt)
+}
+
+// TranspileContext is Transpile with caller-supplied cancellation threaded
+// into the pass pipeline (checked between passes and polled inside the
+// routers and verification). Note CellTimeout is EvaluateContext's concern;
+// this method honors only the context it is given.
+func (m Machine) TranspileContext(ctx context.Context, c *circuit.Circuit, opt Options) (*Transpiled, error) {
 	if m.Graph == nil {
 		return nil, fmt.Errorf("core: machine %q has no topology", m.Name)
 	}
@@ -286,18 +329,19 @@ func (m Machine) Transpile(c *circuit.Circuit, opt Options) (*Transpiled, error)
 	if err != nil {
 		return nil, err
 	}
-	ctx := &transpile.PassContext{
+	pctx := &transpile.PassContext{
 		Graph:       m.Graph,
 		Basis:       m.Basis,
 		Circuit:     c,
 		Seed:        opt.Seed,
 		Trials:      opt.Trials,
 		Parallelism: opt.Parallelism,
+		Ctx:         ctx,
 	}
-	if err := pipe.Run(ctx); err != nil {
+	if err := pipe.Run(pctx); err != nil {
 		return nil, fmt.Errorf("core: %s: %w", m.Name, err)
 	}
-	routed, translated := ctx.Routed, ctx.Translated
+	routed, translated := pctx.Routed, pctx.Translated
 	met := Metrics{
 		Machine:       m.Name,
 		Width:         c.N,
@@ -310,12 +354,12 @@ func (m Machine) Transpile(c *circuit.Circuit, opt Options) (*Transpiled, error)
 		PulseDuration: transpile.PulseDuration(translated, m.Basis),
 	}
 	return &Transpiled{
-		Layout:     ctx.Layout,
+		Layout:     pctx.Layout,
 		Routed:     routed.Circuit,
 		Translated: translated,
 		Metrics:    met,
-		Profile:    ctx.Profile,
-		Timings:    ctx.Timings,
+		Profile:    pctx.Profile,
+		Timings:    pctx.Timings,
 	}, nil
 }
 

@@ -196,19 +196,19 @@ func TestEvaluateKeyIterationStability(t *testing.T) {
 	two.ProfileIterations = 2
 	three := guided
 	three.ProfileIterations = 3
-	if m.evaluateKey(c, guided) != m.evaluateKey(c, one) {
+	if m.EvaluateKey(c, guided) != m.EvaluateKey(c, one) {
 		t.Fatal("iterations=1 moved the single-step guided key: warm PR 3 entries would miss")
 	}
-	if m.evaluateKey(c, guided) == m.evaluateKey(c, two) {
+	if m.EvaluateKey(c, guided) == m.EvaluateKey(c, two) {
 		t.Fatal("iterations=2 shares the single-step guided key")
 	}
-	if m.evaluateKey(c, two) == m.evaluateKey(c, three) {
+	if m.EvaluateKey(c, two) == m.EvaluateKey(c, three) {
 		t.Fatal("iterations 2 and 3 share a key")
 	}
 	base := Options{Seed: 2022, Trials: 5}
 	baseIters := base
 	baseIters.ProfileIterations = 5
-	if m.evaluateKey(c, base) != m.evaluateKey(c, baseIters) {
+	if m.EvaluateKey(c, base) != m.EvaluateKey(c, baseIters) {
 		t.Fatal("baseline key depends on ProfileIterations (field is ignored without ProfileGuided)")
 	}
 }

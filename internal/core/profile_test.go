@@ -118,14 +118,14 @@ func TestEvaluateKeySeparatesProfileModes(t *testing.T) {
 	base := Options{Seed: 2022, Trials: 5}
 	guided := base
 	guided.ProfileGuided = true
-	if m.evaluateKey(c, base) == m.evaluateKey(c, guided) {
+	if m.EvaluateKey(c, base) == m.EvaluateKey(c, guided) {
 		t.Fatal("baseline and profile-guided evaluations share a cache key")
 	}
 	// The baseline key must not move when the flag is merely *available*:
 	// warm PR-2 cache directories stay valid for default-mode runs. Guard
 	// by construction: the guided field is appended only when set, so the
 	// baseline hash covers the same bytes as before the feature existed.
-	if m.evaluateKey(c, base) != m.evaluateKey(c, Options{Seed: 2022, Trials: 5, ProfileGuided: false}) {
+	if m.EvaluateKey(c, base) != m.EvaluateKey(c, Options{Seed: 2022, Trials: 5, ProfileGuided: false}) {
 		t.Fatal("baseline key unstable")
 	}
 }

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/workloads"
+)
+
+// TestCellTimeoutFailsCell: an already-expired per-cell budget (1ns is
+// guaranteed dead by the pipeline's first cooperative poll) fails the
+// evaluation with context.DeadlineExceeded — no sleeping required to pin
+// the deadline path.
+func TestCellTimeoutFailsCell(t *testing.T) {
+	m := HeavyHex20CX()
+	c := workloads.QFT(10, true)
+	opt := DefaultOptions()
+	opt.CellTimeout = time.Nanosecond
+	if _, err := m.EvaluateContext(context.Background(), c, opt); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("1ns cell budget = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestEvaluateContextCancelled: a dead caller context fails the evaluation
+// with context.Canceled even with no CellTimeout set.
+func TestEvaluateContextCancelled(t *testing.T) {
+	m := HeavyHex20CX()
+	c := workloads.QFT(8, true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.EvaluateContext(ctx, c, DefaultOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead ctx = %v, want context.Canceled", err)
+	}
+}
+
+// TestEvaluateKeyExcludesRuntimeKnobs pins the cache-key contract the
+// resume journal depends on: CellTimeout and Parallelism never change what
+// an evaluation computes, so they must not change its identity — while a
+// semantic input (the seed) must.
+func TestEvaluateKeyExcludesRuntimeKnobs(t *testing.T) {
+	m := HeavyHex20CX()
+	c := workloads.QFT(8, true)
+	base := Options{Seed: 2022, Trials: 5}
+	timed := base
+	timed.CellTimeout = time.Second
+	parallel := base
+	parallel.Parallelism = 4
+	if m.EvaluateKey(c, base) != m.EvaluateKey(c, timed) {
+		t.Fatal("CellTimeout changed the evaluate key")
+	}
+	if m.EvaluateKey(c, base) != m.EvaluateKey(c, parallel) {
+		t.Fatal("Parallelism changed the evaluate key")
+	}
+	reseeded := base
+	reseeded.Seed = 2023
+	if m.EvaluateKey(c, base) == m.EvaluateKey(c, reseeded) {
+		t.Fatal("seed did not change the evaluate key")
+	}
+}
+
+// TestEvaluateContextMatchesEvaluate: threading a live context (and a
+// generous timeout) through an evaluation must not change its metrics.
+func TestEvaluateContextMatchesEvaluate(t *testing.T) {
+	m := Tree20SqrtISwap()
+	c := workloads.QFT(8, true)
+	opt := DefaultOptions()
+	want, err := m.Evaluate(c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.CellTimeout = time.Hour
+	got, err := m.EvaluateContext(context.Background(), c, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want != got {
+		t.Fatalf("context-threaded metrics diverged:\n  plain %+v\n  ctx   %+v", want, got)
+	}
+}

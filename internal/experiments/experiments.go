@@ -11,6 +11,14 @@
 // RNG seed by FNV-hashing those coordinates together with the spec ID and
 // base seed, and results are assembled in fixed nested-loop order. The
 // parallel and serial schedules therefore produce byte-identical Series.
+//
+// The harnesses are built for long unattended runs: Config.Deadline bounds
+// a whole study and core.Options.CellTimeout bounds each cell,
+// Config.Tolerant completes a sweep around failing cells (reporting the
+// casualties as CellErrors next to the partial Series), SweepSpec.Journal
+// makes an interrupted sweep crash-resumable with byte-identical output,
+// and SweepSpec.CellHook gives fault-injection harnesses a seam to break
+// individual cells deterministically.
 package experiments
 
 import (
@@ -20,7 +28,9 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"time"
 
+	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/par"
@@ -45,6 +55,20 @@ type Config struct {
 	// Quick shrinks sweep sizes and trial counts to the test/benchmark
 	// configuration; false runs the paper's full sizes.
 	Quick bool
+
+	// Deadline, when positive, bounds the whole run's wall-clock: the
+	// harness derives a timeout context and every cell inherits it.
+	// Complementary to core.Options.CellTimeout, which bounds each cell
+	// individually. Like CellTimeout, it changes only whether a run
+	// completes, never the numbers a completed run reports.
+	Deadline time.Duration
+
+	// Tolerant makes sweeps fault-isolating instead of fail-fast: every
+	// cell runs regardless of other cells' failures (panics included —
+	// the worker pool recovers them into *par.PanicError), failed cells
+	// are dropped from the returned Series, and the casualties are
+	// reported as a CellErrors aggregate alongside the partial results.
+	Tolerant bool
 }
 
 // DefaultConfig returns the experiment-default configuration: the paper's
@@ -119,7 +143,73 @@ type SweepSpec struct {
 	Machines  []core.Machine
 	Workloads []string
 	Sizes     []int
+
+	// Journal, when non-nil, records every completed cell and replays
+	// already-recorded cells without recomputing them (and without
+	// re-running CellHook), making an interrupted sweep crash-resumable:
+	// see Journal. Replayed output is byte-identical to an uninterrupted
+	// run because cells are addressed by the same content hash the
+	// Evaluate cache uses.
+	Journal *Journal
+
+	// CellHook, when non-nil, runs immediately before each cell's
+	// evaluation, under the cell's context (bounded by CellTimeout when
+	// one is set); a non-nil return fails the cell as if its evaluation
+	// had failed, and a panic is isolated by the worker pool like any
+	// task panic. It is the seam the fault-injection harness plugs into
+	// (see internal/faultinject) and must never mutate sweep state.
+	CellHook CellHook
+
 	Config
+}
+
+// CellHook observes one sweep cell immediately before it is evaluated and
+// may veto it by returning an error. The signature is structurally shared
+// with internal/faultinject.CellHook so injectors plug in without this
+// package importing the harness (or vice versa).
+type CellHook func(ctx context.Context, workload string, size int, machine string) error
+
+// CellError records the failure of one sweep cell in a tolerant run,
+// carrying the cell's coordinates so a partial sweep's casualties are
+// attributable without parsing error strings.
+type CellError struct {
+	Workload string
+	Machine  string
+	Size     int
+	Err      error
+}
+
+// Error implements error.
+func (e CellError) Error() string {
+	return fmt.Sprintf("%s/%s(%d): %v", e.Machine, e.Workload, e.Size, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e CellError) Unwrap() error { return e.Err }
+
+// CellErrors is the aggregate failure of a tolerant sweep: one entry per
+// failed cell, in the sweep's fixed cell order. It is returned alongside
+// the partial Series, and unwraps to its elements so
+// errors.Is(err, context.DeadlineExceeded) answers "did any cell time
+// out?" directly.
+type CellErrors []CellError
+
+// Error implements error with a count-first summary (individual cells are
+// available on the slice).
+func (e CellErrors) Error() string {
+	if len(e) == 1 {
+		return fmt.Sprintf("experiments: 1 cell failed: %s", e[0])
+	}
+	return fmt.Sprintf("experiments: %d cells failed (first: %s)", len(e), e[0])
+}
+
+// Unwrap exposes every cell failure to errors.Is/As traversal.
+func (e CellErrors) Unwrap() []error {
+	out := make([]error, len(e))
+	for i := range e {
+		out[i] = e[i]
+	}
+	return out
 }
 
 // circuitFor builds the benchmark circuit deterministically per
@@ -146,13 +236,41 @@ func (s SweepSpec) Run() ([]Series, error) {
 	return s.RunContext(context.Background())
 }
 
+// point projects one cell's metrics onto the pair of values the sweep's
+// Kind reports.
+func (s SweepSpec) point(size int, met core.Metrics) Point {
+	p := Point{Size: size}
+	switch s.Kind {
+	case SwapCounts:
+		p.Total = float64(met.TotalSwaps)
+		p.Critical = float64(met.CriticalSwaps)
+	case Codesign:
+		p.Total = float64(met.Total2Q)
+		p.Critical = met.PulseDuration
+	}
+	return p
+}
+
 // RunContext is Run with cancellation: the sweep stops dispatching cells
-// once ctx is done and returns its error. Work is spread over the
-// SweepSpec.Parallelism worker pool in two stages — circuit generation per
-// (workload, size), then evaluation per (workload, size, machine) — with
-// results written into index-addressed slots so output order and content
-// match the serial sweep exactly.
+// once ctx is done and returns its error (tightened by Config.Deadline
+// when one is set). Work is spread over the SweepSpec.Parallelism worker
+// pool in two stages — circuit generation per (workload, size), then
+// evaluation per (workload, size, machine) — with results written into
+// index-addressed slots so output order and content match the serial
+// sweep exactly.
+//
+// Per cell, in order: the Journal is consulted (a recorded cell replays
+// without evaluation or CellHook), then CellHook runs, then the machine
+// evaluates under the cell's context, then the result is journaled. In
+// Tolerant mode a failing cell is recorded and skipped instead of
+// aborting the sweep; the partial Series is returned together with the
+// CellErrors aggregate.
 func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
+	if s.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.Deadline)
+		defer cancel()
+	}
 	// Stage 1: generate each workload benchmark circuit once, shared by
 	// every machine so all machines route the same logical circuit.
 	type circKey struct {
@@ -204,7 +322,7 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 		}
 	}
 	points := make([]Point, len(cells))
-	err = par.ForEachCtx(ctx, len(cells), s.Parallelism, func(i int) error {
+	runCell := func(i int) error {
 		t := cells[i]
 		w, m := s.Workloads[t.w], s.Machines[t.m]
 		// Each cell evaluates under the spec's Options with its own
@@ -217,26 +335,79 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 		opt.Seed = s.taskSeed(w, t.size, m.Name)
 		opt.Trials = s.effectiveTrials()
 		opt.Parallelism = 1
-		met, err := m.Evaluate(circs[circKey{t.w, t.size}], opt)
+		c := circs[circKey{t.w, t.size}]
+		// Resume: a journaled cell replays its recorded metrics verbatim —
+		// no evaluation, no CellHook — so a restarted sweep neither redoes
+		// nor re-breaks work it already finished.
+		var key cache.Key
+		if s.Journal != nil {
+			key = m.EvaluateKey(c, opt)
+			if met, ok := s.Journal.Lookup(key); ok {
+				points[i] = s.point(t.size, met)
+				return nil
+			}
+		}
+		cctx := ctx
+		if opt.CellTimeout > 0 {
+			// The per-cell budget covers the hook too, and is applied here
+			// once rather than again inside EvaluateContext.
+			var cancel context.CancelFunc
+			cctx, cancel = context.WithTimeout(ctx, opt.CellTimeout)
+			defer cancel()
+			opt.CellTimeout = 0
+		}
+		if s.CellHook != nil {
+			if err := s.CellHook(cctx, w, t.size, m.Name); err != nil {
+				return err
+			}
+		}
+		met, err := m.EvaluateContext(cctx, c, opt)
 		if err != nil {
-			return fmt.Errorf("experiments: %s/%s/%s(%d): %w", s.ID, m.Name, w, t.size, err)
+			return err
 		}
-		p := Point{Size: t.size}
-		switch s.Kind {
-		case SwapCounts:
-			p.Total = float64(met.TotalSwaps)
-			p.Critical = float64(met.CriticalSwaps)
-		case Codesign:
-			p.Total = float64(met.Total2Q)
-			p.Critical = met.PulseDuration
+		if s.Journal != nil {
+			if err := s.Journal.Record(key, met); err != nil {
+				return err
+			}
 		}
-		points[i] = p
+		points[i] = s.point(t.size, met)
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	// Assemble in the fixed (workload, machine, size) order.
+	var (
+		cellErrs CellErrors
+		failed   []bool
+	)
+	if s.Tolerant {
+		errs, _ := par.ForEachAllCtx(ctx, len(cells), s.Parallelism, runCell)
+		failed = make([]bool, len(cells))
+		for i, cerr := range errs {
+			if cerr == nil {
+				continue
+			}
+			t := cells[i]
+			failed[i] = true
+			cellErrs = append(cellErrs, CellError{
+				Workload: s.Workloads[t.w],
+				Machine:  s.Machines[t.m].Name,
+				Size:     t.size,
+				Err:      cerr,
+			})
+		}
+	} else {
+		err := par.ForEachCtx(ctx, len(cells), s.Parallelism, func(i int) error {
+			if err := runCell(i); err != nil {
+				t := cells[i]
+				return fmt.Errorf("experiments: %s/%s/%s(%d): %w",
+					s.ID, s.Machines[t.m].Name, s.Workloads[t.w], t.size, err)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Assemble in the fixed (workload, machine, size) order; a tolerant
+	// run's failed cells leave holes, never shifted or zero-filled points.
 	out := make([]Series, nSeries)
 	for wi, w := range s.Workloads {
 		for mi, m := range s.Machines {
@@ -244,7 +415,13 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 		}
 	}
 	for i, t := range cells {
+		if failed != nil && failed[i] {
+			continue
+		}
 		out[t.series].Points = append(out[t.series].Points, points[i])
+	}
+	if len(cellErrs) > 0 {
+		return out, cellErrs
 	}
 	return out, nil
 }
@@ -431,6 +608,19 @@ type Headline struct {
 // pressure-weighted pipeline (cache-keyed separately from baseline runs,
 // iterated cfg.ProfileIterations times).
 func Headlines(cfg Config) (Headline, error) {
+	return HeadlinesContext(context.Background(), cfg)
+}
+
+// HeadlinesContext is Headlines with cancellation: ctx (tightened by
+// cfg.Deadline when set) threads into every evaluation's cooperative
+// polls, and cfg.CellTimeout bounds each of the study's evaluations
+// individually. Neither changes the ratios a completed study reports.
+func HeadlinesContext(ctx context.Context, cfg Config) (Headline, error) {
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
 	sizes := sizes84(cfg.Quick)
 	hh := core.HeavyHex84CX()
 	hc := core.Hypercube84SqrtISwap()
@@ -444,11 +634,11 @@ func Headlines(cfg Config) (Headline, error) {
 		}
 		opt := cfg.Options
 		opt.Trials = cfg.effectiveTrials()
-		a, err := hh.Evaluate(c, opt)
+		a, err := hh.EvaluateContext(ctx, c, opt)
 		if err != nil {
 			return Headline{}, err
 		}
-		b, err := hc.Evaluate(c, opt)
+		b, err := hc.EvaluateContext(ctx, c, opt)
 		if err != nil {
 			return Headline{}, err
 		}

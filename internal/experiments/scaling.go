@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -36,6 +37,19 @@ type CorralScalingRow struct {
 // routes each ring with the pressure-weighted pipeline (cache-keyed
 // separately from baseline runs, iterated cfg.ProfileIterations times).
 func CorralScaling(posts []int, cfg Config) ([]CorralScalingRow, error) {
+	return CorralScalingContext(context.Background(), posts, cfg)
+}
+
+// CorralScalingContext is CorralScaling with cancellation: ctx (tightened
+// by cfg.Deadline when set) threads into each ring's evaluation, and
+// cfg.CellTimeout bounds the rings individually. Neither changes the rows
+// a completed study reports.
+func CorralScalingContext(ctx context.Context, posts []int, cfg Config) ([]CorralScalingRow, error) {
+	if cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Deadline)
+		defer cancel()
+	}
 	var out []CorralScalingRow
 	for _, p := range posts {
 		if p < 5 {
@@ -54,7 +68,7 @@ func CorralScaling(posts []int, cfg Config) ([]CorralScalingRow, error) {
 		m := core.NewMachine(g.Name, g, weyl.BasisSqrtISwap)
 		opt := cfg.Options
 		opt.Trials = cfg.effectiveTrials()
-		met, err := m.Evaluate(c, opt)
+		met, err := m.EvaluateContext(ctx, c, opt)
 		if err != nil {
 			return nil, err
 		}

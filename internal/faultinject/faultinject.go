@@ -1,0 +1,129 @@
+// Package faultinject is the deterministic chaos harness behind the
+// repository's fault-tolerance tests: seeded schedules decide which cache
+// filesystem operations fail or corrupt and which sweep cells panic, hang,
+// or error, so a chaos test replays the exact same fault pattern on every
+// run — flaky-by-construction tests are how fault-tolerance code rots.
+//
+// Two decision models are provided, matched to the two injection surfaces:
+//
+//   - Schedule draws from a counter-based splitmix64 stream, deterministic
+//     in *call order*. It drives FaultFS, whose operations are serialized
+//     per path by the cache's retry loops in any single-threaded test, and
+//     whose concurrent tests assert invariants rather than exact outcomes.
+//   - Cell hooks (PanicCells, SlowCells, FailCells) decide from the *cell
+//     coordinates* (workload, size, machine), independent of scheduling,
+//     so a parallel sweep injects exactly the faults a serial sweep would —
+//     the same discipline the sweep engine's FNV task seeds follow.
+//
+// The package deliberately imports none of the packages it injects into:
+// FaultFS satisfies cache.FS structurally, and the cell hooks match the
+// experiments.CellHook signature, so it stays a leaf both can depend on in
+// tests without cycles.
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync/atomic"
+)
+
+// smGamma is the splitmix64 increment (golden-ratio conjugate), the same
+// constant the sim and transpile RNGs use.
+const smGamma = 0x9E3779B97F4A7C15
+
+// mix64 is the splitmix64 finalizer: a bijective scramble whose output on
+// sequential inputs is statistically indistinguishable from random.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// frac maps a scrambled word to a fraction in [0, 1).
+func frac(x uint64) float64 { return float64(x>>11) / float64(1<<53) }
+
+// Schedule is a seeded, counter-based decision stream: the n-th call to
+// Hit/Frac is a pure function of (seed, n), so a fixed seed and call order
+// replay the identical fault pattern. Safe for concurrent use — the counter
+// is atomic — though concurrent callers race for positions in the stream.
+type Schedule struct {
+	seed uint64
+	n    atomic.Uint64
+}
+
+// NewSchedule returns a schedule drawing from the stream for seed.
+func NewSchedule(seed uint64) *Schedule { return &Schedule{seed: seed} }
+
+// Frac consumes the next stream position and returns its fraction in [0, 1).
+func (s *Schedule) Frac() float64 {
+	return frac(mix64(s.seed + s.n.Add(1)*smGamma))
+}
+
+// Hit consumes the next stream position and reports true with probability p.
+func (s *Schedule) Hit(p float64) bool { return s.Frac() < p }
+
+// cellFrac hashes a sweep cell's coordinates under a seed into a fraction
+// in [0, 1). Pure function of its arguments — no stream position — so the
+// decision for a cell is identical no matter when or on which goroutine
+// the sweep engine evaluates it.
+func cellFrac(seed uint64, workload string, size int, machine string) float64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(workload))
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(uint64(size) >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(machine))
+	return frac(mix64(h.Sum64()))
+}
+
+// CellHook mirrors experiments.CellHook structurally (this package must not
+// import experiments): a pre-evaluation hook receiving the cell's identity
+// and its evaluation context.
+type CellHook = func(ctx context.Context, workload string, size int, machine string) error
+
+// PanicCells returns a cell hook that panics on the deterministic fraction
+// p of cells for this seed — the chaos input for panic-isolation tests.
+func PanicCells(seed uint64, p float64) CellHook {
+	return func(_ context.Context, workload string, size int, machine string) error {
+		if cellFrac(seed, workload, size, machine) < p {
+			panic(fmt.Sprintf("faultinject: cell %s/%d/%s", workload, size, machine))
+		}
+		return nil
+	}
+}
+
+// FailCells returns a cell hook that errors on the deterministic fraction
+// p of cells for this seed.
+func FailCells(seed uint64, p float64) CellHook {
+	return func(_ context.Context, workload string, size int, machine string) error {
+		if cellFrac(seed, workload, size, machine) < p {
+			return fmt.Errorf("faultinject: cell %s/%d/%s failed", workload, size, machine)
+		}
+		return nil
+	}
+}
+
+// SlowCells returns a cell hook that hangs on the deterministic fraction p
+// of cells until the cell's context expires, then reports its error — the
+// shape of a wedged evaluation, used to exercise CellTimeout without a
+// single real sleep. A hung cell under a nil deadline would block forever,
+// exactly like the real failure it models.
+func SlowCells(seed uint64, p float64) CellHook {
+	return func(ctx context.Context, workload string, size int, machine string) error {
+		if cellFrac(seed, workload, size, machine) < p {
+			<-ctx.Done()
+			return ctx.Err()
+		}
+		return nil
+	}
+}

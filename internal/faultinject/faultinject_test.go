@@ -1,0 +1,186 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestScheduleDeterministic: a schedule is a pure function of (seed, call
+// index) — same seed replays the identical stream, different seeds diverge.
+func TestScheduleDeterministic(t *testing.T) {
+	a, b := NewSchedule(42), NewSchedule(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Frac(), b.Frac(); av != bv {
+			t.Fatalf("call %d: same seed diverged (%v vs %v)", i, av, bv)
+		}
+	}
+	c, d := NewSchedule(1), NewSchedule(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c.Frac() == d.Frac() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+// TestScheduleHitRate: Hit(p) lands near p over a long stream — the seeded
+// stream is random-looking, not degenerate.
+func TestScheduleHitRate(t *testing.T) {
+	s := NewSchedule(7)
+	hits := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if s.Hit(0.25) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / n; frac < 0.18 || frac > 0.32 {
+		t.Fatalf("Hit(0.25) rate %.3f, want ≈0.25", frac)
+	}
+}
+
+// TestCellHooksDeterministic: a cell's fate depends only on its coordinates
+// and the seed — repeated calls agree (so parallel and serial sweeps inject
+// identically), the hit fraction tracks p, and different seeds pick
+// different victims.
+func TestCellHooksDeterministic(t *testing.T) {
+	hook := FailCells(3, 0.5)
+	ctx := context.Background()
+	failed := map[string]bool{}
+	fails := 0
+	const cells = 400
+	for i := 0; i < cells; i++ {
+		w, m := fmt.Sprintf("w%d", i%20), fmt.Sprintf("m%d", i/20)
+		err := hook(ctx, w, 16, m)
+		failed[w+"/"+m] = err != nil
+		if err != nil {
+			fails++
+		}
+	}
+	if frac := float64(fails) / cells; frac < 0.4 || frac > 0.6 {
+		t.Fatalf("FailCells(0.5) hit %.3f of cells, want ≈0.5", frac)
+	}
+	// Replay: every cell gets the same fate again.
+	for i := 0; i < cells; i++ {
+		w, m := fmt.Sprintf("w%d", i%20), fmt.Sprintf("m%d", i/20)
+		if got := hook(ctx, w, 16, m) != nil; got != failed[w+"/"+m] {
+			t.Fatalf("cell %s/%s changed fate on replay", w, m)
+		}
+	}
+	// A different seed must not pick the same victim set.
+	other := FailCells(4, 0.5)
+	agree := 0
+	for i := 0; i < cells; i++ {
+		w, m := fmt.Sprintf("w%d", i%20), fmt.Sprintf("m%d", i/20)
+		if (other(ctx, w, 16, m) != nil) == failed[w+"/"+m] {
+			agree++
+		}
+	}
+	if agree == cells {
+		t.Fatal("seeds 3 and 4 injected identical cell faults")
+	}
+}
+
+// TestPanicCellsPanics pins that the panic hook actually panics on a victim
+// cell and passes non-victims through.
+func TestPanicCellsPanics(t *testing.T) {
+	hook := PanicCells(3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PanicCells(p=1) did not panic")
+		}
+	}()
+	if err := PanicCells(3, 0)(context.Background(), "w", 8, "m"); err != nil {
+		t.Fatalf("PanicCells(p=0) = %v", err)
+	}
+	hook(context.Background(), "w", 8, "m")
+}
+
+// TestSlowCellsHonorsContext: a victim cell blocks until its context dies
+// and reports the context error; non-victims return immediately.
+func TestSlowCellsHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := SlowCells(3, 1)(ctx, "w", 8, "m"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("slow victim = %v, want context.Canceled", err)
+	}
+	if err := SlowCells(3, 0)(ctx, "w", 8, "m"); err != nil {
+		t.Fatalf("non-victim = %v, want nil", err)
+	}
+}
+
+// memFS is an in-memory fsOps for exercising FaultFS without real disk.
+type memFS struct{ files map[string][]byte }
+
+func (m *memFS) ReadFile(path string) ([]byte, error) {
+	d, ok := m.files[path]
+	if !ok {
+		return nil, errors.New("not found")
+	}
+	return d, nil
+}
+
+func (m *memFS) WriteFile(_, path string, data []byte) error {
+	m.files[path] = append([]byte(nil), data...)
+	return nil
+}
+
+func (m *memFS) Remove(path string) error {
+	if _, ok := m.files[path]; !ok {
+		return errors.New("not found")
+	}
+	delete(m.files, path)
+	return nil
+}
+
+// TestFaultFSInjects covers the three injection modes and the counters
+// removed-exactly-once assertions build on.
+func TestFaultFSInjects(t *testing.T) {
+	inner := &memFS{files: map[string][]byte{}}
+	f := NewFaultFS(inner, 11)
+
+	// Transparent by default.
+	if err := f.WriteFile("", "a", []byte("x")); err != nil {
+		t.Fatalf("transparent write failed: %v", err)
+	}
+	if d, err := f.ReadFile("a"); err != nil || string(d) != "x" {
+		t.Fatalf("transparent read = (%q, %v)", d, err)
+	}
+
+	// Certain read failure wraps ErrInjected.
+	f.ReadFail = 1
+	if _, err := f.ReadFile("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected read error = %v", err)
+	}
+	f.ReadFail = 0
+
+	// Certain corruption: the write "succeeds" but stores poison bytes.
+	f.Corrupt = 1
+	if err := f.WriteFile("", "b", []byte("good")); err != nil {
+		t.Fatalf("corrupting write errored: %v", err)
+	}
+	if string(inner.files["b"]) == "good" {
+		t.Fatal("corruption did not replace the payload")
+	}
+	f.Corrupt = 0
+
+	// Remove counts only successful deletions.
+	if err := f.Remove("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove("b"); err == nil {
+		t.Fatal("second remove of b succeeded")
+	}
+	if got := f.RemovedOK.Load(); got != 1 {
+		t.Fatalf("RemovedOK = %d, want 1", got)
+	}
+	if f.InjectedFails.Load() != 1 || f.Corruptions.Load() != 1 {
+		t.Fatalf("fail/corrupt counters = %d/%d, want 1/1",
+			f.InjectedFails.Load(), f.Corruptions.Load())
+	}
+}

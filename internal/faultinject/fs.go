@@ -1,0 +1,91 @@
+package faultinject
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel every injected filesystem failure wraps, so
+// tests can tell an injected fault from a real one with errors.Is.
+var ErrInjected = errors.New("faultinject: injected fault")
+
+// fsOps is the file-operation surface FaultFS wraps — structurally
+// identical to cache.FS, declared here so the package stays import-free of
+// the code it injects into.
+type fsOps interface {
+	ReadFile(path string) ([]byte, error)
+	WriteFile(dir, path string, data []byte) error
+	Remove(path string) error
+}
+
+// FaultFS wraps a filesystem and injects failures and corruptions on a
+// seeded schedule: reads fail with probability ReadFail, writes fail with
+// probability WriteFail, and surviving writes are corrupted (the payload
+// replaced with bytes no JSON decoder accepts) with probability Corrupt.
+// Decisions are deterministic in operation order for a fixed seed. The
+// counters let tests assert exactly what was injected and what got
+// through; all methods are safe for concurrent use.
+type FaultFS struct {
+	inner fsOps
+	sched *Schedule
+
+	// Fault probabilities, fixed at construction sites before concurrent
+	// use (exported for the common literal-free tweak in a test's setup).
+	ReadFail  float64
+	WriteFail float64
+	Corrupt   float64
+
+	// Counters: operations attempted, faults injected, and removes that
+	// actually deleted a file (for removed-exactly-once assertions).
+	Reads         atomic.Int64
+	Writes        atomic.Int64
+	InjectedFails atomic.Int64
+	Corruptions   atomic.Int64
+	RemovedOK     atomic.Int64
+}
+
+// NewFaultFS wraps inner with the fault schedule for seed. Probabilities
+// start at zero — a transparent wrapper — and are set field-by-field.
+func NewFaultFS(inner fsOps, seed uint64) *FaultFS {
+	return &FaultFS{inner: inner, sched: NewSchedule(seed)}
+}
+
+// corruptPayload is what a corrupted write stores: never valid JSON, so a
+// reader's decode fails and the cache's self-healing path runs.
+var corruptPayload = []byte("\x00faultinject-corrupted{")
+
+// ReadFile implements the cache FS surface with injected read failures.
+func (f *FaultFS) ReadFile(path string) ([]byte, error) {
+	f.Reads.Add(1)
+	if f.sched.Hit(f.ReadFail) {
+		f.InjectedFails.Add(1)
+		return nil, ErrInjected
+	}
+	return f.inner.ReadFile(path)
+}
+
+// WriteFile implements the cache FS surface with injected write failures
+// and corruptions. A corrupted write succeeds from the caller's point of
+// view — the damage is only visible to the next reader, like real silent
+// corruption.
+func (f *FaultFS) WriteFile(dir, path string, data []byte) error {
+	f.Writes.Add(1)
+	if f.sched.Hit(f.WriteFail) {
+		f.InjectedFails.Add(1)
+		return ErrInjected
+	}
+	if f.sched.Hit(f.Corrupt) {
+		f.Corruptions.Add(1)
+		data = corruptPayload
+	}
+	return f.inner.WriteFile(dir, path, data)
+}
+
+// Remove implements the cache FS surface, counting successful deletions.
+func (f *FaultFS) Remove(path string) error {
+	err := f.inner.Remove(path)
+	if err == nil {
+		f.RemovedOK.Add(1)
+	}
+	return err
+}

@@ -8,14 +8,40 @@
 // (unless cancelled), but promises nothing about visiting order, so any
 // ordering must come from the caller's index→slot mapping, never from
 // completion order.
+//
+// Every task runs under recover(): a panicking task becomes a *PanicError
+// carrying the task index and the captured stack, so one faulty sweep cell
+// fails as an ordinary error instead of killing the whole process — the
+// same isolation discipline cache.Do applies to its fill functions. A
+// long-running evaluation service cannot afford a single bad cell taking
+// down the fleet of in-flight results.
 package par
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError is the error a panicking task is converted into: the pool
+// recovers the panic, records which task blew up and where, and reports it
+// through the normal error path. Index is the task index passed to fn,
+// Value the recovered panic value, and Stack the goroutine stack captured
+// at recovery time (the panic site, not the pool).
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error implements error. The stack is kept out of the one-line message
+// (it is available on the struct for loggers that want it).
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("par: task %d panicked: %v", e.Index, e.Value)
+}
 
 // Resolve maps a Parallelism knob to a concrete worker count:
 // 0 means "auto" (runtime.GOMAXPROCS), anything below 1 clamps to serial.
@@ -27,6 +53,17 @@ func Resolve(parallelism int) int {
 		return 1
 	}
 	return parallelism
+}
+
+// safeCall runs fn(worker, i) with panic isolation: a panic is recovered
+// into a *PanicError so the caller's other tasks are unaffected.
+func safeCall(fn func(worker, i int) error, worker, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(worker, i)
 }
 
 // ForEach invokes fn(i) for every i in [0, n) on up to `parallelism`
@@ -55,6 +92,14 @@ func ForEachWorker(n, parallelism int, fn func(worker, i int) error) error {
 }
 
 // ForEachWorkerCtx is ForEachWorker with caller-supplied cancellation.
+//
+// Error semantics: a task failure (including a recovered panic, reported
+// as *PanicError) is returned as the lowest-index error observed. A pure
+// context cancellation — ctx done with no task having failed — returns
+// ctx.Err() directly, never attributed to a task index, so callers can
+// rely on errors.Is(err, context.Canceled/DeadlineExceeded) to mean "the
+// run was cancelled", not "some task happened to fail with that". When
+// both occur, the task failure wins: it is the more specific diagnosis.
 func ForEachWorkerCtx(ctx context.Context, n, parallelism int, fn func(worker, i int) error) error {
 	workers := Resolve(parallelism)
 	if workers > n {
@@ -65,19 +110,20 @@ func ForEachWorkerCtx(ctx context.Context, n, parallelism int, fn func(worker, i
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(0, i); err != nil {
+			if err := safeCall(fn, 0, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	var (
-		next    atomic.Int64
-		stop    atomic.Bool
-		mu      sync.Mutex
-		bestIdx int
-		bestErr error
-		wg      sync.WaitGroup
+		next      atomic.Int64
+		stop      atomic.Bool
+		cancelled atomic.Bool
+		mu        sync.Mutex
+		bestIdx   int
+		bestErr   error
+		wg        sync.WaitGroup
 	)
 	next.Store(-1)
 	// On failure the lowest-index error among those observed is returned,
@@ -104,11 +150,14 @@ func ForEachWorkerCtx(ctx context.Context, n, parallelism int, fn func(worker, i
 				if i >= n {
 					return
 				}
-				if err := ctx.Err(); err != nil {
-					fail(i, err)
+				if ctx.Err() != nil {
+					// Pure cancellation is not task i's failure: record it
+					// out of band and let any real task error take priority.
+					cancelled.Store(true)
+					stop.Store(true)
 					return
 				}
-				if err := fn(worker, i); err != nil {
+				if err := safeCall(fn, worker, i); err != nil {
 					fail(i, err)
 					return
 				}
@@ -116,5 +165,69 @@ func ForEachWorkerCtx(ctx context.Context, n, parallelism int, fn func(worker, i
 		}(w)
 	}
 	wg.Wait()
-	return bestErr
+	if bestErr != nil {
+		return bestErr
+	}
+	if cancelled.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
+// ForEachAllCtx runs every index in [0, n) regardless of individual task
+// failures — the fault-tolerant counterpart of ForEachCtx for callers that
+// want per-task error isolation instead of fail-fast (a chaos-injected
+// sweep completing around its bad cells). It returns one error slot per
+// index: nil for tasks that succeeded, the task's error (a *PanicError for
+// a recovered panic) for tasks that failed, and ctx.Err() for tasks never
+// started because ctx was cancelled. The second return is ctx.Err() when
+// the run was cut short, nil otherwise — per-task failures alone never
+// make it non-nil.
+func ForEachAllCtx(ctx context.Context, n, parallelism int, fn func(i int) error) ([]error, error) {
+	errs := make([]error, n)
+	workers := Resolve(parallelism)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				for j := i; j < n; j++ {
+					errs[j] = err
+				}
+				return errs, err
+			}
+			errs[i] = safeCall(func(_, i int) error { return fn(i) }, 0, i)
+		}
+		return errs, nil
+	}
+	var (
+		next      atomic.Int64
+		cancelled atomic.Bool
+		wg        sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					cancelled.Store(true)
+					errs[i] = err
+					continue // mark every undispatched slot, don't run it
+				}
+				errs[i] = safeCall(func(_, i int) error { return fn(i) }, 0, i)
+			}
+		}()
+	}
+	wg.Wait()
+	if cancelled.Load() {
+		return errs, ctx.Err()
+	}
+	return errs, nil
 }

@@ -81,3 +81,150 @@ func TestForEachZeroTasks(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPanicBecomesError pins the panic-isolation contract: a panicking
+// task surfaces as a *PanicError carrying the task index and a stack, on
+// both the serial and pooled paths, and never crashes the process.
+func TestPanicBecomesError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := ForEach(20, workers, func(i int) error {
+			if i == 3 {
+				panic("cell exploded")
+			}
+			return nil
+		})
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("workers=%d: got %v, want *PanicError", workers, err)
+		}
+		if pe.Index != 3 {
+			t.Errorf("workers=%d: panic index %d, want 3", workers, pe.Index)
+		}
+		if pe.Value != "cell exploded" {
+			t.Errorf("workers=%d: panic value %v", workers, pe.Value)
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("workers=%d: no stack captured", workers)
+		}
+		if got := pe.Error(); got != "par: task 3 panicked: cell exploded" {
+			t.Errorf("workers=%d: message %q", workers, got)
+		}
+	}
+}
+
+// TestPanicOnlyFailsOneTask: with isolation, the panicking task reports
+// while every task dispatched before the stop still completes normally.
+func TestPanicOnlyFailsOneTask(t *testing.T) {
+	var ok atomic.Int64
+	err := ForEach(8, 8, func(i int) error {
+		if i == 0 {
+			// Wait for a sibling to finish first so the stop that follows
+			// the panic cannot be the reason nothing else ran.
+			for ok.Load() == 0 {
+				runtime.Gosched()
+			}
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		ok.Add(1)
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if ok.Load() == 0 {
+		t.Error("no sibling task completed — panic took the pool down")
+	}
+}
+
+// TestPureCancellationReturnsCtxErrDirectly: a cancellation with no failing
+// task must return ctx.Err() itself — not a task-attributed wrapper — so
+// errors.Is(err, context.Canceled) reliably means "cancelled".
+func TestPureCancellationReturnsCtxErrDirectly(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, 1000, workers, func(i int) error {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: got %v (%T), want context.Canceled itself", workers, err, err)
+		}
+	}
+}
+
+// TestTaskErrorBeatsCancellation: when a real task failure and the
+// cancellation race, the task failure is the more specific diagnosis and
+// must win.
+func TestTaskErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 100, 4, func(i int) error {
+		if i == 5 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the task error to win over cancellation", err)
+	}
+}
+
+// TestForEachAllCtxIsolation: the keep-going variant completes every task,
+// isolating failures (including panics) per index.
+func TestForEachAllCtxIsolation(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		boom := errors.New("boom")
+		errs, err := ForEachAllCtx(context.Background(), 10, workers, func(i int) error {
+			switch i {
+			case 2:
+				return boom
+			case 7:
+				panic("seven")
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: run error %v, want nil (per-task failures only)", workers, err)
+		}
+		for i, e := range errs {
+			switch i {
+			case 2:
+				if !errors.Is(e, boom) {
+					t.Errorf("workers=%d: errs[2] = %v", workers, e)
+				}
+			case 7:
+				var pe *PanicError
+				if !errors.As(e, &pe) || pe.Index != 7 {
+					t.Errorf("workers=%d: errs[7] = %v", workers, e)
+				}
+			default:
+				if e != nil {
+					t.Errorf("workers=%d: errs[%d] = %v, want nil", workers, i, e)
+				}
+			}
+		}
+	}
+}
+
+// TestForEachAllCtxCancel: cancellation marks undispatched slots with
+// ctx.Err() and reports the cancellation as the run error.
+func TestForEachAllCtxCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	errs, err := ForEachAllCtx(ctx, 50, 4, func(i int) error { return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("run error %v, want context.Canceled", err)
+	}
+	for i, e := range errs {
+		if !errors.Is(e, context.Canceled) {
+			t.Fatalf("errs[%d] = %v, want context.Canceled", i, e)
+		}
+	}
+}

@@ -29,6 +29,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/cmplx"
 
@@ -348,10 +349,22 @@ func (p *Program) mergeDiag2Q(qa, qb int, d [4]complex128) bool {
 
 // RunProgram applies a compiled schedule to the state.
 func (s *State) RunProgram(p *Program) error {
+	return s.RunProgramCtx(context.Background(), p)
+}
+
+// RunProgramCtx is RunProgram with cooperative cancellation: ctx is checked
+// before every fused op (each op is one full state sweep — the natural
+// stopping granularity), so a deadline-bound simulation stops within one
+// sweep instead of running the schedule to completion. The state is left
+// partially evolved on cancellation and must be discarded.
+func (s *State) RunProgramCtx(ctx context.Context, p *Program) error {
 	if p.n > s.N {
 		return fmt.Errorf("sim: program has %d qubits, state has %d", p.n, s.N)
 	}
 	for i := range p.ops {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		f := &p.ops[i]
 		var err error
 		switch f.kind {

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/cmplx"
@@ -144,13 +145,19 @@ func (s *State) Apply2Q(qa, qb int, u *linalg.Matrix) error {
 // hatch for debugging a suspected fusion discrepancy. An empty circuit is
 // a no-op.
 func (s *State) Run(c *circuit.Circuit) error {
+	return s.RunCtx(context.Background(), c)
+}
+
+// RunCtx is Run with cooperative cancellation (see RunProgramCtx). The
+// state is left partially evolved on cancellation and must be discarded.
+func (s *State) RunCtx(ctx context.Context, c *circuit.Circuit) error {
 	if c.N > s.N {
 		return fmt.Errorf("sim: circuit has %d qubits, state has %d", c.N, s.N)
 	}
 	if len(c.Ops) == 0 {
 		return nil
 	}
-	return s.RunProgram(Schedule(c))
+	return s.RunProgramCtx(ctx, Schedule(c))
 }
 
 // RunUnfused applies every op of the circuit in order, dispatching each
@@ -170,11 +177,16 @@ func (s *State) RunUnfused(c *circuit.Circuit) error {
 
 // RunCircuit is a convenience wrapper: simulate c from |0...0⟩.
 func RunCircuit(c *circuit.Circuit) (*State, error) {
+	return RunCircuitCtx(context.Background(), c)
+}
+
+// RunCircuitCtx is RunCircuit with cooperative cancellation.
+func RunCircuitCtx(ctx context.Context, c *circuit.Circuit) (*State, error) {
 	s, err := NewState(c.N)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Run(c); err != nil {
+	if err := s.RunCtx(ctx, c); err != nil {
 		return nil, err
 	}
 	return s, nil

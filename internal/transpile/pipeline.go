@@ -1,6 +1,7 @@
 package transpile
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -30,6 +31,15 @@ type PassContext struct {
 	Trials      int
 	Parallelism int
 
+	// Ctx carries the caller's deadline/cancellation into the passes: the
+	// pipeline checks it between passes, and the long-running passes (the
+	// routers, verification's simulations) poll it cooperatively so a
+	// timed-out cell actually stops mid-pass. nil means context.Background()
+	// — existing callers and tests need no change. Ctx never influences the
+	// computed artifacts, only whether the run completes, so it is excluded
+	// from evaluation cache keys.
+	Ctx context.Context
+
 	// Cost is the routing cost matrix consumed by layout and routing
 	// passes: nil means uniform hop distances (the baseline pipeline);
 	// ReweightPass replaces it with pressure-weighted all-pairs distances.
@@ -44,6 +54,15 @@ type PassContext struct {
 	// Timings records one entry per executed pass (appended by
 	// Pipeline.Run), so callers can attribute wall-clock to stages.
 	Timings []PassTiming
+}
+
+// context resolves the pass context's cancellation context, mapping the
+// zero value to Background so no pass needs a nil check.
+func (ctx *PassContext) context() context.Context {
+	if ctx.Ctx == nil {
+		return context.Background()
+	}
+	return ctx.Ctx
 }
 
 // PassTiming is the measured wall-clock of one executed pass.
@@ -67,9 +86,14 @@ type Pipeline []Pass
 
 // Run applies each pass in order, recording per-pass wall-clock in
 // ctx.Timings. The first failing pass aborts the run with its name wrapped
-// into the error.
+// into the error. A done ctx.Ctx aborts between passes with its error
+// undecorated (a deadline is the caller's verdict on the whole run, not a
+// pass failure); the long passes additionally poll it internally.
 func (p Pipeline) Run(ctx *PassContext) error {
 	for _, pass := range p {
+		if err := ctx.context().Err(); err != nil {
+			return err
+		}
 		start := time.Now()
 		if err := pass.Apply(ctx); err != nil {
 			return fmt.Errorf("%s pass: %w", pass.Name(), err)
@@ -81,19 +105,21 @@ func (p Pipeline) Run(ctx *PassContext) error {
 
 // RouterFunc is the routing algorithm slot of RoutePass and
 // ProfileGuidedPass: route c onto g from layout under cost (nil = uniform
-// hops) with the caller's rng. StochasticRouter and SabreRouter adapt the
-// two in-tree routers; alternative routers plug in without a new pass type.
-type RouterFunc func(g *topology.Graph, c *circuit.Circuit, layout Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error)
+// hops) with the caller's rng, polling rctx cooperatively so a
+// deadline-bound cell can stop a long search. StochasticRouter and
+// SabreRouter adapt the two in-tree routers; alternative routers plug in
+// without a new pass type.
+type RouterFunc func(rctx context.Context, g *topology.Graph, c *circuit.Circuit, layout Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error)
 
-// StochasticRouter adapts StochasticSwapCost to the RouterFunc slot.
-func StochasticRouter(g *topology.Graph, c *circuit.Circuit, layout Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error) {
-	return StochasticSwapCost(g, c, layout, rng, trials, parallelism, cost)
+// StochasticRouter adapts StochasticSwapCostCtx to the RouterFunc slot.
+func StochasticRouter(rctx context.Context, g *topology.Graph, c *circuit.Circuit, layout Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error) {
+	return StochasticSwapCostCtx(rctx, g, c, layout, rng, trials, parallelism, cost)
 }
 
-// SabreRouter adapts SabreSwapCost to the RouterFunc slot (SABRE has no
+// SabreRouter adapts SabreSwapCostCtx to the RouterFunc slot (SABRE has no
 // trial fan-out, so trials and parallelism are unused).
-func SabreRouter(g *topology.Graph, c *circuit.Circuit, layout Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error) {
-	return SabreSwapCost(g, c, layout, rng, cost)
+func SabreRouter(rctx context.Context, g *topology.Graph, c *circuit.Circuit, layout Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error) {
+	return SabreSwapCostCtx(rctx, g, c, layout, rng, cost)
 }
 
 // LayoutPass chooses the initial placement with DenseLayoutCost under the
@@ -133,7 +159,7 @@ func (p RoutePass) Apply(ctx *PassContext) error {
 		return fmt.Errorf("no layout (run a layout pass first)")
 	}
 	rng := rand.New(rand.NewSource(ctx.Seed))
-	routed, err := router(ctx.Graph, ctx.Circuit, ctx.Layout, rng, ctx.Trials, ctx.Parallelism, ctx.Cost)
+	routed, err := router(ctx.context(), ctx.Graph, ctx.Circuit, ctx.Layout, rng, ctx.Trials, ctx.Parallelism, ctx.Cost)
 	if err != nil {
 		return err
 	}
@@ -302,6 +328,9 @@ func (p ProfileGuidedPass) Apply(ctx *PassContext) error {
 	profile := pilot
 	tried := make(map[uint64]bool, iters)
 	for it := 0; it < iters; it++ {
+		if err := ctx.context().Err(); err != nil {
+			return err
+		}
 		// A routing with zero induced SWAPs is already optimal on the
 		// metric the guided pass competes on (total = algorithmic +
 		// induced, and algorithmic SWAPs are fixed by the logical
@@ -325,7 +354,7 @@ func (p ProfileGuidedPass) Apply(ctx *PassContext) error {
 			return err
 		}
 		rng := rand.New(rand.NewSource(ctx.Seed))
-		routed, err := router(ctx.Graph, ctx.Circuit, layout, rng, ctx.Trials, ctx.Parallelism, cost)
+		routed, err := router(ctx.context(), ctx.Graph, ctx.Circuit, layout, rng, ctx.Trials, ctx.Parallelism, cost)
 		if err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package transpile
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -55,6 +56,16 @@ func StochasticSwapParallel(g *topology.Graph, c *circuit.Circuit, initial Layou
 // The cost matrix only shapes the search; adjacency (when a gate can
 // execute) and the greedy fallback still come from the coupling graph.
 func StochasticSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error) {
+	return StochasticSwapCostCtx(context.Background(), g, c, initial, rng, trials, parallelism, cost)
+}
+
+// StochasticSwapCostCtx is StochasticSwapCost with cooperative cancellation:
+// ctx is polled once per circuit layer and once per serial-fallback routing
+// step — the units of trial fan-out, where a cell's wall-clock actually
+// accumulates — so a deadline-bound evaluation stops within one layer's
+// worth of trials instead of routing the whole circuit. Cancellation never
+// alters output: a run that completes is byte-identical with any ctx.
+func StochasticSwapCostCtx(ctx context.Context, g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand, trials, parallelism int, cost [][]float64) (*RouteResult, error) {
 	if len(initial) != c.N {
 		return nil, fmt.Errorf("transpile: layout covers %d qubits, circuit has %d", len(initial), c.N)
 	}
@@ -82,6 +93,9 @@ func StochasticSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, r
 		workers: par.Resolve(parallelism),
 	}
 	for _, layer := range c.Layers() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		var twoQ []circuit.Op
 		var pairs [][2]int
 		for _, idx := range layer {
@@ -107,6 +121,9 @@ func StochasticSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, r
 		for i, op := range twoQ {
 			single := [][2]int{pairs[i]}
 			for !r.allAdjacent(single) {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
 				seq := r.findSwaps(single)
 				if seq == nil {
 					seq = r.greedyStep(pairs[i])

@@ -1,6 +1,7 @@
 package transpile
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -24,6 +25,14 @@ func SabreSwap(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.
 // SabreSwap exactly. The step budget and executability checks still come
 // from the coupling graph itself.
 func SabreSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand, cost [][]float64) (*RouteResult, error) {
+	return SabreSwapCostCtx(context.Background(), g, c, initial, rng, cost)
+}
+
+// SabreSwapCostCtx is SabreSwapCost with cooperative cancellation: ctx is
+// polled once per execute-or-swap iteration of the main loop, so a
+// deadline-bound cell stops within one stall's worth of scoring rather
+// than routing the whole circuit. Cancellation never alters output.
+func SabreSwapCostCtx(ctx context.Context, g *topology.Graph, c *circuit.Circuit, initial Layout, rng *rand.Rand, cost [][]float64) (*RouteResult, error) {
 	if len(initial) != c.N {
 		return nil, fmt.Errorf("transpile: layout covers %d qubits, circuit has %d", len(initial), c.N)
 	}
@@ -160,6 +169,9 @@ func SabreSwapCost(g *topology.Graph, c *circuit.Circuit, initial Layout, rng *r
 	}
 	maxSteps := 10 * (len(c.Ops) + 1) * (diam + 1)
 	for len(front) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if guard++; guard > maxSteps {
 			return nil, fmt.Errorf("transpile: SABRE exceeded step budget")
 		}

@@ -50,11 +50,13 @@ func (p VerifyPass) Apply(ctx *PassContext) error {
 	if compact.N > sim.MaxQubits {
 		return fmt.Errorf("routed circuit touches %d physical qubits; verification simulates at most %d", compact.N, sim.MaxQubits)
 	}
-	want, err := sim.RunCircuit(logical)
+	// The two simulations dominate this pass's wall-clock, so they carry
+	// the pipeline's cancellation context into their per-sweep polls.
+	want, err := sim.RunCircuitCtx(ctx.context(), logical)
 	if err != nil {
 		return fmt.Errorf("simulating logical circuit: %w", err)
 	}
-	got, err := sim.RunCircuit(compact)
+	got, err := sim.RunCircuitCtx(ctx.context(), compact)
 	if err != nil {
 		return fmt.Errorf("simulating routed circuit: %w", err)
 	}

@@ -48,6 +48,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/linalg"
 	"repro/internal/noise"
+	"repro/internal/par"
 	"repro/internal/qasm"
 	"repro/internal/sim"
 	"repro/internal/snail"
@@ -83,9 +84,10 @@ type CacheStats = cache.Stats
 
 // NewMetricsCache builds an Evaluate result cache. maxEntries bounds the
 // in-memory LRU tier (0 = default); dir, when non-empty, adds an on-disk
-// JSON tier so warm results survive across processes.
-func NewMetricsCache(maxEntries int, dir string) (*MetricsCache, error) {
-	return core.NewMetricsCache(maxEntries, dir)
+// JSON tier so warm results survive across processes. Options tune the
+// disk tier's robustness machinery — see WithCacheRetry and friends.
+func NewMetricsCache(maxEntries int, dir string, opts ...CacheOption) (*MetricsCache, error) {
+	return core.NewMetricsCache(maxEntries, dir, opts...)
 }
 
 // Circuit is the gate-list IR accepted by the pipeline.
@@ -428,4 +430,64 @@ var (
 	// (the §7 scaling question) and measures structure + routed QV cost.
 	CorralScaling = experiments.CorralScaling
 	SeriesCSV     = experiments.SeriesCSV
+
+	// HeadlinesContext and CorralScalingContext are the cancellable
+	// variants: the context (tightened by ExperimentConfig.Deadline)
+	// threads into every evaluation's cooperative polls without ever
+	// changing what a completed study reports.
+	HeadlinesContext     = experiments.HeadlinesContext
+	CorralScalingContext = experiments.CorralScalingContext
+)
+
+// ---- Robustness (fault isolation, deadlines, degradation, crash-resume) ----
+
+// PanicError is what a panicking parallel task is recovered into: the
+// sweep worker pool and the cache's singleflight both isolate panics so
+// one faulty cell fails as an ordinary error instead of killing the
+// process. It carries the task index, panic value, and captured stack.
+type PanicError = par.PanicError
+
+// CellError locates one failed cell of a tolerant sweep (workload,
+// machine, size, cause).
+type CellError = experiments.CellError
+
+// CellErrors is the aggregate failure of a tolerant sweep
+// (ExperimentConfig.Tolerant): one entry per failed cell, returned
+// alongside the partial Series, unwrapping to its causes for errors.Is.
+type CellErrors = experiments.CellErrors
+
+// CellHook runs immediately before each sweep cell's evaluation
+// (SweepSpec.CellHook); returning an error fails that cell. It is the
+// seam deterministic fault-injection harnesses plug into.
+type CellHook = experiments.CellHook
+
+// SweepJournal is the crash-resume log of a sweep (SweepSpec.Journal):
+// every completed cell is appended atomically, and a restarted sweep
+// replays recorded cells for byte-identical output while recomputing only
+// what is missing.
+type SweepJournal = experiments.Journal
+
+// OpenSweepJournal opens (or creates) a sweep journal, tolerating the
+// torn final line a crash mid-append leaves behind.
+var OpenSweepJournal = experiments.OpenJournal
+
+// CacheFS is the filesystem seam of the cache's disk tier: tests and
+// chaos harnesses substitute failing or corrupting implementations for
+// the real disk (see internal/faultinject).
+type CacheFS = cache.FS
+
+// CacheOption tunes a MetricsCache's disk tier.
+type CacheOption = cache.Option
+
+var (
+	// WithCacheRetry bounds transient-fault retries per disk operation
+	// (with jittered exponential backoff); WithCacheErrorBudget sets how
+	// many consecutive disk failures quarantine the tier (the store then
+	// degrades to memory-only instead of failing evaluations, and a
+	// periodic probe — WithCacheProbeInterval — re-enables a healed
+	// disk); WithCacheFS substitutes the disk tier's filesystem.
+	WithCacheRetry         = cache.WithRetry
+	WithCacheErrorBudget   = cache.WithErrorBudget
+	WithCacheProbeInterval = cache.WithProbeInterval
+	WithCacheFS            = cache.WithFS
 )

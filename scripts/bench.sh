@@ -16,7 +16,8 @@
 #                       "cache_hits_per_op": ..., "cache_misses_per_op": ...,
 #                       "swaps_per_op": ...,
 #                       "layout_share": ..., "route_share": ...,
-#                       "translate_share": ... }, ... ],
+#                       "translate_share": ...,
+#                       "disk_retries_per_op": ..., "degraded": ... }, ... ],
 #     "scaling": [ { "gomaxprocs": N, "wall_ns": ... }, ... ] }
 #
 # cache_hits_per_op / cache_misses_per_op / swaps_per_op are emitted by the
@@ -24,6 +25,9 @@
 # elsewhere. layout_share / route_share / translate_share are each pass's
 # fraction of transpile-pipeline wall-clock (BenchmarkTranspilePassShares,
 # fed by Transpiled.Timings), also null elsewhere.
+# disk_retries_per_op / degraded come from the fault-injected disk-tier
+# benchmark (BenchmarkCacheDiskFaultRetry): retries absorbed per op, and
+# whether the error budget ever quarantined the disk tier (0/1).
 #
 # The scaling section records wall-clock of one quick `qcbench -fig 12`
 # sweep at GOMAXPROCS 1/2/4 (the ROADMAP multi-core scaling demo); on a
@@ -88,6 +92,7 @@ function jsonnum(line, key,   s) {
     name = $1; iters = $2; ns = $3
     b = "null"; allocs = "null"; chits = "null"; cmisses = "null"; swaps = "null"
     lshare = "null"; rshare = "null"; tshare = "null"
+    dretries = "null"; degraded = "null"
     for (i = 3; i <= NF; i++) {
         if ($(i) == "ns/op")           ns = $(i - 1)
         if ($(i) == "B/op")            b = $(i - 1)
@@ -98,10 +103,12 @@ function jsonnum(line, key,   s) {
         if ($(i) == "layout_share")    lshare = $(i - 1)
         if ($(i) == "route_share")     rshare = $(i - 1)
         if ($(i) == "translate_share") tshare = $(i - 1)
+        if ($(i) == "disk_retries/op") dretries = $(i - 1)
+        if ($(i) == "degraded")        degraded = $(i - 1)
     }
     n++
-    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s, \"layout_share\": %s, \"route_share\": %s, \"translate_share\": %s}",
-                       name, iters, ns, b, allocs, chits, cmisses, swaps, lshare, rshare, tshare)
+    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s, \"layout_share\": %s, \"route_share\": %s, \"translate_share\": %s, \"disk_retries_per_op\": %s, \"degraded\": %s}",
+                       name, iters, ns, b, allocs, chits, cmisses, swaps, lshare, rshare, tshare, dretries, degraded)
     names[n] = name; nsval[n] = ns; allocval[n] = allocs
 }
 END {

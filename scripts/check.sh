@@ -7,6 +7,13 @@
 #     FormatFig15 above a method renamed to Format) are rejected. Only
 #     leading words that look like code identifiers (camel-case with an
 #     internal capital) are compared, so prose-first comments never trip.
+#   * no-sleep lint: tests of the concurrency packages (cache, par,
+#     faultinject, experiments) must synchronize on channels, contexts, or
+#     atomics — a time.Sleep there is a latent flake and is rejected.
+#     (Library code may sleep; the retry backoff does.)
+#   * chaos arm: the fault-injection suite — panic isolation, injected
+#     disk faults and corruption self-heal, cell timeouts, crash-resume
+#     byte-identity — run under the race detector (-run 'Fault|Chaos|Resume').
 #   * race-detector runs of the packages with real concurrency surface
 #     (the content-addressed cache, the parallel sweep engine, the
 #     transpile pass pipeline with its parallel router trials and
@@ -47,8 +54,10 @@ FNR == 1 { incomment = 0 }  # never leak comment state across files
     if (incomment) {
         name = ""
         if ($1 == "func" && $2 ~ /^\(/) {
+            # The receiver may be one token ("(OSFS)") or several
+            # ("(s *Store[V])"); the method name follows its closing paren.
             nm = ""
-            for (i = 3; i <= NF; i++) { if ($(i) ~ /\)$/) { nm = $(i+1); break } }
+            for (i = 2; i <= NF; i++) { if ($(i) ~ /\)$/) { nm = $(i+1); break } }
             sub(/\(.*/, "", nm); name = nm
         } else if ($1 == "func" || $1 == "type") {
             nm = $2; sub(/[\(\[].*/, "", nm); name = nm
@@ -72,9 +81,23 @@ if [[ -n "$DOCCHECK" ]]; then
     exit 1
 fi
 
+echo "check: no time.Sleep in concurrency-package tests"
+SLEEPS="$(grep -n 'time\.Sleep' \
+    internal/cache/*_test.go internal/par/*_test.go \
+    internal/faultinject/*_test.go internal/experiments/*_test.go \
+    2>/dev/null || true)"
+if [[ -n "$SLEEPS" ]]; then
+    echo "$SLEEPS"
+    echo "check: FAILED — sleep-based test synchronization is a latent flake; use channels, contexts, or atomics"
+    exit 1
+fi
+
+echo "check: chaos suite under the race detector (-run 'Fault|Chaos|Resume')"
+GOMAXPROCS=4 go test -race -count=1 -run 'Fault|Chaos|Resume' ./internal/...
+
 echo "check: race-testing cache + sweep engine + transpile pipeline + sim kernels (GOMAXPROCS=4)"
 GOMAXPROCS=4 go test -race -count=1 \
-    ./internal/cache/... ./internal/experiments/... ./internal/par/... \
-    ./internal/transpile/... ./internal/sim/...
+    ./internal/cache/... ./internal/experiments/... ./internal/faultinject/... \
+    ./internal/par/... ./internal/transpile/... ./internal/sim/...
 
 echo "check: ok"
