@@ -5,39 +5,59 @@
 package main
 
 import (
-	"flag"
 	"fmt"
-	"log"
+	"io"
 	"math"
+	"os"
 
+	"repro/internal/cli"
 	"repro/internal/dynamics"
 )
 
 func main() {
-	g := flag.Float64("g", 2*math.Pi*0.5, "exchange coupling (rad/us; default 0.5 MHz)")
-	t1 := flag.Float64("t1", 40.0, "T1 decay time (us; 0 disables)")
-	tmax := flag.Float64("tmax", 2.0, "max pulse length (us)")
-	dmax := flag.Float64("dmax", 2*math.Pi*1.5, "max |detuning| (rad/us; default 1.5 MHz)")
-	csv := flag.Bool("csv", false, "emit CSV instead of the ASCII map")
-	flag.Parse()
+	cli.Exit("chevron", run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("chevron", stderr)
+	g := fs.Float64("g", 2*math.Pi*0.5, "exchange coupling (rad/us; default 0.5 MHz)")
+	t1 := fs.Float64("t1", 40.0, "T1 decay time (us; 0 disables)")
+	tmax := fs.Float64("tmax", 2.0, "max pulse length (us)")
+	dmax := fs.Float64("dmax", 2*math.Pi*1.5, "max |detuning| (rad/us; default 1.5 MHz)")
+	csv := fs.Bool("csv", false, "emit CSV instead of the ASCII map")
+	if err := fs.Parse(args); err != nil {
+		return cli.WrapParse(err)
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments %q (chevron takes flags only)", fs.Args())
+	}
+	if *g <= 0 {
+		return cli.Usagef("-g must be positive, got %v", *g)
+	}
+	if *tmax <= 0 {
+		return cli.Usagef("-tmax must be positive, got %v", *tmax)
+	}
+	if *dmax <= 0 {
+		return cli.Usagef("-dmax must be positive, got %v", *dmax)
+	}
 
 	m := dynamics.ExchangeModel{G: *g, T1: *t1}
 	ch, err := dynamics.ChevronMap(m, *tmax, 48, *dmax, 33)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *csv {
-		fmt.Println("time_us,detuning_rad_us,transfer_prob")
+		fmt.Fprintln(stdout, "time_us,detuning_rad_us,transfer_prob")
 		for i, t := range ch.Times {
 			for j, d := range ch.Detunings {
-				fmt.Printf("%.5f,%.5f,%.6f\n", t, d, ch.TransferB[i][j])
+				fmt.Fprintf(stdout, "%.5f,%.5f,%.6f\n", t, d, ch.TransferB[i][j])
 			}
 		}
-		return
+		return nil
 	}
 	shades := []rune(" .:-=+*#%@")
-	fmt.Printf("Driven exchange chevron: g=%.3f rad/us, T1=%.1f us\n", *g, *t1)
-	fmt.Printf("x: detuning %.2f..%.2f rad/us; y: pulse length 0..%.2f us (top to bottom)\n\n",
+	fmt.Fprintf(stdout, "Driven exchange chevron: g=%.3f rad/us, T1=%.1f us\n", *g, *t1)
+	fmt.Fprintf(stdout, "x: detuning %.2f..%.2f rad/us; y: pulse length 0..%.2f us (top to bottom)\n\n",
 		-*dmax, *dmax, *tmax)
 	for i := range ch.Times {
 		row := make([]rune, len(ch.Detunings))
@@ -52,7 +72,8 @@ func main() {
 			}
 			row[j] = shades[idx]
 		}
-		fmt.Printf("%5.2f |%s|\n", ch.Times[i], string(row))
+		fmt.Fprintf(stdout, "%5.2f |%s|\n", ch.Times[i], string(row))
 	}
-	fmt.Println("\n(resonant column oscillates fully; detuned columns are faster and shallower — paper Fig. 6)")
+	fmt.Fprintln(stdout, "\n(resonant column oscillates fully; detuned columns are faster and shallower — paper Fig. 6)")
+	return nil
 }

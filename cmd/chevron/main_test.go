@@ -1,0 +1,86 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func runT(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb strings.Builder
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func wantUsageError(t *testing.T, err error, fragment string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected usage error containing %q, got nil", fragment)
+	}
+	if !errors.As(err, new(cli.UsageError)) {
+		t.Fatalf("expected usage error, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestASCIIMapByDefault(t *testing.T) {
+	out, _, err := runT(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Driven exchange chevron") {
+		t.Errorf("missing header: %q", out)
+	}
+	// 48 time rows, each framed |...| with 33 detuning columns.
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		if i := strings.IndexByte(line, '|'); i >= 0 && strings.HasSuffix(line, "|") {
+			rows++
+			if w := len([]rune(line)) - i - 2; w != 33 {
+				t.Errorf("row has %d detuning columns, want 33: %q", w, line)
+			}
+		}
+	}
+	if rows != 48 {
+		t.Errorf("map has %d rows, want 48", rows)
+	}
+}
+
+func TestCSVGrid(t *testing.T) {
+	out, _, err := runT(t, "-csv", "-t1", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if lines[0] != "time_us,detuning_rad_us,transfer_prob" {
+		t.Fatalf("bad CSV header %q", lines[0])
+	}
+	if got, want := len(lines)-1, 48*33; got != want {
+		t.Errorf("CSV has %d data rows, want %d", got, want)
+	}
+	for _, line := range lines[1:] {
+		if strings.Count(line, ",") != 2 {
+			t.Fatalf("malformed CSV row %q", line)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	_, _, err := runT(t, "extra")
+	wantUsageError(t, err, "unexpected arguments")
+	_, _, err = runT(t, "-g", "0")
+	wantUsageError(t, err, "-g must be positive")
+	_, _, err = runT(t, "-tmax", "-1")
+	wantUsageError(t, err, "-tmax must be positive")
+	_, _, err = runT(t, "-dmax", "0")
+	wantUsageError(t, err, "-dmax must be positive")
+	_, _, err = runT(t, "-no-such-flag")
+	if err == nil || !cli.IsParseError(err) {
+		t.Fatalf("expected parse error, got %v", err)
+	}
+}

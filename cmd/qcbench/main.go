@@ -25,6 +25,14 @@
 // mode default: 5 quick, 20 full). Negative values for -trials,
 // -parallelism, -iterations, or -posts are rejected with usage errors.
 //
+// -machines "spec;spec;..." replaces a -fig sweep's machine set with
+// architectures built from declarative specs (family:key=value,... — see
+// package arch and the README's architecture-registry section), keeping
+// the figure's workloads, sizes, seed, and output format. Cell seeds
+// derive from the sweep ID and machine names, so specs whose name=
+// parameters match a figure's stock machines reproduce its output
+// byte-for-byte.
+//
 // -cachedir DIR enables the content-addressed result cache with an on-disk
 // JSON tier rooted at DIR (created if missing): every (machine, circuit,
 // seed, trials, router, profile-mode) evaluation is stored under a hash of
@@ -108,6 +116,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"complete a -fig sweep around failing cells instead of aborting; failures print to stderr")
 	resume := fs.String("resume", "",
 		"journal file for crash-resumable -fig sweeps (created if missing; journaled cells replay instead of recomputing)")
+	machines := fs.String("machines", "",
+		"replace a -fig sweep's machine set with architecture specs, e.g. \"corral:posts=11,basis=sqrtiswap;hypercube:dim=5\" (specs separated by ';' or by ',' before a family name; see README)")
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapParse(err)
 	}
@@ -177,6 +187,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *resume != "" && *fig == 0 {
 		return cli.Usagef("-resume only applies to -fig sweeps; it would be ignored under %s", modes[0])
 	}
+	if *machines != "" && *fig == 0 {
+		return cli.Usagef("-machines only applies to -fig sweeps; it would be ignored under %s", modes[0])
+	}
 	postSizes, err := parsePosts(*posts)
 	if err != nil {
 		return cli.Usagef("bad -posts: %v", err)
@@ -197,6 +210,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 			spec = experiments.Fig14Spec(quick)
 		default:
 			return cli.Usagef("unknown figure %d: want 4, 11, 12, 13, or 14", *fig)
+		}
+		// -machines swaps in a custom comparison set, keeping the figure's
+		// workloads, sizes, seed, and output format. Cell seeds derive from
+		// (sweep ID, machine name), so specs that name= themselves after a
+		// figure's stock machines reproduce its cells exactly.
+		if *machines != "" {
+			ms, err := experiments.MachinesFromSpecs(*machines)
+			if err != nil {
+				return cli.Usagef("bad -machines: %v", err)
+			}
+			spec.Machines = ms
 		}
 	}
 

@@ -193,3 +193,57 @@ func TestResumeJournalReplaysSweep(t *testing.T) {
 		t.Errorf("second run should replay every cell, stderr: %q", stderr2)
 	}
 }
+
+func TestMachinesRequiresFig(t *testing.T) {
+	_, _, err := runQ(t, "-headline", "-machines", "hypercube:dim=4")
+	wantUsageError(t, err, "-machines")
+	_, _, err = runQ(t, "-corralscaling", "-machines", "hypercube:dim=4")
+	wantUsageError(t, err, "-machines")
+}
+
+func TestMachinesRejectsBadSpecs(t *testing.T) {
+	_, _, err := runQ(t, "-fig", "11", "-machines", "moebius:dim=3")
+	wantUsageError(t, err, "unknown family")
+	_, _, err = runQ(t, "-fig", "11", "-machines", "grid:rows=4")
+	wantUsageError(t, err, "missing required parameter")
+	// Two unnamed identical specs collapse to one label; the sweep would
+	// silently fold their rows together.
+	_, _, err = runQ(t, "-fig", "11", "-machines", "hypercube:dim=4;hypercube:dim=4")
+	wantUsageError(t, err, "duplicate machine name")
+}
+
+// TestMachinesReproducesFig11 is the acceptance criterion for the
+// architecture registry: a -machines list of specs equivalent to Fig. 11's
+// stock machine set — same topologies, same CX counting basis, name=
+// parameters matching the stock labels — reproduces -fig 11 output
+// byte-for-byte, because every cell's seed derives only from the sweep ID
+// and the machine's name, and the registry builds fingerprint-identical
+// graphs.
+func TestMachinesReproducesFig11(t *testing.T) {
+	stock, _, err := runQ(t, "-fig", "11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs := "grid:rows=4,cols=4,name=Square-Lattice," +
+		"hypercube:dim=4,name=Hypercube," +
+		"tree:levels=2,name=Tree," +
+		"tree-rr:levels=2,name=Tree-RR," +
+		"corral:posts=8,strides=1+1,name=Corral(1,1)," +
+		"corral:posts=8,strides=1+3,name=Corral(1,2)"
+	viaSpecs, _, err := runQ(t, "-fig", "11", "-machines", specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stock != viaSpecs {
+		t.Fatalf("-machines with equivalent specs diverged from -fig 11:\nstock:\n%s\nspecs:\n%s", stock, viaSpecs)
+	}
+	// A genuinely different machine set must change the output (guards
+	// against the comparison passing vacuously).
+	other, _, err := runQ(t, "-fig", "11", "-machines", "hypercube:dim=4,name=Hypercube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == stock {
+		t.Fatal("single-machine sweep unexpectedly identical to the stock set")
+	}
+}

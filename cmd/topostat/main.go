@@ -1,16 +1,26 @@
 // Command topostat prints the measured topology properties behind the
 // paper's Table 1 (16–20 qubit machines) and Table 2 (84-qubit machines):
 // qubit count, diameter, average all-pairs distance, and average
-// connectivity for every coupling graph in the study. With -dot NAME it
-// instead emits the named coupling graph in Graphviz format.
+// connectivity for every coupling graph in the study.
+//
+// With -dot NAME|SPEC it instead emits one coupling graph in Graphviz
+// format — either a named catalog topology (see -list) or any declarative
+// architecture spec ("corral:posts=11,strides=1+4"; see package arch and
+// the README). -list prints the catalog names; -families prints one line
+// per registered architecture family (name, smoke spec, usage) — the
+// machine-readable inventory scripts/bench.sh sizes the registry grid
+// from. -stats SPEC prints one Table-style row for an arbitrary spec.
 package main
 
 import (
-	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
+	"repro/internal/arch"
+	"repro/internal/cli"
 	"repro/internal/experiments"
 	"repro/internal/topology"
 )
@@ -34,30 +44,88 @@ var graphs = map[string]func() *topology.Graph{
 }
 
 func main() {
-	dot := flag.String("dot", "", "emit the named topology as Graphviz DOT (see -list)")
-	list := flag.Bool("list", false, "list topology names")
-	flag.Parse()
+	cli.Exit("topostat", run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("topostat", stderr)
+	dot := fs.String("dot", "", "emit a topology as Graphviz DOT: a catalog name (see -list) or an architecture spec")
+	list := fs.Bool("list", false, "list catalog topology names")
+	families := fs.Bool("families", false, "list registered architecture families (name<TAB>smoke spec<TAB>usage)")
+	stats := fs.String("stats", "", "print one stats row for an architecture spec")
+	if err := fs.Parse(args); err != nil {
+		return cli.WrapParse(err)
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments %q (topostat takes flags only)", fs.Args())
+	}
+	var modes []string
 	if *list {
-		var names []string
+		modes = append(modes, "-list")
+	}
+	if *families {
+		modes = append(modes, "-families")
+	}
+	if *dot != "" {
+		modes = append(modes, "-dot")
+	}
+	if *stats != "" {
+		modes = append(modes, "-stats")
+	}
+	if len(modes) > 1 {
+		return cli.Usagef("%v are mutually exclusive; choose one", modes)
+	}
+	switch {
+	case *list:
+		names := make([]string, 0, len(graphs))
 		for k := range graphs {
 			names = append(names, k)
 		}
 		sort.Strings(names)
-		fmt.Println(names)
-		return
-	}
-	if *dot != "" {
-		mk, ok := graphs[*dot]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown topology %q; try -list\n", *dot)
-			os.Exit(2)
+		fmt.Fprintln(stdout, names)
+	case *families:
+		for _, f := range arch.Families() {
+			fmt.Fprintf(stdout, "%s\t%s\t%s\n", f.Name, f.Smoke, f.Usage)
 		}
-		fmt.Print(mk().DOT())
-		return
+	case *dot != "":
+		g, err := resolveGraph(*dot)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, g.DOT())
+	case *stats != "":
+		g, err := resolveGraph(*stats)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, experiments.FormatStats([]topology.Stats{g.Stats()}))
+	default:
+		fmt.Fprintln(stdout, "Table 1: Topologies and Connectivities (16-20 qubits)")
+		fmt.Fprint(stdout, experiments.FormatStats(experiments.Table1()))
+		fmt.Fprintln(stdout)
+		fmt.Fprintln(stdout, "Table 2: Scaled Topologies and Connectivities (84 qubits)")
+		fmt.Fprint(stdout, experiments.FormatStats(experiments.Table2()))
 	}
-	fmt.Println("Table 1: Topologies and Connectivities (16-20 qubits)")
-	fmt.Print(experiments.FormatStats(experiments.Table1()))
-	fmt.Println()
-	fmt.Println("Table 2: Scaled Topologies and Connectivities (84 qubits)")
-	fmt.Print(experiments.FormatStats(experiments.Table2()))
+	return nil
+}
+
+// resolveGraph accepts either a catalog shorthand (square16) or a full
+// architecture spec (grid:rows=4,cols=4): specs are distinguished by their
+// family head, so catalog names never shadow the registry grammar.
+func resolveGraph(name string) (*topology.Graph, error) {
+	if mk, ok := graphs[name]; ok {
+		return mk(), nil
+	}
+	if strings.Contains(name, ":") {
+		a, err := arch.Parse(name)
+		if err != nil {
+			return nil, cli.Usagef("bad spec %q: %v", name, err)
+		}
+		g, err := a.Build()
+		if err != nil {
+			return nil, cli.Usagef("bad spec %q: %v", name, err)
+		}
+		return g, nil
+	}
+	return nil, cli.Usagef("unknown topology %q; try -list, or pass an architecture spec (family:key=value,...)", name)
 }

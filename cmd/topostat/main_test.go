@@ -1,0 +1,116 @@
+package main
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/cli"
+)
+
+func runT(t *testing.T, args ...string) (string, string, error) {
+	t.Helper()
+	var out, errb strings.Builder
+	err := run(args, &out, &errb)
+	return out.String(), errb.String(), err
+}
+
+func wantUsageError(t *testing.T, err error, fragment string) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected usage error containing %q, got nil", fragment)
+	}
+	if !errors.As(err, new(cli.UsageError)) {
+		t.Fatalf("expected usage error, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), fragment) {
+		t.Fatalf("error %q does not mention %q", err, fragment)
+	}
+}
+
+func TestTablesByDefault(t *testing.T) {
+	out, _, err := runT(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"Table 1", "Table 2", "Corral(1,2)", "Hypercube"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("tables output missing %q", frag)
+		}
+	}
+}
+
+func TestListNames(t *testing.T) {
+	out, _, err := runT(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "corral11") || !strings.Contains(out, "hypercube84") {
+		t.Errorf("-list output incomplete: %q", out)
+	}
+}
+
+func TestFamiliesInventory(t *testing.T) {
+	out, _, err := runT(t, "-families")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 8 {
+		t.Fatalf("expected ≥8 family lines, got %d:\n%s", len(lines), out)
+	}
+	for _, line := range lines {
+		if fields := strings.Split(line, "\t"); len(fields) != 3 {
+			t.Errorf("family line not name<TAB>smoke<TAB>usage: %q", line)
+		}
+	}
+	if !strings.Contains(out, "corral:posts=8,strides=1+1") {
+		t.Errorf("-families missing corral smoke spec:\n%s", out)
+	}
+}
+
+func TestDotByCatalogNameAndSpec(t *testing.T) {
+	byName, _, err := runT(t, "-dot", "corral11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(byName, "graph") || !strings.Contains(byName, "--") {
+		t.Errorf("DOT output malformed: %q", byName)
+	}
+	bySpec, _, err := runT(t, "-dot", "corral:posts=8,strides=1+1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same edge structure; only the graph label may differ.
+	if strings.Count(bySpec, "--") != strings.Count(byName, "--") {
+		t.Errorf("spec-built corral has %d edges, catalog %d",
+			strings.Count(bySpec, "--"), strings.Count(byName, "--"))
+	}
+}
+
+func TestStatsRowForSpec(t *testing.T) {
+	out, _, err := runT(t, "-stats", "hypercube:dim=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "16") {
+		t.Errorf("stats row missing qubit count: %q", out)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	_, _, err := runT(t, "-dot", "nonexistent")
+	wantUsageError(t, err, "unknown topology")
+	_, _, err = runT(t, "-dot", "moebius:rows=2")
+	wantUsageError(t, err, "bad spec")
+	_, _, err = runT(t, "-dot", "grid:rows=0,cols=4")
+	wantUsageError(t, err, "bad spec")
+	_, _, err = runT(t, "-list", "-families")
+	wantUsageError(t, err, "mutually exclusive")
+	_, _, err = runT(t, "extra")
+	wantUsageError(t, err, "unexpected arguments")
+	_, _, err = runT(t, "-no-such-flag")
+	if err == nil || !cli.IsParseError(err) {
+		t.Fatalf("expected parse error, got %v", err)
+	}
+}

@@ -1,0 +1,311 @@
+// Package arch makes machines data: a declarative architecture spec — a
+// registered topology family, its parameters, a native basis, and a
+// per-gate-type timing table — that can be built from a CLI flag, a sweep
+// configuration, a search candidate, or a network request, instead of a
+// hand-enumerated Go constructor per design point.
+//
+// The spec grammar is one line:
+//
+//	family:key=value,key=value,...
+//
+// e.g. "corral:posts=8,strides=1+1,basis=sqrtiswap". The family must be
+// registered (see Register; the built-in families cover every topology in
+// the paper's comparison), parameter keys are family-specific, and three
+// keys are reserved across all families:
+//
+//   - basis=cx|sqrtiswap|syc|iswap — the native two-qubit gate (default cx,
+//     matching the paper's basis-independent SWAP-count sweeps);
+//   - name=... — an optional display name (sweep label); defaults to the
+//     canonical spec string;
+//   - t-<gate>=<duration> — a per-gate-type timing override, e.g.
+//     t-siswap=0.4 (gates not overridden keep DefaultTiming).
+//
+// List-valued parameters separate elements with '+' (strides=1+3), since
+// ',' separates parameters; commas inside balanced parentheses do not split
+// (name=Corral(1,1) is one parameter). Parse and Arch.String round-trip:
+// Parse(a.String()) reproduces a exactly, with String emitting parameters
+// in sorted order so the canonical form is unique.
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/weyl"
+)
+
+// Timing maps gate names to relative pulse durations, normalized so a full
+// iSWAP exchange pulse is 1.0 (the paper's §4.2 unit). It is the
+// per-architecture generalization of the old basis-global constants: the
+// transpiler's pulse-duration metrics and the noise model's decoherence
+// charges both read from a machine's table, and DefaultTiming reproduces
+// the paper's normalization exactly.
+type Timing map[string]float64
+
+// DefaultTiming returns the paper's pulse-length normalization: CR and SYC
+// pulses are one full pulse, the SNAIL's √iSWAP is half an iSWAP (§4.1), a
+// logical SWAP is three half-pulses (only present pre-translation), and the
+// Haar-random su4 placeholder counts one pulse. This is the single source
+// of truth behind noise.StandardDurations and every machine built without
+// an explicit table.
+func DefaultTiming() Timing {
+	return Timing{
+		"cx": 1.0, "syc": 1.0, "iswap": 1.0, "siswap": 0.5,
+		"swap": 1.5,
+		"su4":  1.0,
+	}
+}
+
+// Duration returns the pulse length of one gate application (0 for gates
+// not in the table — 1Q gates are free in the paper's model).
+func (t Timing) Duration(gate string) float64 { return t[gate] }
+
+// Equal reports whether two tables assign identical durations (nil equals
+// only nil-or-empty).
+func (t Timing) Equal(o Timing) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for k, v := range t {
+		ov, ok := o[k]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy (nil stays nil).
+func (t Timing) Clone() Timing {
+	if t == nil {
+		return nil
+	}
+	out := make(Timing, len(t))
+	for k, v := range t {
+		out[k] = v
+	}
+	return out
+}
+
+// Arch is one declarative architecture: everything needed to realize a
+// machine, as plain data. Params holds the family-specific parameters as
+// raw grammar values (validated when the topology is built); Timing nil
+// means DefaultTiming.
+type Arch struct {
+	Family string
+	Params map[string]string
+	Name   string
+	Basis  weyl.Basis
+	Timing Timing
+}
+
+// Equal reports spec identity: same family, parameters, name, basis, and
+// timing overrides. It is the relation String/Parse round-trips preserve.
+func (a Arch) Equal(b Arch) bool {
+	if a.Family != b.Family || a.Name != b.Name || a.Basis != b.Basis {
+		return false
+	}
+	if len(a.Params) != len(b.Params) {
+		return false
+	}
+	for k, v := range a.Params {
+		if bv, ok := b.Params[k]; !ok || bv != v {
+			return false
+		}
+	}
+	return a.Timing.Equal(b.Timing)
+}
+
+// EffectiveTiming resolves the spec's timing table: explicit overrides are
+// laid over DefaultTiming, nil means the default exactly.
+func (a Arch) EffectiveTiming() Timing {
+	if a.Timing == nil {
+		return DefaultTiming()
+	}
+	t := DefaultTiming()
+	for k, v := range a.Timing {
+		t[k] = v
+	}
+	return t
+}
+
+// basisTokens maps grammar tokens to bases, in both directions.
+var basisTokens = map[string]weyl.Basis{
+	"cx":        weyl.BasisCX,
+	"sqrtiswap": weyl.BasisSqrtISwap,
+	"syc":       weyl.BasisSYC,
+	"iswap":     weyl.BasisISwap,
+}
+
+// BasisToken returns the grammar spelling of a basis.
+func BasisToken(b weyl.Basis) string {
+	for tok, bb := range basisTokens {
+		if bb == b {
+			return tok
+		}
+	}
+	return fmt.Sprintf("basis%d", int(b))
+}
+
+// ParseBasis resolves a grammar basis token.
+func ParseBasis(tok string) (weyl.Basis, error) {
+	if b, ok := basisTokens[strings.ToLower(strings.TrimSpace(tok))]; ok {
+		return b, nil
+	}
+	return 0, fmt.Errorf("arch: unknown basis %q (want cx, sqrtiswap, syc, or iswap)", tok)
+}
+
+// Parse decodes one spec string. The family must be registered, parameter
+// keys must be ones the family declares (plus the reserved basis/name/t-*
+// keys), and duplicate keys are rejected. Parameter *values* are validated
+// later, when Build realizes the topology.
+func Parse(s string) (Arch, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Arch{}, fmt.Errorf("arch: empty spec")
+	}
+	famName, rest, hasParams := strings.Cut(s, ":")
+	famName = strings.TrimSpace(famName)
+	fam, ok := Lookup(famName)
+	if !ok {
+		return Arch{}, fmt.Errorf("arch: unknown family %q (known: %s)", famName, strings.Join(FamilyNames(), ", "))
+	}
+	a := Arch{Family: fam.Name, Params: map[string]string{}, Basis: weyl.BasisCX}
+	if !hasParams || strings.TrimSpace(rest) == "" {
+		return a, nil
+	}
+	seen := map[string]bool{}
+	for _, part := range splitOutsideParens(rest, ',') {
+		key, val, ok := strings.Cut(part, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return Arch{}, fmt.Errorf("arch: %s: malformed parameter %q (want key=value)", fam.Name, strings.TrimSpace(part))
+		}
+		if seen[key] {
+			return Arch{}, fmt.Errorf("arch: %s: duplicate parameter %q", fam.Name, key)
+		}
+		seen[key] = true
+		switch {
+		case key == "basis":
+			b, err := ParseBasis(val)
+			if err != nil {
+				return Arch{}, err
+			}
+			a.Basis = b
+		case key == "name":
+			a.Name = val
+		case strings.HasPrefix(key, "t-"):
+			gate := strings.TrimPrefix(key, "t-")
+			d, err := strconv.ParseFloat(val, 64)
+			if err != nil || d < 0 || gate == "" {
+				return Arch{}, fmt.Errorf("arch: %s: bad timing override %q=%q (want t-<gate>=<duration ≥ 0>)", fam.Name, key, val)
+			}
+			if a.Timing == nil {
+				a.Timing = Timing{}
+			}
+			a.Timing[gate] = d
+		default:
+			if !fam.hasKey(key) {
+				return Arch{}, fmt.Errorf("arch: %s: unknown parameter %q (usage: %s)", fam.Name, key, fam.Usage)
+			}
+			a.Params[key] = val
+		}
+	}
+	return a, nil
+}
+
+// String renders the canonical spec: family, then every parameter —
+// family-specific keys, basis, optional name, t-* overrides — in sorted
+// key order, so equal specs print identically and Parse(a.String())
+// reproduces a.
+func (a Arch) String() string {
+	parts := make([]string, 0, len(a.Params)+len(a.Timing)+2)
+	for k, v := range a.Params {
+		parts = append(parts, k+"="+v)
+	}
+	parts = append(parts, "basis="+BasisToken(a.Basis))
+	if a.Name != "" {
+		parts = append(parts, "name="+a.Name)
+	}
+	for g, d := range a.Timing {
+		parts = append(parts, "t-"+g+"="+strconv.FormatFloat(d, 'g', -1, 64))
+	}
+	sort.Strings(parts)
+	return a.Family + ":" + strings.Join(parts, ",")
+}
+
+// splitOutsideParens splits s on every sep not enclosed in parentheses, so
+// display labels like "Corral(1,1)" survive parameter and list splitting.
+func splitOutsideParens(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// SplitList cuts a list of specs into individual spec strings. Semicolons
+// always separate specs; within a semicolon-free run, a comma-separated
+// token that names a registered family (bare or with a ':' parameter head)
+// starts a new spec — so the natural "spec,spec,..." form works even
+// though ',' also separates parameters inside each spec.
+func SplitList(s string) []string {
+	var out []string
+	for _, chunk := range strings.Split(s, ";") {
+		var cur []string
+		flush := func() {
+			if len(cur) > 0 {
+				out = append(out, strings.Join(cur, ","))
+				cur = nil
+			}
+		}
+		for _, tok := range splitOutsideParens(chunk, ',') {
+			trimmed := strings.TrimSpace(tok)
+			head := trimmed
+			if i := strings.IndexByte(trimmed, ':'); i >= 0 {
+				head = strings.TrimSpace(trimmed[:i])
+			}
+			if _, isFamily := Lookup(head); isFamily {
+				flush()
+			}
+			if trimmed != "" || len(cur) > 0 {
+				cur = append(cur, trimmed)
+			}
+		}
+		flush()
+	}
+	return out
+}
+
+// ParseList decodes a comma- or semicolon-separated list of specs (see
+// SplitList for how commas disambiguate).
+func ParseList(s string) ([]Arch, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("arch: empty spec list")
+	}
+	specs := SplitList(s)
+	out := make([]Arch, 0, len(specs))
+	for _, spec := range specs {
+		a, err := Parse(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

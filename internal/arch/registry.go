@@ -1,0 +1,353 @@
+package arch
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// Family is one registered topology generator: a name usable as the head of
+// a spec string, the parameter keys it accepts, and a Build function that
+// validates those parameters and realizes the coupling graph. Families
+// return errors (a spec can come from a flag or a config file); the
+// underlying topology constructors keep their panic-on-programmer-error
+// contract.
+type Family struct {
+	Name string
+	// Usage is a one-line human summary of the accepted parameters, shown
+	// in CLI help and parse errors.
+	Usage string
+	// Keys lists the family-specific parameter keys (the reserved
+	// basis/name/t-* keys are accepted everywhere and not listed).
+	Keys []string
+	// Smoke is a representative spec used by integrity checks and scripts
+	// to build one instance of the family cheaply.
+	Smoke string
+	// Build realizes the topology from a parsed spec.
+	Build func(a Arch) (*topology.Graph, error)
+}
+
+func (f Family) hasKey(key string) bool {
+	for _, k := range f.Keys {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Family{}
+)
+
+// Register adds a family to the registry. Duplicate or malformed names are
+// rejected: families are global vocabulary, and a silent overwrite would
+// let two packages fight over what a spec string means.
+func Register(f Family) error {
+	if f.Name == "" || strings.ContainsAny(f.Name, ":,;= \t\n") {
+		return fmt.Errorf("arch: invalid family name %q", f.Name)
+	}
+	if f.Build == nil {
+		return fmt.Errorf("arch: family %q has no Build function", f.Name)
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[f.Name]; dup {
+		return fmt.Errorf("arch: family %q already registered", f.Name)
+	}
+	registry[f.Name] = f
+	return nil
+}
+
+// MustRegister is Register for init-time use; it panics on error.
+func MustRegister(f Family) {
+	if err := Register(f); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup finds a registered family by name.
+func Lookup(name string) (Family, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	f, ok := registry[name]
+	return f, ok
+}
+
+// Families returns every registered family sorted by name.
+func Families() []Family {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Family, 0, len(registry))
+	for _, f := range registry {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FamilyNames returns the sorted registered family names.
+func FamilyNames() []string {
+	fams := Families()
+	names := make([]string, len(fams))
+	for i, f := range fams {
+		names[i] = f.Name
+	}
+	return names
+}
+
+// Build realizes the spec's coupling graph via its family's generator.
+func (a Arch) Build() (*topology.Graph, error) {
+	f, ok := Lookup(a.Family)
+	if !ok {
+		return nil, fmt.Errorf("arch: unknown family %q", a.Family)
+	}
+	return f.Build(a)
+}
+
+// Label returns the spec's display name: the explicit name= parameter when
+// set, else the canonical spec string.
+func (a Arch) Label() string {
+	if a.Name != "" {
+		return a.Name
+	}
+	return a.String()
+}
+
+// reqInt reads a required integer parameter.
+func reqInt(a Arch, key string) (int, error) {
+	raw, ok := a.Params[key]
+	if !ok {
+		return 0, fmt.Errorf("arch: %s: missing required parameter %q", a.Family, key)
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("arch: %s: parameter %s=%q is not an integer", a.Family, key, raw)
+	}
+	return v, nil
+}
+
+// optInt reads an optional integer parameter, falling back to def.
+func optInt(a Arch, key string, def int) (int, error) {
+	if _, ok := a.Params[key]; !ok {
+		return def, nil
+	}
+	return reqInt(a, key)
+}
+
+// reqIntList reads a required '+'-separated integer list parameter.
+func reqIntList(a Arch, key string) ([]int, error) {
+	raw, ok := a.Params[key]
+	if !ok {
+		return nil, fmt.Errorf("arch: %s: missing required parameter %q", a.Family, key)
+	}
+	parts := strings.Split(raw, "+")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("arch: %s: parameter %s=%q is not a '+'-separated integer list", a.Family, key, raw)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// inRange validates an integer parameter's bounds with a uniform error.
+func inRange(fam, key string, v, lo, hi int) error {
+	if v < lo || v > hi {
+		return fmt.Errorf("arch: %s: %s=%d out of range [%d,%d]", fam, key, v, lo, hi)
+	}
+	return nil
+}
+
+// rowsCols reads the rows/cols pair shared by the lattice families.
+func rowsCols(a Arch) (rows, cols int, err error) {
+	if rows, err = reqInt(a, "rows"); err != nil {
+		return
+	}
+	if cols, err = reqInt(a, "cols"); err != nil {
+		return
+	}
+	if err = inRange(a.Family, "rows", rows, 1, 1024); err != nil {
+		return
+	}
+	err = inRange(a.Family, "cols", cols, 1, 1024)
+	return
+}
+
+// The built-in families cover every topology in the paper's comparison
+// (Tables 1 and 2): the transmon lattices of §2.4 and the SNAIL-enabled
+// modular designs of §4.3, each parameterized past the paper's fixed sizes.
+func init() {
+	MustRegister(Family{
+		Name:  "grid",
+		Usage: "grid:rows=R,cols=C — square lattice (Sycamore-class coupling, Fig. 2a)",
+		Keys:  []string{"rows", "cols"},
+		Smoke: "grid:rows=4,cols=4",
+		Build: func(a Arch) (*topology.Graph, error) {
+			rows, cols, err := rowsCols(a)
+			if err != nil {
+				return nil, err
+			}
+			return topology.SquareLattice(rows, cols), nil
+		},
+	})
+	MustRegister(Family{
+		Name:  "hex",
+		Usage: "hex:rows=R,cols=C — brick-wall honeycomb lattice (Fig. 2d)",
+		Keys:  []string{"rows", "cols"},
+		Smoke: "hex:rows=4,cols=5",
+		Build: func(a Arch) (*topology.Graph, error) {
+			rows, cols, err := rowsCols(a)
+			if err != nil {
+				return nil, err
+			}
+			return topology.HexLattice(rows, cols), nil
+		},
+	})
+	MustRegister(Family{
+		Name:  "altdiag",
+		Usage: "altdiag:rows=R,cols=C — square lattice + alternating diagonals (Fig. 2c)",
+		Keys:  []string{"rows", "cols"},
+		Smoke: "altdiag:rows=4,cols=4",
+		Build: func(a Arch) (*topology.Graph, error) {
+			rows, cols, err := rowsCols(a)
+			if err != nil {
+				return nil, err
+			}
+			return topology.LatticeAltDiag(rows, cols), nil
+		},
+	})
+	MustRegister(Family{
+		Name: "heavyhex",
+		Usage: "heavyhex:rows=R,cols=C — IBM row-form heavy-hex (Fig. 2b); " +
+			"heavyhex:fragment=20 — the paper's fused two-hexagon 20-qubit fragment",
+		Keys:  []string{"rows", "cols", "fragment"},
+		Smoke: "heavyhex:fragment=20",
+		Build: func(a Arch) (*topology.Graph, error) {
+			if frag, ok := a.Params["fragment"]; ok {
+				if len(a.Params) != 1 {
+					return nil, fmt.Errorf("arch: heavyhex: fragment excludes rows/cols")
+				}
+				if frag != "20" {
+					return nil, fmt.Errorf("arch: heavyhex: unknown fragment %q (only 20)", frag)
+				}
+				return topology.HeavyHex20(), nil
+			}
+			rows, cols, err := rowsCols(a)
+			if err != nil {
+				return nil, err
+			}
+			if rows < 2 || cols < 2 {
+				return nil, fmt.Errorf("arch: heavyhex: needs rows,cols ≥ 2")
+			}
+			return topology.HeavyHexRows(rows, cols), nil
+		},
+	})
+	MustRegister(Family{
+		Name:  "tree",
+		Usage: "tree:levels=L[,radix=K] — modular router tree, K-ary (default 4), L∈[2,6] router levels (Fig. 7a/8)",
+		Keys:  []string{"levels", "radix"},
+		Smoke: "tree:levels=2",
+		Build: func(a Arch) (*topology.Graph, error) {
+			levels, err := reqInt(a, "levels")
+			if err != nil {
+				return nil, err
+			}
+			radix, err := optInt(a, "radix", 4)
+			if err != nil {
+				return nil, err
+			}
+			if err := inRange(a.Family, "levels", levels, 2, 6); err != nil {
+				return nil, err
+			}
+			if err := inRange(a.Family, "radix", radix, 2, 8); err != nil {
+				return nil, err
+			}
+			return topology.Tree(radix, levels), nil
+		},
+	})
+	MustRegister(Family{
+		Name:  "tree-rr",
+		Usage: "tree-rr:levels=L[,radix=K] — round-robin router tree, K-ary (default 4), L∈[2,3] (Fig. 7b)",
+		Keys:  []string{"levels", "radix"},
+		Smoke: "tree-rr:levels=2",
+		Build: func(a Arch) (*topology.Graph, error) {
+			levels, err := reqInt(a, "levels")
+			if err != nil {
+				return nil, err
+			}
+			radix, err := optInt(a, "radix", 4)
+			if err != nil {
+				return nil, err
+			}
+			if err := inRange(a.Family, "levels", levels, 2, 3); err != nil {
+				return nil, err
+			}
+			if err := inRange(a.Family, "radix", radix, 2, 8); err != nil {
+				return nil, err
+			}
+			return topology.TreeRR(radix, levels), nil
+		},
+	})
+	MustRegister(Family{
+		Name:  "corral",
+		Usage: "corral:posts=P,strides=S1+S2+... — ring of P SNAIL posts with one fence level per stride (Fig. 9)",
+		Keys:  []string{"posts", "strides"},
+		Smoke: "corral:posts=8,strides=1+1",
+		Build: func(a Arch) (*topology.Graph, error) {
+			posts, err := reqInt(a, "posts")
+			if err != nil {
+				return nil, err
+			}
+			strides, err := reqIntList(a, "strides")
+			if err != nil {
+				return nil, err
+			}
+			if err := inRange(a.Family, "posts", posts, 3, 4096); err != nil {
+				return nil, err
+			}
+			if len(strides) == 0 {
+				return nil, fmt.Errorf("arch: corral: needs at least one stride")
+			}
+			for _, s := range strides {
+				if s < 1 || s >= posts {
+					return nil, fmt.Errorf("arch: corral: stride %d out of range [1,%d)", s, posts)
+				}
+			}
+			return topology.CorralRing(posts, strides), nil
+		},
+	})
+	MustRegister(Family{
+		Name:  "hypercube",
+		Usage: "hypercube:dim=D[,trim=N] — binary D-cube, optionally trimmed to its first N vertices (Harper segment, Fig. 3)",
+		Keys:  []string{"dim", "trim"},
+		Smoke: "hypercube:dim=4",
+		Build: func(a Arch) (*topology.Graph, error) {
+			dim, err := reqInt(a, "dim")
+			if err != nil {
+				return nil, err
+			}
+			if err := inRange(a.Family, "dim", dim, 1, 20); err != nil {
+				return nil, err
+			}
+			if _, ok := a.Params["trim"]; !ok {
+				return topology.Hypercube(dim), nil
+			}
+			trim, err := reqInt(a, "trim")
+			if err != nil {
+				return nil, err
+			}
+			if err := inRange(a.Family, "trim", trim, 1, 1<<dim); err != nil {
+				return nil, err
+			}
+			return topology.HypercubeTrimmed(dim, trim), nil
+		},
+	})
+}

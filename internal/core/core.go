@@ -9,8 +9,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/topology"
@@ -25,11 +27,63 @@ type Machine struct {
 	Name  string
 	Graph *topology.Graph
 	Basis weyl.Basis
+
+	// Timing is the machine's per-gate-type pulse-duration table. nil means
+	// arch.DefaultTiming() — the paper's normalization, under which every
+	// historical result and cache entry was computed — and any machine whose
+	// effective table differs from the default is cache-keyed separately
+	// (see EvaluateKey).
+	Timing arch.Timing
 }
 
-// NewMachine builds a machine with an explicit name.
+// NewMachine builds a machine with an explicit name (and the default
+// timing table).
 func NewMachine(name string, g *topology.Graph, b weyl.Basis) Machine {
 	return Machine{Name: name, Graph: g, Basis: b}
+}
+
+// GateDurations resolves the machine's timing table: its own when set, else
+// the paper's default normalization.
+func (m Machine) GateDurations() arch.Timing {
+	if m.Timing != nil {
+		return m.Timing
+	}
+	return arch.DefaultTiming()
+}
+
+// FromArch realizes a declarative architecture spec as a machine: the
+// family generator builds the coupling graph, the spec's basis and
+// effective timing table carry over, and the machine is named by the spec's
+// label (explicit name= parameter, else the canonical spec string).
+func FromArch(a arch.Arch) (Machine, error) {
+	g, err := a.Build()
+	if err != nil {
+		return Machine{}, err
+	}
+	m := Machine{Name: a.Label(), Graph: g, Basis: a.Basis}
+	if a.Timing != nil {
+		m.Timing = a.EffectiveTiming()
+	}
+	return m, nil
+}
+
+// FromSpec parses a spec string (see package arch) and realizes it.
+func FromSpec(spec string) (Machine, error) {
+	a, err := arch.Parse(spec)
+	if err != nil {
+		return Machine{}, err
+	}
+	return FromArch(a)
+}
+
+// mustSpec is FromSpec for the compile-time catalog specs below, where a
+// build error is a programming error.
+func mustSpec(spec string) Machine {
+	m, err := FromSpec(spec)
+	if err != nil {
+		panic(fmt.Sprintf("core: catalog spec %q: %v", spec, err))
+	}
+	return m
 }
 
 // RouterKind selects the routing algorithm.
@@ -257,6 +311,23 @@ func (m Machine) EvaluateKey(c *circuit.Circuit, opt Options) cache.Key {
 			h.WriteInt(int64(opt.ProfileIterations))
 		}
 	}
+	// A custom timing table changes PulseDuration for the same inputs, so
+	// it gets its own tagged field — appended only when the effective table
+	// differs from the default, because nil and an explicit default table
+	// mean the normalization every historical entry was computed under:
+	// default-timed keys stay bit-identical to earlier builds.
+	if m.Timing != nil && !m.Timing.Equal(arch.DefaultTiming()) {
+		h.WriteString("gate-timing/v1")
+		gates := make([]string, 0, len(m.Timing))
+		for g := range m.Timing {
+			gates = append(gates, g)
+		}
+		sort.Strings(gates)
+		for _, g := range gates {
+			h.WriteString(g)
+			h.WriteFloat(m.Timing[g])
+		}
+	}
 	return h.Sum()
 }
 
@@ -351,7 +422,7 @@ func (m Machine) TranspileContext(ctx context.Context, c *circuit.Circuit, opt O
 		CriticalSwaps: routed.Circuit.CriticalSwaps(),
 		Total2Q:       translated.CountTwoQubit(),
 		Critical2Q:    transpile.Critical2Q(translated),
-		PulseDuration: transpile.PulseDuration(translated, m.Basis),
+		PulseDuration: transpile.PulseDurationTable(translated, m.GateDurations()),
 	}
 	return &Transpiled{
 		Layout:     pctx.Layout,
@@ -364,60 +435,71 @@ func (m Machine) TranspileContext(ctx context.Context, c *circuit.Circuit, opt O
 }
 
 // ---- Machine catalog (the paper's comparison systems) ----
+//
+// Every catalog machine is a registry lookup: its spec string is the single
+// definition, and the named constructor is a pinned alias whose graph
+// fingerprint, machine name, and EvaluateKeys are byte-identical to the
+// historical hand-built versions (TestCatalogMatchesRegistry).
 
 // HeavyHex20CX is IBM's representative small machine: Heavy-Hex + CR/CNOT.
-func HeavyHex20CX() Machine { return NewMachine("Heavy-Hex-CX", topology.HeavyHex20(), weyl.BasisCX) }
+func HeavyHex20CX() Machine { return mustSpec("heavyhex:fragment=20,name=Heavy-Hex-CX") }
 
 // SquareLattice16SYC is Google's representative small machine:
 // Square-Lattice + FSIM/SYC.
 func SquareLattice16SYC() Machine {
-	return NewMachine("Square-Lattice-SYC", topology.SquareLattice16(), weyl.BasisSYC)
+	return mustSpec("grid:rows=4,cols=4,basis=syc,name=Square-Lattice-SYC")
 }
 
 // Tree20SqrtISwap is the SNAIL 4-ary tree with its native √iSWAP.
 func Tree20SqrtISwap() Machine {
-	return NewMachine("Tree-sqrtISWAP", topology.Tree20(), weyl.BasisSqrtISwap)
+	return mustSpec("tree:levels=2,basis=sqrtiswap,name=Tree-sqrtISWAP")
 }
 
 // TreeRR20SqrtISwap is the round-robin tree with √iSWAP.
 func TreeRR20SqrtISwap() Machine {
-	return NewMachine("Tree-RR-sqrtISWAP", topology.TreeRR20(), weyl.BasisSqrtISwap)
+	return mustSpec("tree-rr:levels=2,basis=sqrtiswap,name=Tree-RR-sqrtISWAP")
 }
 
-// Corral11SqrtISwap is the stride-(1,1) corral with √iSWAP.
+// Corral11SqrtISwap is the stride-(1,1) corral with √iSWAP. The graph keeps
+// its historical stride-set label (the fingerprint is name-independent).
 func Corral11SqrtISwap() Machine {
-	return NewMachine("Corral11-sqrtISWAP", topology.Corral11(), weyl.BasisSqrtISwap)
+	m := mustSpec("corral:posts=8,strides=1+1,basis=sqrtiswap,name=Corral11-sqrtISWAP")
+	m.Graph.Name = "Corral(1,1)"
+	return m
 }
 
-// Corral12SqrtISwap is the long-stride corral with √iSWAP.
+// Corral12SqrtISwap is the long-stride corral with √iSWAP (stride set {1,3},
+// labeled by the paper's "configuration 2"; see topology.Corral12).
 func Corral12SqrtISwap() Machine {
-	return NewMachine("Corral12-sqrtISWAP", topology.Corral12(), weyl.BasisSqrtISwap)
+	m := mustSpec("corral:posts=8,strides=1+3,basis=sqrtiswap,name=Corral12-sqrtISWAP")
+	m.Graph.Name = "Corral(1,2)"
+	return m
 }
 
 // Hypercube16SqrtISwap is the aspirational 4-cube with √iSWAP.
 func Hypercube16SqrtISwap() Machine {
-	return NewMachine("Hypercube-sqrtISWAP", topology.Hypercube16(), weyl.BasisSqrtISwap)
+	return mustSpec("hypercube:dim=4,basis=sqrtiswap,name=Hypercube-sqrtISWAP")
 }
 
 // HeavyHex84CX, SquareLattice84SYC, Tree84SqrtISwap, TreeRR84SqrtISwap and
 // Hypercube84SqrtISwap are the scaled (Table 2 / Fig. 14) machines.
 
-func HeavyHex84CX() Machine { return NewMachine("Heavy-Hex-CX", topology.HeavyHex84(), weyl.BasisCX) }
+func HeavyHex84CX() Machine { return mustSpec("heavyhex:rows=5,cols=14,name=Heavy-Hex-CX") }
 
 func SquareLattice84SYC() Machine {
-	return NewMachine("Square-Lattice-SYC", topology.SquareLattice84(), weyl.BasisSYC)
+	return mustSpec("grid:rows=7,cols=12,basis=syc,name=Square-Lattice-SYC")
 }
 
 func Tree84SqrtISwap() Machine {
-	return NewMachine("Tree-sqrtISWAP", topology.Tree84(), weyl.BasisSqrtISwap)
+	return mustSpec("tree:levels=3,basis=sqrtiswap,name=Tree-sqrtISWAP")
 }
 
 func TreeRR84SqrtISwap() Machine {
-	return NewMachine("Tree-RR-sqrtISWAP", topology.TreeRR84(), weyl.BasisSqrtISwap)
+	return mustSpec("tree-rr:levels=3,basis=sqrtiswap,name=Tree-RR-sqrtISWAP")
 }
 
 func Hypercube84SqrtISwap() Machine {
-	return NewMachine("Hypercube-sqrtISWAP", topology.Hypercube84(), weyl.BasisSqrtISwap)
+	return mustSpec("hypercube:dim=7,trim=84,basis=sqrtiswap,name=Hypercube-sqrtISWAP")
 }
 
 // Machines16 returns the co-design comparison set of Fig. 13.

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+)
+
+// MachinesFromSpecs builds a sweep comparison set from a list of
+// declarative architecture specs (package arch grammar): specs separated by
+// semicolons, or by commas when each spec starts with a registered family
+// name. Machine names must be unique within the set — the sweep engine
+// derives per-cell seeds and labels from them, so a duplicate would
+// silently fold two machines into indistinguishable rows.
+func MachinesFromSpecs(list string) ([]core.Machine, error) {
+	as, err := arch.ParseList(list)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.Machine, 0, len(as))
+	seen := make(map[string]bool, len(as))
+	for _, a := range as {
+		m, err := core.FromArch(a)
+		if err != nil {
+			return nil, err
+		}
+		if seen[m.Name] {
+			return nil, fmt.Errorf("experiments: duplicate machine name %q in spec list (give one a name=... parameter)", m.Name)
+		}
+		seen[m.Name] = true
+		out = append(out, m)
+	}
+	return out, nil
+}

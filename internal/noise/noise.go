@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/gates"
 	"repro/internal/linalg"
@@ -38,13 +39,12 @@ type Model struct {
 	Durations map[string]float64
 }
 
-// StandardDurations returns the paper's pulse-length normalization.
+// StandardDurations returns the paper's pulse-length normalization — the
+// architecture registry's default timing table (arch.DefaultTiming), so
+// gate timing has one source of truth. Machines with custom tables should
+// charge noise with Machine.GateDurations() instead.
 func StandardDurations() map[string]float64 {
-	return map[string]float64{
-		"cx": 1.0, "syc": 1.0, "iswap": 1.0, "siswap": 0.5,
-		"swap": 1.5, // only present pre-translation: 3 half-pulses
-		"su4":  1.0,
-	}
+	return map[string]float64(arch.DefaultTiming())
 }
 
 var paulis = []*linalg.Matrix{gates.X(), gates.Y(), gates.Z()}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/workloads"
@@ -123,5 +124,27 @@ func TestCodesignFidelityAdvantage(t *testing.T) {
 func TestShotValidation(t *testing.T) {
 	if _, err := MonteCarloFidelity(workloads.GHZ(3), Model{}, 0, rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("zero shots accepted")
+	}
+}
+
+func TestStandardDurationsPinned(t *testing.T) {
+	// The historical hardcoded values, now sourced from the architecture
+	// registry's default table: both the exact numbers and the single-source
+	// derivation are contracts.
+	want := map[string]float64{
+		"cx": 1.0, "syc": 1.0, "iswap": 1.0, "siswap": 0.5,
+		"swap": 1.5, "su4": 1.0,
+	}
+	got := StandardDurations()
+	if len(got) != len(want) {
+		t.Fatalf("StandardDurations has %d entries, want %d: %v", len(got), len(want), got)
+	}
+	for g, d := range want {
+		if got[g] != d {
+			t.Errorf("StandardDurations[%q] = %v, want %v", g, got[g], d)
+		}
+	}
+	if !arch.DefaultTiming().Equal(arch.Timing(got)) {
+		t.Errorf("StandardDurations diverged from arch.DefaultTiming: %v vs %v", got, arch.DefaultTiming())
 	}
 }

@@ -16,44 +16,55 @@ func addClique(g *Graph, vs []int) {
 	}
 }
 
-// Tree20 is the two-level modular 4-ary tree (paper Fig. 7a): a central
-// router SNAIL couples four router qubits W0..W3 (a K4), and each Wk joins a
-// module SNAIL coupling {Wk, 4 module qubits} all-to-all (a K5).
-// Qubit layout: W qubits are 0..3; module k's leaves are 4+4k .. 7+4k.
-func Tree20() *Graph {
-	g := NewGraph("Tree", 20)
-	w := []int{0, 1, 2, 3}
+// Tree builds the modular radix-ary router tree (paper Fig. 7a/8,
+// generalized beyond radix 4): a central router SNAIL couples the `radix`
+// level-1 router qubits all-to-all, and every level-l qubit (l < levels)
+// joins a module SNAIL coupling {itself, its radix children} all-to-all (a
+// K_{radix+1}). Level l occupies radix + radix² + ... + radix^(l-1) onward,
+// children of vertex i within a level sit contiguously — so Tree(4,2)
+// reproduces Tree20's exact edge set and Tree(4,3) reproduces Tree84's.
+func Tree(radix, levels int) *Graph {
+	if radix < 2 || radix > 8 {
+		panic(fmt.Sprintf("topology: tree radix %d out of range [2,8]", radix))
+	}
+	if levels < 2 || levels > 6 {
+		panic(fmt.Sprintf("topology: tree levels %d out of range [2,6]", levels))
+	}
+	// Count qubits: radix + radix^2 + ... + radix^levels, and record where
+	// each level starts.
+	start := make([]int, levels+1)
+	total, pow := 0, 1
+	for l := 1; l <= levels; l++ {
+		pow *= radix
+		start[l] = total
+		total += pow
+	}
+	g := NewGraph("Tree", total)
+	w := make([]int, radix)
+	for j := range w {
+		w[j] = j
+	}
 	addClique(g, w)
-	for k := 0; k < 4; k++ {
-		module := []int{w[k]}
-		for j := 0; j < 4; j++ {
-			module = append(module, 4+4*k+j)
+	pow = radix
+	for l := 1; l < levels; l++ {
+		for i := 0; i < pow; i++ {
+			parent := start[l] + i
+			module := []int{parent}
+			for j := 0; j < radix; j++ {
+				module = append(module, start[l+1]+radix*i+j)
+			}
+			addClique(g, module)
 		}
-		addClique(g, module)
+		pow *= radix
 	}
 	return g
 }
 
-// TreeRR20 is the Round-Robin tree (paper Fig. 7b): module qubits couple
-// all-to-all within their module (K4 via the module SNAIL), and qubit j of
-// every module couples to router qubit Wj (via Wj's SNAIL), eliminating the
-// per-module router bottleneck. W qubits are 0..3; module k's qubits are
-// 4+4k .. 7+4k.
-func TreeRR20() *Graph {
-	g := NewGraph("Tree-RR", 20)
-	w := []int{0, 1, 2, 3}
-	addClique(g, w)
-	for k := 0; k < 4; k++ {
-		var module []int
-		for j := 0; j < 4; j++ {
-			q := 4 + 4*k + j
-			module = append(module, q)
-			g.AddEdge(q, w[j]) // round-robin link to router qubit j
-		}
-		addClique(g, module)
-	}
-	return g
-}
+// Tree20 is the two-level modular 4-ary tree (paper Fig. 7a): a central
+// router SNAIL couples four router qubits W0..W3 (a K4), and each Wk joins a
+// module SNAIL coupling {Wk, 4 module qubits} all-to-all (a K5).
+// Qubit layout: W qubits are 0..3; module k's leaves are 4+4k .. 7+4k.
+func Tree20() *Graph { return Tree(4, 2) }
 
 // Tree84 is the three-router-level 4-ary tree of Table 2 (paper Fig. 8):
 // central K4 over four level-1 router qubits; each level-1 qubit in a K5
@@ -63,27 +74,74 @@ func TreeRR20() *Graph {
 // Layout: level-1 routers 0..3; level-2 qubits 4..19 (level-1 router k owns
 // 4+4k..7+4k); leaves 20..83 (level-2 qubit m owns 20+4m..23+4m with
 // m = vertex-20 ... i.e. level-2 vertex v owns 20+4*(v-4)..).
-func Tree84() *Graph {
-	g := NewGraph("Tree", 84)
-	w := []int{0, 1, 2, 3}
-	addClique(g, w)
-	for k := 0; k < 4; k++ {
-		module := []int{w[k]}
-		for j := 0; j < 4; j++ {
-			module = append(module, 4+4*k+j)
-		}
-		addClique(g, module)
+func Tree84() *Graph { return Tree(4, 3) }
+
+// TreeRR builds the Round-Robin variant of the radix-ary tree (paper
+// Fig. 7b, §4.3): module qubits still form per-module cliques, but qubit j
+// of each module couples to router qubit j of the level above — spreading
+// inter-module traffic over all routers instead of funneling through the
+// parent. The paper instantiates two and three router levels; those are the
+// supported depths. TreeRR(4,2) reproduces TreeRR20's exact edge set and
+// TreeRR(4,3) reproduces TreeRR84's.
+func TreeRR(radix, levels int) *Graph {
+	if radix < 2 || radix > 8 {
+		panic(fmt.Sprintf("topology: tree-rr radix %d out of range [2,8]", radix))
 	}
-	for m := 0; m < 16; m++ {
-		parent := 4 + m
-		module := []int{parent}
-		for j := 0; j < 4; j++ {
-			module = append(module, 20+4*m+j)
+	if levels < 2 || levels > 3 {
+		panic(fmt.Sprintf("topology: tree-rr levels %d out of range [2,3]", levels))
+	}
+	total := 0
+	pow := 1
+	for l := 1; l <= levels; l++ {
+		pow *= radix
+		total += pow
+	}
+	g := NewGraph("Tree-RR", total)
+	w := make([]int, radix)
+	for j := range w {
+		w[j] = j
+	}
+	addClique(g, w)
+	if levels == 2 {
+		for k := 0; k < radix; k++ {
+			var module []int
+			for j := 0; j < radix; j++ {
+				q := radix + radix*k + j
+				module = append(module, q)
+				g.AddEdge(q, w[j]) // round-robin link to router qubit j
+			}
+			addClique(g, module)
 		}
-		addClique(g, module)
+		return g
+	}
+	leafBase := radix + radix*radix
+	for grp := 0; grp < radix; grp++ {
+		var routers []int
+		for j := 0; j < radix; j++ {
+			r := radix + radix*grp + j
+			routers = append(routers, r)
+			g.AddEdge(r, w[j])
+		}
+		addClique(g, routers)
+		for i := 0; i < radix; i++ {
+			var module []int
+			for j := 0; j < radix; j++ {
+				q := leafBase + radix*radix*grp + radix*i + j
+				module = append(module, q)
+				g.AddEdge(q, routers[j])
+			}
+			addClique(g, module)
+		}
 	}
 	return g
 }
+
+// TreeRR20 is the Round-Robin tree (paper Fig. 7b): module qubits couple
+// all-to-all within their module (K4 via the module SNAIL), and qubit j of
+// every module couples to router qubit Wj (via Wj's SNAIL), eliminating the
+// per-module router bottleneck. W qubits are 0..3; module k's qubits are
+// 4+4k .. 7+4k.
+func TreeRR20() *Graph { return TreeRR(4, 2) }
 
 // TreeRR84 is the 84-qubit Round-Robin tree of Table 2: 16 leaf modules
 // (K4), four level-2 router modules (K4), and the central level-1 K4. Each
@@ -95,30 +153,7 @@ func Tree84() *Graph {
 //
 // Layout: level-1 routers 0..3; level-2 routers 4..19 (group g at
 // 4+4g..7+4g); leaves 20..83 (leaf module m = (g,i) at 20+16g+4i..).
-func TreeRR84() *Graph {
-	g := NewGraph("Tree-RR", 84)
-	w := []int{0, 1, 2, 3}
-	addClique(g, w)
-	for grp := 0; grp < 4; grp++ {
-		var routers []int
-		for j := 0; j < 4; j++ {
-			r := 4 + 4*grp + j
-			routers = append(routers, r)
-			g.AddEdge(r, w[j])
-		}
-		addClique(g, routers)
-		for i := 0; i < 4; i++ {
-			var module []int
-			for j := 0; j < 4; j++ {
-				q := 20 + 16*grp + 4*i + j
-				module = append(module, q)
-				g.AddEdge(q, routers[j])
-			}
-			addClique(g, module)
-		}
-	}
-	return g
-}
+func TreeRR84() *Graph { return TreeRR(4, 3) }
 
 // CorralRing builds a Corral (paper §4.3, Fig. 9): a ring of `posts` SNAILs
 // with one qubit per fence level spanning from post i to post i+stride.
@@ -173,42 +208,11 @@ func Corral12() *Graph {
 	return g
 }
 
-// MakeTree builds a generalized tree with the given number of router levels
-// (levels=2 gives Tree20, levels=3 gives Tree84). Exposed for scaling
-// studies beyond the paper's sizes.
+// MakeTree builds a generalized 4-ary tree with the given number of router
+// levels (levels=2 gives Tree20, levels=3 gives Tree84). Exposed for
+// scaling studies beyond the paper's sizes.
 func MakeTree(levels int) *Graph {
-	if levels < 2 || levels > 6 {
-		panic("topology: MakeTree supports 2..6 levels")
-	}
-	// Count qubits: 4 + 4^2 + ... + 4^levels.
-	total := 0
-	pow := 1
-	for l := 1; l <= levels; l++ {
-		pow *= 4
-		total += pow
-	}
-	g := NewGraph(fmt.Sprintf("Tree-%dL", levels), total)
-	// Level l occupies [start[l], start[l]+4^l); level 1 starts at 0.
-	start := make([]int, levels+1)
-	pow = 4
-	for l := 2; l <= levels; l++ {
-		start[l] = start[l-1] + pow
-		pow *= 4
-	}
-	// Central router couples the 4 level-1 qubits.
-	addClique(g, []int{0, 1, 2, 3})
-	// Each level-l qubit (l < levels) owns a K5 module with its 4 children.
-	pow = 4
-	for l := 1; l < levels; l++ {
-		for i := 0; i < pow; i++ {
-			parent := start[l] + i
-			module := []int{parent}
-			for j := 0; j < 4; j++ {
-				module = append(module, start[l+1]+4*i+j)
-			}
-			addClique(g, module)
-		}
-		pow *= 4
-	}
+	g := Tree(4, levels)
+	g.Name = fmt.Sprintf("Tree-%dL", levels)
 	return g
 }

@@ -1,0 +1,155 @@
+package topology
+
+import "testing"
+
+// The generalized Tree/TreeRR generators must reproduce the paper's fixed
+// instantiations edge-for-edge: the named constructors are now thin aliases
+// (Tree20 = Tree(4,2), ...), so these tests rebuild the original layouts by
+// hand and compare structural fingerprints.
+
+func handTree20() *Graph {
+	g := NewGraph("Tree", 20)
+	addClique(g, []int{0, 1, 2, 3})
+	for k := 0; k < 4; k++ {
+		module := []int{k}
+		for j := 0; j < 4; j++ {
+			module = append(module, 4+4*k+j)
+		}
+		addClique(g, module)
+	}
+	return g
+}
+
+func handTreeRR20() *Graph {
+	g := NewGraph("Tree-RR", 20)
+	addClique(g, []int{0, 1, 2, 3})
+	for k := 0; k < 4; k++ {
+		var module []int
+		for j := 0; j < 4; j++ {
+			q := 4 + 4*k + j
+			module = append(module, q)
+			g.AddEdge(q, j)
+		}
+		addClique(g, module)
+	}
+	return g
+}
+
+func handTree84() *Graph {
+	g := handTree20()
+	h := NewGraph("Tree", 84)
+	for _, e := range g.Edges() {
+		h.AddEdge(e[0], e[1])
+	}
+	for m := 0; m < 16; m++ {
+		module := []int{4 + m}
+		for j := 0; j < 4; j++ {
+			module = append(module, 20+4*m+j)
+		}
+		addClique(h, module)
+	}
+	return h
+}
+
+func handTreeRR84() *Graph {
+	g := NewGraph("Tree-RR", 84)
+	addClique(g, []int{0, 1, 2, 3})
+	for grp := 0; grp < 4; grp++ {
+		var routers []int
+		for j := 0; j < 4; j++ {
+			r := 4 + 4*grp + j
+			routers = append(routers, r)
+			g.AddEdge(r, j)
+		}
+		addClique(g, routers)
+		for i := 0; i < 4; i++ {
+			var module []int
+			for j := 0; j < 4; j++ {
+				q := 20 + 16*grp + 4*i + j
+				module = append(module, q)
+				g.AddEdge(q, routers[j])
+			}
+			addClique(g, module)
+		}
+	}
+	return g
+}
+
+func TestGenericTreeFingerprintsPinned(t *testing.T) {
+	cases := []struct {
+		name string
+		got  *Graph
+		want *Graph
+	}{
+		{"Tree(4,2) vs hand-built Tree20", Tree(4, 2), handTree20()},
+		{"Tree(4,3) vs hand-built Tree84", Tree(4, 3), handTree84()},
+		{"TreeRR(4,2) vs hand-built TreeRR20", TreeRR(4, 2), handTreeRR20()},
+		{"TreeRR(4,3) vs hand-built TreeRR84", TreeRR(4, 3), handTreeRR84()},
+		{"Tree20 alias", Tree20(), handTree20()},
+		{"Tree84 alias", Tree84(), handTree84()},
+		{"TreeRR20 alias", TreeRR20(), handTreeRR20()},
+		{"TreeRR84 alias", TreeRR84(), handTreeRR84()},
+	}
+	for _, c := range cases {
+		if c.got.N() != c.want.N() {
+			t.Errorf("%s: n=%d want %d", c.name, c.got.N(), c.want.N())
+		}
+		if c.got.Fingerprint() != c.want.Fingerprint() {
+			t.Errorf("%s: fingerprint %#x want %#x", c.name, c.got.Fingerprint(), c.want.Fingerprint())
+		}
+		if c.got.Name != c.want.Name {
+			t.Errorf("%s: name %q want %q", c.name, c.got.Name, c.want.Name)
+		}
+	}
+}
+
+func TestGenericTreeProperties(t *testing.T) {
+	for radix := 2; radix <= 8; radix++ {
+		for levels := 2; levels <= 4; levels++ {
+			want := 0
+			pow := 1
+			for l := 1; l <= levels; l++ {
+				pow *= radix
+				want += pow
+			}
+			g := Tree(radix, levels)
+			if g.N() != want {
+				t.Errorf("Tree(%d,%d): n=%d want %d", radix, levels, g.N(), want)
+			}
+			if !g.IsConnected() {
+				t.Errorf("Tree(%d,%d) disconnected", radix, levels)
+			}
+			if levels <= 3 {
+				rr := TreeRR(radix, levels)
+				if rr.N() != want || !rr.IsConnected() {
+					t.Errorf("TreeRR(%d,%d): n=%d connected=%v", radix, levels, rr.N(), rr.IsConnected())
+				}
+				// Round-robin rewiring preserves qubit count but changes
+				// the edge set for every radix.
+				if rr.Fingerprint() == g.Fingerprint() {
+					t.Errorf("TreeRR(%d,%d) fingerprint collides with Tree", radix, levels)
+				}
+			}
+		}
+	}
+}
+
+func TestGenericTreePanics(t *testing.T) {
+	cases := []func(){
+		func() { Tree(1, 2) },
+		func() { Tree(4, 1) },
+		func() { Tree(4, 7) },
+		func() { TreeRR(9, 2) },
+		func() { TreeRR(4, 4) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: out-of-range tree parameters did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

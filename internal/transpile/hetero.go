@@ -3,6 +3,7 @@ package transpile
 import (
 	"fmt"
 
+	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/weyl"
 )
@@ -102,15 +103,9 @@ func heteroFor(op circuit.Op, cache map[string]HeteroChoice) (HeteroChoice, erro
 }
 
 // HeteroPulseDuration is the duration-weighted critical path of a
-// heterogeneously translated circuit (iSWAP = 1.0, √iSWAP = 0.5, 1Q free).
+// heterogeneously translated circuit (iSWAP = 1.0, √iSWAP = 0.5, 1Q free):
+// PulseDurationTable under the default timing table, which carries both
+// pulse lengths of the SNAIL's gate family.
 func HeteroPulseDuration(c *circuit.Circuit) float64 {
-	return c.CriticalPath(func(op circuit.Op) float64 {
-		switch op.Name {
-		case "iswap":
-			return 1.0
-		case "siswap":
-			return 0.5
-		}
-		return 0
-	})
+	return PulseDurationTable(c, arch.DefaultTiming())
 }

@@ -1,0 +1,69 @@
+package transpile
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/circuit"
+	"repro/internal/weyl"
+)
+
+// TestPulseDurationTableMatchesBasisWeighting pins the refactor contract:
+// on translated circuits the per-gate-type table with default timings
+// reproduces the old basis-global weighting exactly, for every basis.
+func TestPulseDurationTableMatchesBasisWeighting(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c := circuit.New(5)
+	for i := 0; i < 12; i++ {
+		a := rng.Intn(5)
+		b := rng.Intn(5)
+		if a == b {
+			b = (b + 1) % 5
+		}
+		switch i % 3 {
+		case 0:
+			c.CX(a, b)
+		case 1:
+			c.SqrtISwap(a, b)
+		default:
+			c.Swap(a, b)
+		}
+	}
+	for _, basis := range []weyl.Basis{weyl.BasisCX, weyl.BasisSqrtISwap, weyl.BasisSYC, weyl.BasisISwap} {
+		translated, err := TranslateToBasis(c, basis)
+		if err != nil {
+			t.Fatalf("%v: %v", basis, err)
+		}
+		old := PulseDuration(translated, basis)
+		tab := PulseDurationTable(translated, arch.DefaultTiming())
+		if old != tab {
+			t.Errorf("%v: PulseDurationTable = %v, PulseDuration = %v", basis, tab, old)
+		}
+		if old <= 0 {
+			t.Errorf("%v: implausible zero duration", basis)
+		}
+	}
+}
+
+// TestPulseDurationTablePricesMixedCircuits covers what the basis-global
+// weighting cannot: a routed (untranslated) circuit with explicit swaps and
+// a custom table.
+func TestPulseDurationTablePricesMixedCircuits(t *testing.T) {
+	c := circuit.New(2)
+	c.CX(0, 1)
+	c.Swap(0, 1)
+	c.SqrtISwap(0, 1)
+	got := PulseDurationTable(c, arch.DefaultTiming())
+	if want := 1.0 + 1.5 + 0.5; got != want {
+		t.Errorf("serial chain duration = %v, want %v", got, want)
+	}
+	custom := arch.DefaultTiming()
+	custom["swap"] = 3
+	if got := PulseDurationTable(c, custom); got != 1.0+3+0.5 {
+		t.Errorf("custom table duration = %v, want 4.5", got)
+	}
+	if got := PulseDurationTable(c, nil); got != 0 {
+		t.Errorf("nil table should price everything at 0, got %v", got)
+	}
+}

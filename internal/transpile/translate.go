@@ -225,6 +225,23 @@ func PulseDuration(c *circuit.Circuit, b weyl.Basis) float64 {
 	})
 }
 
+// PulseDurationTable returns the duration-weighted critical path of a
+// circuit under a per-gate-type timing table: each two-qubit gate costs
+// durations[name] pulse units (0 when absent), 1Q gates are free. This is
+// the per-architecture generalization of PulseDuration — with the default
+// table (arch.DefaultTiming) it reproduces PulseDuration's numbers exactly
+// on translated circuits, and it prices mixed-basis circuits (heterogeneous
+// translation, pre-translation routed circuits with explicit swaps) that a
+// single-basis weighting cannot.
+func PulseDurationTable(c *circuit.Circuit, durations map[string]float64) float64 {
+	return c.CriticalPath(func(op circuit.Op) float64 {
+		if !op.Is2Q() {
+			return 0
+		}
+		return durations[op.Name]
+	})
+}
+
 // Critical2Q returns the number of basis-gate applications on the critical
 // path of a translated circuit.
 func Critical2Q(c *circuit.Circuit) int {

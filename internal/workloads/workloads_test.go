@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/circuit"
@@ -258,5 +259,78 @@ func TestGenerateRegistry(t *testing.T) {
 	}
 	if _, err := Generate("nope", 8, rng); err == nil {
 		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestNamesPinnedOrder(t *testing.T) {
+	// Names() drives figure legends and the transpile CLI's -list output, so
+	// its ordering is part of the reproduction contract: the paper's figure
+	// order, stable across calls.
+	want := []string{"QuantumVolume", "QFT", "QAOAVanilla", "TIMHamiltonian", "Adder", "GHZ"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q (full: %v)", i, got[i], want[i], got)
+		}
+	}
+	again := Names()
+	for i := range got {
+		if got[i] != again[i] {
+			t.Fatal("Names() ordering unstable across calls")
+		}
+	}
+}
+
+func TestGenerateRejectsInvalidWidth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, name := range Names() {
+		for _, n := range []int{-1, 0, 1} {
+			if _, err := Generate(name, n, rng); err == nil {
+				t.Errorf("Generate(%q, %d) accepted an invalid width", name, n)
+			}
+		}
+	}
+	if _, err := Generate("QFT", 1, rng); err == nil || !strings.Contains(err.Error(), "too small") {
+		t.Errorf("width error does not say 'too small': %v", err)
+	}
+}
+
+func TestGenerateUnknownNameError(t *testing.T) {
+	_, err := Generate("Shor", 8, rand.New(rand.NewSource(5)))
+	if err == nil || !strings.Contains(err.Error(), `unknown benchmark "Shor"`) {
+		t.Errorf("unknown-name error = %v", err)
+	}
+}
+
+func TestGenerateDeterministicPerSeed(t *testing.T) {
+	for _, name := range Names() {
+		a, err := Generate(name, 6, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(name, 6, rand.New(rand.NewSource(9)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Ops) != len(b.Ops) {
+			t.Fatalf("%s: op counts differ across identical seeds", name)
+		}
+		for i := range a.Ops {
+			ao, bo := a.Ops[i], b.Ops[i]
+			if ao.Name != bo.Name || len(ao.Qubits) != len(bo.Qubits) {
+				t.Fatalf("%s: op %d differs across identical seeds", name, i)
+			}
+			for j := range ao.Qubits {
+				if ao.Qubits[j] != bo.Qubits[j] {
+					t.Fatalf("%s: op %d qubits differ across identical seeds", name, i)
+				}
+			}
+			if (ao.U == nil) != (bo.U == nil) || (ao.U != nil && !ao.U.EqualWithin(bo.U, 0)) {
+				t.Fatalf("%s: op %d matrix differs across identical seeds", name, i)
+			}
+		}
 	}
 }

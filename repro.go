@@ -40,6 +40,7 @@ package repro
 import (
 	"math/rand"
 
+	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/circuit"
 	"repro/internal/core"
@@ -122,6 +123,47 @@ func NewMachine(name string, g *Graph, b Basis) Machine { return core.NewMachine
 // DefaultOptions returns the experiment-default pipeline options.
 func DefaultOptions() Options { return core.DefaultOptions() }
 
+// ---- Architecture registry (declarative machine specs) ----
+
+// Arch is a declarative architecture spec: a registered topology family,
+// its parameters, a native basis, and a per-gate-type timing table,
+// parseable from the "family:key=value,..." grammar (see ParseArch).
+type Arch = arch.Arch
+
+// ArchFamily is one registered topology family (name, parameter keys,
+// smoke spec, and graph builder).
+type ArchFamily = arch.Family
+
+// GateTiming maps gate names to relative pulse durations (iSWAP = 1.0);
+// Machine.Timing and the noise model's duration charges both read it.
+type GateTiming = arch.Timing
+
+var (
+	// ParseArch decodes one spec string ("corral:posts=11,basis=sqrtiswap");
+	// ParseArchList decodes a ';'- or ','-separated list of them. Arch.String
+	// round-trips: ParseArch(a.String()) reproduces a exactly.
+	ParseArch     = arch.Parse
+	ParseArchList = arch.ParseList
+
+	// ArchFamilies lists the registered families sorted by name;
+	// RegisterArchFamily adds one (duplicate names rejected).
+	ArchFamilies       = arch.Families
+	RegisterArchFamily = arch.Register
+
+	// DefaultGateTiming is the paper's pulse-length normalization — the
+	// single source of truth behind StandardDurations and every machine
+	// built without an explicit table.
+	DefaultGateTiming = arch.DefaultTiming
+
+	// MachineFromArch realizes a parsed spec as a Machine; MachineFromSpec
+	// parses and realizes in one step. MachinesFromSpecs builds a whole
+	// comparison set (unique names enforced) for SweepSpec.Machines — the
+	// engine behind qcbench -machines.
+	MachineFromArch   = core.FromArch
+	MachineFromSpec   = core.FromSpec
+	MachinesFromSpecs = experiments.MachinesFromSpecs
+)
+
 // Machine catalog (paper Figs. 13–14).
 var (
 	HeavyHex20CX         = core.HeavyHex20CX
@@ -158,6 +200,8 @@ var (
 	TreeRR20         = topology.TreeRR20
 	Tree84           = topology.Tree84
 	TreeRR84         = topology.TreeRR84
+	Tree             = topology.Tree
+	TreeRR           = topology.TreeRR
 	MakeTree         = topology.MakeTree
 	Corral11         = topology.Corral11
 	Corral12         = topology.Corral12
@@ -212,6 +256,11 @@ var (
 	TranslateToBasis = transpile.TranslateToBasis
 	TranslateExactCX = transpile.TranslateExactCX
 	PulseDuration    = transpile.PulseDuration
+
+	// PulseDurationTable prices a circuit's critical path by a per-gate-type
+	// timing table (Machine.GateDurations / DefaultGateTiming) instead of a
+	// single basis-global constant.
+	PulseDurationTable = transpile.PulseDurationTable
 
 	// Cost-matrix variants of the placement and routing passes: a nil cost
 	// reproduces the uniform-hop baseline exactly; a weighted matrix (from

@@ -122,3 +122,37 @@ func TestFacadeChevron(t *testing.T) {
 		t.Fatal("chevron grid wrong")
 	}
 }
+
+func TestFacadeArchRegistry(t *testing.T) {
+	a, err := ParseArch("corral:posts=8,strides=1+1,basis=sqrtiswap,name=Corral11-sqrtISWAP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, err := ParseArch(a.String()); err != nil || !a.Equal(b) {
+		t.Fatalf("spec round trip failed: %v %+v", err, b)
+	}
+	m, err := MachineFromArch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	catalog := Corral11SqrtISwap()
+	if m.Name != catalog.Name || m.Graph.Fingerprint() != catalog.Graph.Fingerprint() || m.Basis != catalog.Basis {
+		t.Fatalf("spec-built machine %q diverges from catalog %q", m.Name, catalog.Name)
+	}
+	if len(ArchFamilies()) < 8 {
+		t.Fatalf("expected the 8 built-in families, got %d", len(ArchFamilies()))
+	}
+	ms, err := MachinesFromSpecs("hypercube:dim=4,basis=sqrtiswap;tree:levels=2,basis=sqrtiswap")
+	if err != nil || len(ms) != 2 {
+		t.Fatalf("MachinesFromSpecs: %v (%d machines)", err, len(ms))
+	}
+	if DefaultGateTiming().Duration("siswap") != 0.5 {
+		t.Fatal("default timing table lost the paper normalization")
+	}
+	if g := Tree(3, 2); g.N() != 12 {
+		t.Fatalf("generic Tree(3,2) has %d qubits, want 12", g.N())
+	}
+	if g := TreeRR(3, 2); g.N() != 12 {
+		t.Fatalf("generic TreeRR(3,2) has %d qubits, want 12", g.N())
+	}
+}

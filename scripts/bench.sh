@@ -11,6 +11,7 @@
 #
 # Output schema:
 #   { "goos": ..., "goarch": ..., "cpu": ..., "gomaxprocs": N, "cpus": N,
+#     "registry_families": N,
 #     "benchmarks": [ { "name": ..., "iterations": N, "ns_per_op": ...,
 #                       "b_per_op": ..., "allocs_per_op": ...,
 #                       "cache_hits_per_op": ..., "cache_misses_per_op": ...,
@@ -33,6 +34,10 @@
 # sweep at GOMAXPROCS 1/2/4 (the ROADMAP multi-core scaling demo); on a
 # single-core runner the curve is flat — "cpus" says how to read it. Set
 # BENCH_SKIP_SCALING=1 to skip it.
+#
+# "registry_families" records the size of the registry-built architecture
+# grid (one line per family in `topostat -families`), so snapshots show
+# when the declarative design space grows.
 #
 # The deltas section makes the perf trajectory machine-readable per PR: for
 # every benchmark also present in the newest prior BENCH_*.json (by mtime,
@@ -57,6 +62,11 @@ export CPUS_REPORT="$CPUS"
 if [[ "${BENCH_SKIP_CHECK:-0}" != "1" ]]; then
     scripts/check.sh
 fi
+
+echo "bench: sizing the registry-built architecture grid (topostat -families)"
+FAMILIES="$(go run ./cmd/topostat -families | wc -l | tr -d '[:space:]')"
+export FAMILIES_REPORT="$FAMILIES"
+echo "  registry_families=$FAMILIES"
 
 if [[ "${BENCH_SKIP_SCALING:-0}" != "1" ]]; then
     echo "bench: sweep scaling curve (quick -fig 12 at GOMAXPROCS 1/2/4; $CPUS core(s) available)"
@@ -112,8 +122,8 @@ function jsonnum(line, key,   s) {
     names[n] = name; nsval[n] = ns; allocval[n] = allocs
 }
 END {
-    printf "{\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"cpus\": %s,\n  \"benchmarks\": [\n", \
-           goos, goarch, cpu, ENVIRON["GOMAXPROCS_REPORT"], ENVIRON["CPUS_REPORT"] > out
+    printf "{\n  \"goos\": \"%s\",\n  \"goarch\": \"%s\",\n  \"cpu\": \"%s\",\n  \"gomaxprocs\": %s,\n  \"cpus\": %s,\n  \"registry_families\": %s,\n  \"benchmarks\": [\n", \
+           goos, goarch, cpu, ENVIRON["GOMAXPROCS_REPORT"], ENVIRON["CPUS_REPORT"], ENVIRON["FAMILIES_REPORT"] > out
     for (i = 1; i <= n; i++) printf "%s%s\n", lines[i], (i < n ? "," : "") >> out
     print "  ]," >> out
     print "  \"scaling\": [" >> out

@@ -11,6 +11,10 @@
 #     faultinject, experiments) must synchronize on channels, contexts, or
 #     atomics — a time.Sleep there is a latent flake and is rejected.
 #     (Library code may sleep; the retry backoff does.)
+#   * registry-integrity arm: every registered architecture family must
+#     parse and build its smoke spec into a connected graph, with no
+#     duplicate family names or fingerprint-identical smoke topologies
+#     (TestRegistryIntegrity in internal/arch).
 #   * chaos arm: the fault-injection suite — panic isolation, injected
 #     disk faults and corruption self-heal, cell timeouts, crash-resume
 #     byte-identity — run under the race detector (-run 'Fault|Chaos|Resume').
@@ -91,6 +95,9 @@ if [[ -n "$SLEEPS" ]]; then
     echo "check: FAILED — sleep-based test synchronization is a latent flake; use channels, contexts, or atomics"
     exit 1
 fi
+
+echo "check: architecture registry integrity (smoke builds, unique names + fingerprints)"
+go test -count=1 -run 'TestRegistryIntegrity' ./internal/arch
 
 echo "check: chaos suite under the race detector (-run 'Fault|Chaos|Resume')"
 GOMAXPROCS=4 go test -race -count=1 -run 'Fault|Chaos|Resume' ./internal/...
