@@ -535,3 +535,41 @@ func BenchmarkCacheDiskFaultRetry(b *testing.B) {
 	}
 	b.ReportMetric(degraded, "degraded")
 }
+
+// BenchmarkNoisyEvaluate measures one noise-aware evaluation end to end —
+// error-weighted routing plus Monte-Carlo trajectory sampling — on the
+// heterogeneous 4×4 grid the routing acceptance test pins. est_fidelity is
+// the (deterministic, seeded) fidelity estimate so bench snapshots catch a
+// silent model drift; noisy_eval_ns/op mirrors ns/op under a stable name
+// for the JSON schema (scripts/bench.sh).
+func BenchmarkNoisyEvaluate(b *testing.B) {
+	m, err := core.FromSpec("grid:rows=4,cols=4,basis=syc,e2q=0.001,e2q-5-6=0.3")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := workloads.Generate("QFT", 10, rand.New(rand.NewSource(77)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.Options{
+		Seed:       2022,
+		Trials:     5,
+		Fidelity:   core.FidelityMonteCarlo,
+		NoiseShots: 64,
+		NoiseRoute: core.NoiseRoutePure,
+	}
+	var met core.Metrics
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		met, err = m.Evaluate(c, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if met.EstFidelity <= 0 || met.EstFidelity >= 1 {
+		b.Fatalf("est fidelity %g out of range", met.EstFidelity)
+	}
+	b.ReportMetric(met.EstFidelity, "est_fidelity")
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "noisy_eval_ns/op")
+}

@@ -9,6 +9,14 @@
 // serial; output is identical at any setting). Non-positive -samples and
 // negative -parallelism are rejected with usage errors instead of being
 // silently reinterpreted downstream.
+//
+// -model picks the bottom panel's decoherence arithmetic: count (default)
+// is the paper's closed-form Fb^k (Eq. 13), byte-identical to historical
+// output; montecarlo replaces it with trajectory sampling through each
+// optimized template circuit (-shots trajectories per grid point, 0 =
+// default), capturing the error propagation the closed form ignores. The
+// top panel (decomposition infidelity) is noise-free and identical under
+// both models.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/cli"
+	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/experiments"
 )
@@ -34,6 +43,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	seed := fs.Int64("seed", experiments.DefaultSeed, "RNG seed")
 	parallelism := fs.Int("parallelism", 0,
 		"decomposition worker pool size (0 = all cores, 1 = serial; output is identical at any setting)")
+	model := fs.String("model", "count",
+		"bottom-panel decoherence model: count (closed-form Fb^k) or montecarlo (trajectory sampling through each template)")
+	shots := fs.Int("shots", 0,
+		"Monte-Carlo trajectories per grid point for -model montecarlo (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapParse(err)
 	}
@@ -49,10 +62,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *parallelism < 0 {
 		return cli.Usagef("-parallelism must be ≥ 0 (0 = all cores), got %d", *parallelism)
 	}
+	fidelity := core.FidelityCount
+	switch *model {
+	case "count":
+	case "montecarlo":
+		fidelity = core.FidelityMonteCarlo
+	default:
+		return cli.Usagef("unknown -model %q: want count or montecarlo", *model)
+	}
+	if *shots < 0 {
+		return cli.Usagef("-shots must be ≥ 0 (0 = default), got %d", *shots)
+	}
+	if *shots > 0 && fidelity != core.FidelityMonteCarlo {
+		return cli.Usagef("-shots only applies to -model montecarlo; it would be ignored otherwise")
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.Parallelism = *parallelism
+	cfg.Fidelity = fidelity
+	cfg.NoiseShots = *shots
 	res, err := experiments.RunFig15Config(*samples, decomp.Config{}, cfg)
 	if err != nil {
 		return err

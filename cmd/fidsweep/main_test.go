@@ -53,3 +53,15 @@ func TestParseErrorIsDistinguished(t *testing.T) {
 		t.Fatalf("expected parse error, got %v", err)
 	}
 }
+
+func TestModelFlagValidated(t *testing.T) {
+	_, _, err := runF(t, "-model", "quantum")
+	wantUsageError(t, err, "unknown -model")
+	_, _, err = runF(t, "-shots", "-3")
+	wantUsageError(t, err, "-shots")
+	// Shots under the count model would be silently ignored.
+	_, _, err = runF(t, "-shots", "16")
+	wantUsageError(t, err, "-shots")
+	_, _, err = runF(t, "-model", "count", "-shots", "16")
+	wantUsageError(t, err, "-shots")
+}

@@ -47,6 +47,19 @@
 // is only as fresh as that tag. Hit/miss counts print to stderr on every
 // exit path, including failed sweeps.
 //
+// -noise "e2q=P,tdec=R,e2q-a-b=P" attaches a noise profile to every machine
+// in a -fig sweep (machines whose -machines specs declare their own e2q=/
+// tdec= keys keep them — a machine's profile wins over the sweep default)
+// and reports each cell's estimated output-state fidelity in an extra
+// [estFidelity] table block (or est_fidelity CSV column). -noise-model
+// picks the estimator: count (closed-form, the default) or montecarlo
+// (trajectory sampling, -noise-shots trajectories per cell). -noise-route
+// re-routes against error-weighted edge costs instead of plain hop counts:
+// pure prices edges by −ln(1−p) alone; blend multiplies the error weights
+// into measured SWAP-pressure weights after a pilot pass. Noisy evaluations
+// carry a tagged noise/v1 cache-key field, so a -cachedir shared with
+// baseline runs stays uncontaminated and baseline entries still hit.
+//
 // Long unattended runs are bounded and interruptible: -cell-timeout D
 // fails any single evaluation exceeding D (the sweep continues under
 // -tolerant), -deadline D bounds the whole invocation, and Ctrl-C cancels
@@ -77,6 +90,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/arch"
 	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/experiments"
@@ -118,6 +132,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"journal file for crash-resumable -fig sweeps (created if missing; journaled cells replay instead of recomputing)")
 	machines := fs.String("machines", "",
 		"replace a -fig sweep's machine set with architecture specs, e.g. \"corral:posts=11,basis=sqrtiswap;hypercube:dim=5\" (specs separated by ';' or by ',' before a family name; see README)")
+	noiseFlag := fs.String("noise", "",
+		"noise profile for every machine in a -fig sweep, e.g. \"e2q=0.002,tdec=0.001,e2q-0-1=0.05\" (machines whose specs carry their own e2q=/tdec= keys keep them)")
+	noiseModel := fs.String("noise-model", "",
+		"fidelity estimator: count (closed-form) or montecarlo (trajectory sampling); default count when noise is configured")
+	noiseRoute := fs.String("noise-route", "",
+		"error-weighted routing: pure (edge costs from error rates alone) or blend (error weights × measured SWAP pressure)")
+	noiseShots := fs.Int("noise-shots", 0,
+		"Monte-Carlo trajectories per cell for -noise-model montecarlo (0 = default)")
 	if err := fs.Parse(args); err != nil {
 		return cli.WrapParse(err)
 	}
@@ -189,6 +211,50 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	if *machines != "" && *fig == 0 {
 		return cli.Usagef("-machines only applies to -fig sweeps; it would be ignored under %s", modes[0])
+	}
+	noiseConfigured := *noiseFlag != "" || *noiseModel != "" || *noiseRoute != "" || *noiseShots != 0
+	if noiseConfigured && *fig == 0 {
+		return cli.Usagef("noise flags only apply to -fig sweeps; they would be ignored under %s", modes[0])
+	}
+	// -noise-model/-noise-route without -noise are legal only when -machines
+	// can supply per-machine profiles via e2q=/tdec= spec keys; a missing
+	// profile then fails per cell with a descriptive core error.
+	if (*noiseModel != "" || *noiseRoute != "") && *noiseFlag == "" && *machines == "" {
+		return cli.Usagef("-noise-model/-noise-route need a noise profile: set -noise, or -machines specs with e2q=/tdec= keys")
+	}
+	var noiseProfile *arch.NoiseProfile
+	if *noiseFlag != "" {
+		var err error
+		if noiseProfile, err = arch.ParseNoise(*noiseFlag); err != nil {
+			return cli.Usagef("bad -noise: %v", err)
+		}
+	}
+	fidelity := core.FidelityOff
+	if noiseConfigured {
+		switch *noiseModel {
+		case "", "count":
+			fidelity = core.FidelityCount
+		case "montecarlo":
+			fidelity = core.FidelityMonteCarlo
+		default:
+			return cli.Usagef("unknown -noise-model %q: want count or montecarlo", *noiseModel)
+		}
+	}
+	if *noiseShots < 0 {
+		return cli.Usagef("-noise-shots must be ≥ 0 (0 = default), got %d", *noiseShots)
+	}
+	if *noiseShots > 0 && fidelity != core.FidelityMonteCarlo {
+		return cli.Usagef("-noise-shots only applies to -noise-model montecarlo; it would be ignored otherwise")
+	}
+	routeMode := core.NoiseRouteOff
+	switch *noiseRoute {
+	case "":
+	case "pure":
+		routeMode = core.NoiseRoutePure
+	case "blend":
+		routeMode = core.NoiseRouteBlend
+	default:
+		return cli.Usagef("unknown -noise-route %q: want pure or blend", *noiseRoute)
 	}
 	postSizes, err := parsePosts(*posts)
 	if err != nil {
@@ -285,6 +351,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		spec.CellTimeout = cfg.CellTimeout
 		spec.Deadline = cfg.Deadline
 		spec.Tolerant = cfg.Tolerant
+		spec.Noise = noiseProfile
+		spec.Fidelity = fidelity
+		spec.NoiseShots = *noiseShots
+		spec.NoiseRoute = routeMode
 		if *trialsFlag > 0 {
 			spec.Trials = *trialsFlag
 		}
@@ -312,8 +382,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			if *csv {
 				fmt.Fprint(stdout, experiments.SeriesCSV(series, spec.Kind))
 			} else {
-				fmt.Fprintf(stdout, "Figure %d (%s mode%s) — PARTIAL, %d cells failed\n",
-					*fig, mode(quick), profiledSuffix(*profile), len(ce))
+				fmt.Fprintf(stdout, "Figure %d (%s mode%s%s) — PARTIAL, %d cells failed\n",
+					*fig, mode(quick), profiledSuffix(*profile), noiseSuffix(fidelity, routeMode), len(ce))
 				fmt.Fprint(stdout, experiments.FormatSeries(series, spec.Kind))
 			}
 			for _, c := range ce {
@@ -325,7 +395,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprint(stdout, experiments.SeriesCSV(series, spec.Kind))
 			return nil
 		}
-		fmt.Fprintf(stdout, "Figure %d (%s mode%s)\n", *fig, mode(quick), profiledSuffix(*profile))
+		fmt.Fprintf(stdout, "Figure %d (%s mode%s%s)\n",
+			*fig, mode(quick), profiledSuffix(*profile), noiseSuffix(fidelity, routeMode))
 		fmt.Fprint(stdout, experiments.FormatSeries(series, spec.Kind))
 	}
 	return nil
@@ -343,6 +414,28 @@ func profiledSuffix(profiled bool) string {
 		return ", profile-guided"
 	}
 	return ""
+}
+
+// noiseSuffix describes the noise configuration in the figure header, empty
+// when noise is off so historical headers stay byte-identical.
+func noiseSuffix(fidelity core.FidelityModel, route core.NoiseRouteMode) string {
+	var parts []string
+	switch fidelity {
+	case core.FidelityCount:
+		parts = append(parts, "noise: count model")
+	case core.FidelityMonteCarlo:
+		parts = append(parts, "noise: montecarlo")
+	}
+	switch route {
+	case core.NoiseRoutePure:
+		parts = append(parts, "error-weighted routing")
+	case core.NoiseRouteBlend:
+		parts = append(parts, "error×pressure routing")
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return ", " + strings.Join(parts, ", ")
 }
 
 // parsePosts parses the -posts list. Non-positive sizes are rejected here

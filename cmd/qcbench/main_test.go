@@ -247,3 +247,100 @@ func TestMachinesReproducesFig11(t *testing.T) {
 		t.Fatal("single-machine sweep unexpectedly identical to the stock set")
 	}
 }
+
+func TestNoiseFlagsValidated(t *testing.T) {
+	// Noise flags are sweep machinery: reject them wherever they would be
+	// silently ignored or silently wrong.
+	_, _, err := runQ(t, "-headline", "-noise", "e2q=0.002")
+	wantUsageError(t, err, "noise flags")
+	_, _, err = runQ(t, "-corralscaling", "-noise-model", "count")
+	wantUsageError(t, err, "noise flags")
+	// A model or routing mode without any profile source can only ever
+	// fail per cell; catch it up front.
+	_, _, err = runQ(t, "-fig", "11", "-noise-model", "count")
+	wantUsageError(t, err, "need a noise profile")
+	_, _, err = runQ(t, "-fig", "11", "-noise-route", "pure")
+	wantUsageError(t, err, "need a noise profile")
+	_, _, err = runQ(t, "-fig", "11", "-noise", "bogus=1")
+	wantUsageError(t, err, "bad -noise")
+	_, _, err = runQ(t, "-fig", "11", "-noise", "e2q=0.002", "-noise-model", "quantum")
+	wantUsageError(t, err, "unknown -noise-model")
+	_, _, err = runQ(t, "-fig", "11", "-noise", "e2q=0.002", "-noise-route", "fast")
+	wantUsageError(t, err, "unknown -noise-route")
+	_, _, err = runQ(t, "-fig", "11", "-noise", "e2q=0.002", "-noise-shots", "-5")
+	wantUsageError(t, err, "-noise-shots")
+	// Shots under the count model would be ignored; that's a mistake too.
+	_, _, err = runQ(t, "-fig", "11", "-noise", "e2q=0.002", "-noise-shots", "16")
+	wantUsageError(t, err, "-noise-shots")
+}
+
+func TestNoiseSweepOutput(t *testing.T) {
+	baseline, _, err := runQ(t, "-fig", "11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(baseline, "estFidelity") || strings.Contains(baseline, "noise:") {
+		t.Fatal("noise-off -fig 11 output mentions noise; goldens would break")
+	}
+	noisy, _, err := runQ(t, "-fig", "11", "-noise", "e2q=0.002,tdec=0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(noisy, "[estFidelity]") {
+		t.Fatal("-noise output has no [estFidelity] block")
+	}
+	if !strings.Contains(noisy, "noise: count model") {
+		t.Fatalf("-noise header missing the model suffix:\n%s", firstLine(noisy))
+	}
+	// The routing tables themselves are untouched: the noisy output is the
+	// baseline plus fidelity blocks and a header suffix.
+	for _, line := range strings.Split(baseline, "\n") {
+		if strings.HasPrefix(line, "Figure") || line == "" {
+			continue
+		}
+		if !strings.Contains(noisy, line) {
+			t.Fatalf("baseline row missing from noisy output: %q", line)
+		}
+	}
+	csv, _, err := runQ(t, "-fig", "11", "-csv", "-noise", "e2q=0.002,tdec=0.001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, "est_fidelity") {
+		t.Fatal("-csv -noise output has no est_fidelity column")
+	}
+}
+
+func TestNoiseMonteCarloAndSpecProfiles(t *testing.T) {
+	// Machines can carry their own profiles via spec keys; -noise-route is
+	// then legal without -noise.
+	out, _, err := runQ(t, "-fig", "11",
+		"-machines", "grid:rows=4,cols=4,basis=syc,e2q=0.001,e2q-5-6=0.3,name=HetGrid",
+		"-noise-route", "pure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "error-weighted routing") {
+		t.Fatalf("-noise-route header suffix missing:\n%s", firstLine(out))
+	}
+	if !strings.Contains(out, "[estFidelity]") {
+		t.Fatal("spec-profile sweep reported no fidelity")
+	}
+	// Monte-Carlo end to end, small shot count.
+	mc, _, err := runQ(t, "-fig", "11",
+		"-machines", "grid:rows=4,cols=4,basis=syc,e2q=0.002,name=G",
+		"-noise-model", "montecarlo", "-noise-shots", "8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mc, "noise: montecarlo") || !strings.Contains(mc, "[estFidelity]") {
+		t.Fatalf("montecarlo sweep output malformed:\n%s", firstLine(mc))
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -33,8 +33,8 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		control := noise.Model{GateError: 0.005, Durations: noise.StandardDurations()}
-		decoh := noise.Model{DecoherenceRate: 0.005, Durations: noise.StandardDurations()}
+		control := noise.Model{GateError: 0.005, Timing: m.GateDurations()}
+		decoh := noise.Model{DecoherenceRate: 0.005, Timing: m.GateDurations()}
 		fc, err := noise.MonteCarloFidelity(tr.Translated, control, shots, rand.New(rand.NewSource(1)))
 		if err != nil {
 			log.Fatal(err)

@@ -10,7 +10,7 @@
 //
 // e.g. "corral:posts=8,strides=1+1,basis=sqrtiswap". The family must be
 // registered (see Register; the built-in families cover every topology in
-// the paper's comparison), parameter keys are family-specific, and three
+// the paper's comparison), parameter keys are family-specific, and several
 // keys are reserved across all families:
 //
 //   - basis=cx|sqrtiswap|syc|iswap — the native two-qubit gate (default cx,
@@ -18,7 +18,11 @@
 //   - name=... — an optional display name (sweep label); defaults to the
 //     canonical spec string;
 //   - t-<gate>=<duration> — a per-gate-type timing override, e.g.
-//     t-siswap=0.4 (gates not overridden keep DefaultTiming).
+//     t-siswap=0.4 (gates not overridden keep DefaultTiming);
+//   - e2q=<p>, tdec=<rate>, e2q-<a>-<b>=<p> — the architecture's noise
+//     profile (§3.1 error regimes): per-application two-qubit control-error
+//     probability, decoherence rate per unit pulse duration, and per-edge
+//     control-error overrides for heterogeneous hardware (see NoiseProfile).
 //
 // List-valued parameters separate elements with '+' (strides=1+3), since
 // ',' separates parameters; commas inside balanced parentheses do not split
@@ -89,20 +93,110 @@ func (t Timing) Clone() Timing {
 	return out
 }
 
+// NoiseProfile is an architecture's §3.1 error model as plain data, so the
+// error regime travels with the spec the same way the timing table does:
+// E2Q is the per-application depolarizing probability of any two-qubit gate
+// (control-error regime), TDec converts pulse duration into per-qubit Pauli
+// error probability p = 1−exp(−d·TDec) (decoherence regime), and EdgeE2Q
+// overrides E2Q on individual couplings — the heterogeneous-hardware case
+// where some links are better or worse than the fleet average, keyed by the
+// (low, high) physical qubit pair.
+type NoiseProfile struct {
+	E2Q     float64
+	TDec    float64
+	EdgeE2Q map[[2]int]float64
+}
+
+// IsZero reports whether the profile describes noiseless hardware (a nil
+// profile does).
+func (p *NoiseProfile) IsZero() bool {
+	return p == nil || (p.E2Q == 0 && p.TDec == 0 && len(p.EdgeE2Q) == 0)
+}
+
+// EdgeError returns the control-error probability of a two-qubit gate on
+// the physical coupling (a, b): the per-edge override when one exists
+// (order-insensitive), else the uniform E2Q. Safe on a nil profile (0).
+func (p *NoiseProfile) EdgeError(a, b int) float64 {
+	if p == nil {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	if e, ok := p.EdgeE2Q[[2]int{a, b}]; ok {
+		return e
+	}
+	return p.E2Q
+}
+
+// Equal reports whether two profiles describe the same error model; nil
+// equals any all-zero profile.
+func (p *NoiseProfile) Equal(o *NoiseProfile) bool {
+	if p.IsZero() || o.IsZero() {
+		return p.IsZero() && o.IsZero()
+	}
+	if p.E2Q != o.E2Q || p.TDec != o.TDec || len(p.EdgeE2Q) != len(o.EdgeE2Q) {
+		return false
+	}
+	for e, v := range p.EdgeE2Q {
+		ov, ok := o.EdgeE2Q[e]
+		if !ok || ov != v {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy (nil stays nil).
+func (p *NoiseProfile) Clone() *NoiseProfile {
+	if p == nil {
+		return nil
+	}
+	out := &NoiseProfile{E2Q: p.E2Q, TDec: p.TDec}
+	if p.EdgeE2Q != nil {
+		out.EdgeE2Q = make(map[[2]int]float64, len(p.EdgeE2Q))
+		for e, v := range p.EdgeE2Q {
+			out.EdgeE2Q[e] = v
+		}
+	}
+	return out
+}
+
+// Edges returns the override pairs in sorted order, so cache keys and spec
+// strings derived from the profile are canonical.
+func (p *NoiseProfile) Edges() [][2]int {
+	if p == nil || len(p.EdgeE2Q) == 0 {
+		return nil
+	}
+	out := make([][2]int, 0, len(p.EdgeE2Q))
+	for e := range p.EdgeE2Q {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
 // Arch is one declarative architecture: everything needed to realize a
 // machine, as plain data. Params holds the family-specific parameters as
 // raw grammar values (validated when the topology is built); Timing nil
-// means DefaultTiming.
+// means DefaultTiming; Noise nil means noiseless hardware.
 type Arch struct {
 	Family string
 	Params map[string]string
 	Name   string
 	Basis  weyl.Basis
 	Timing Timing
+	Noise  *NoiseProfile
 }
 
-// Equal reports spec identity: same family, parameters, name, basis, and
-// timing overrides. It is the relation String/Parse round-trips preserve.
+// Equal reports spec identity: same family, parameters, name, basis,
+// timing overrides, and noise profile. It is the relation String/Parse
+// round-trips preserve.
 func (a Arch) Equal(b Arch) bool {
 	if a.Family != b.Family || a.Name != b.Name || a.Basis != b.Basis {
 		return false
@@ -115,7 +209,7 @@ func (a Arch) Equal(b Arch) bool {
 			return false
 		}
 	}
-	return a.Timing.Equal(b.Timing)
+	return a.Timing.Equal(b.Timing) && a.Noise.Equal(b.Noise)
 }
 
 // EffectiveTiming resolves the spec's timing table: explicit overrides are
@@ -206,6 +300,13 @@ func Parse(s string) (Arch, error) {
 				a.Timing = Timing{}
 			}
 			a.Timing[gate] = d
+		case key == "e2q" || key == "tdec" || strings.HasPrefix(key, "e2q-"):
+			if a.Noise == nil {
+				a.Noise = &NoiseProfile{}
+			}
+			if err := a.Noise.setKey(key, val); err != nil {
+				return Arch{}, fmt.Errorf("arch: %s: %w", fam.Name, err)
+			}
 		default:
 			if !fam.hasKey(key) {
 				return Arch{}, fmt.Errorf("arch: %s: unknown parameter %q (usage: %s)", fam.Name, key, fam.Usage)
@@ -213,13 +314,122 @@ func Parse(s string) (Arch, error) {
 			a.Params[key] = val
 		}
 	}
+	// An explicitly all-zero noise profile means the same noiseless hardware
+	// a noise-free spec does; normalizing to nil keeps String/Parse
+	// round-trips exact and Equal transitive.
+	if a.Noise.IsZero() {
+		a.Noise = nil
+	}
 	return a, nil
 }
 
+// setKey decodes one noise grammar key (e2q=, tdec=, e2q-<a>-<b>=) into the
+// profile, validating ranges: error probabilities live in [0,1), rates are
+// ≥ 0, and edge endpoints are distinct non-negative qubit indices.
+func (p *NoiseProfile) setKey(key, val string) error {
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad noise parameter %q=%q (not a number)", key, val)
+	}
+	switch {
+	case key == "e2q":
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("bad noise parameter %q=%q (want an error probability in [0,1))", key, val)
+		}
+		p.E2Q = v
+	case key == "tdec":
+		if v < 0 {
+			return fmt.Errorf("bad noise parameter %q=%q (want a decoherence rate ≥ 0)", key, val)
+		}
+		p.TDec = v
+	default:
+		ab := strings.Split(strings.TrimPrefix(key, "e2q-"), "-")
+		if len(ab) != 2 {
+			return fmt.Errorf("bad per-edge override %q (want e2q-<a>-<b>=<p>)", key)
+		}
+		a, errA := strconv.Atoi(ab[0])
+		b, errB := strconv.Atoi(ab[1])
+		if errA != nil || errB != nil || a < 0 || b < 0 || a == b {
+			return fmt.Errorf("bad per-edge override %q (want two distinct qubit indices ≥ 0)", key)
+		}
+		if v < 0 || v >= 1 {
+			return fmt.Errorf("bad per-edge override %q=%q (want an error probability in [0,1))", key, val)
+		}
+		if a > b {
+			a, b = b, a
+		}
+		if p.EdgeE2Q == nil {
+			p.EdgeE2Q = map[[2]int]float64{}
+		}
+		p.EdgeE2Q[[2]int{a, b}] = v
+	}
+	return nil
+}
+
+// ParseNoise decodes a standalone comma-separated noise profile — the same
+// e2q=/tdec=/e2q-<a>-<b>= keys the spec grammar reserves, without a family
+// head — for CLI flags like qcbench -noise. An all-zero profile normalizes
+// to nil, mirroring Parse.
+func ParseNoise(s string) (*NoiseProfile, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, fmt.Errorf("arch: empty noise profile")
+	}
+	p := &NoiseProfile{}
+	seen := map[string]bool{}
+	for _, part := range splitOutsideParens(s, ',') {
+		key, val, ok := strings.Cut(part, "=")
+		key, val = strings.TrimSpace(key), strings.TrimSpace(val)
+		if !ok || key == "" || val == "" {
+			return nil, fmt.Errorf("arch: malformed noise parameter %q (want key=value)", strings.TrimSpace(part))
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("arch: duplicate noise parameter %q", key)
+		}
+		seen[key] = true
+		if key != "e2q" && key != "tdec" && !strings.HasPrefix(key, "e2q-") {
+			return nil, fmt.Errorf("arch: unknown noise parameter %q (want e2q=, tdec=, or e2q-<a>-<b>=)", key)
+		}
+		if err := p.setKey(key, val); err != nil {
+			return nil, fmt.Errorf("arch: %w", err)
+		}
+	}
+	if p.IsZero() {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// noiseParts renders the profile's grammar parameters (unsorted; String
+// sorts them among the other spec parts).
+func (p *NoiseProfile) noiseParts() []string {
+	if p.IsZero() {
+		return nil
+	}
+	var parts []string
+	if p.E2Q != 0 {
+		parts = append(parts, "e2q="+strconv.FormatFloat(p.E2Q, 'g', -1, 64))
+	}
+	if p.TDec != 0 {
+		parts = append(parts, "tdec="+strconv.FormatFloat(p.TDec, 'g', -1, 64))
+	}
+	for e, v := range p.EdgeE2Q {
+		parts = append(parts, fmt.Sprintf("e2q-%d-%d=%s", e[0], e[1], strconv.FormatFloat(v, 'g', -1, 64)))
+	}
+	return parts
+}
+
+// String renders the profile in the canonical grammar form (sorted keys),
+// so a profile prints the way a spec or -noise flag would spell it.
+func (p *NoiseProfile) String() string {
+	parts := p.noiseParts()
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
 // String renders the canonical spec: family, then every parameter —
-// family-specific keys, basis, optional name, t-* overrides — in sorted
-// key order, so equal specs print identically and Parse(a.String())
-// reproduces a.
+// family-specific keys, basis, optional name, t-* overrides, noise keys —
+// in sorted key order, so equal specs print identically and
+// Parse(a.String()) reproduces a.
 func (a Arch) String() string {
 	parts := make([]string, 0, len(a.Params)+len(a.Timing)+2)
 	for k, v := range a.Params {
@@ -232,6 +442,7 @@ func (a Arch) String() string {
 	for g, d := range a.Timing {
 		parts = append(parts, "t-"+g+"="+strconv.FormatFloat(d, 'g', -1, 64))
 	}
+	parts = append(parts, a.Noise.noiseParts()...)
 	sort.Strings(parts)
 	return a.Family + ":" + strings.Join(parts, ",")
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/arch"
 	"repro/internal/cache"
 	"repro/internal/circuit"
+	"repro/internal/noise"
 	"repro/internal/topology"
 	"repro/internal/transpile"
 	"repro/internal/weyl"
@@ -34,6 +35,15 @@ type Machine struct {
 	// effective table differs from the default is cache-keyed separately
 	// (see EvaluateKey).
 	Timing arch.Timing
+
+	// Noise is the machine's error model (§3.1 regimes: per-2Q-gate control
+	// error, decoherence per unit duration, per-edge overrides), carried
+	// from the e2q=/tdec=/e2q-<a>-<b>= spec keys. nil means noiseless
+	// hardware; evaluations fall back to Options.Noise when the machine has
+	// no profile of its own. The profile changes nothing unless a fidelity
+	// model or noise routing is requested, so it needs no cache-key field
+	// of its own (the noise/v1 field covers it when one is).
+	Noise *arch.NoiseProfile
 }
 
 // NewMachine builds a machine with an explicit name (and the default
@@ -52,15 +62,16 @@ func (m Machine) GateDurations() arch.Timing {
 }
 
 // FromArch realizes a declarative architecture spec as a machine: the
-// family generator builds the coupling graph, the spec's basis and
-// effective timing table carry over, and the machine is named by the spec's
-// label (explicit name= parameter, else the canonical spec string).
+// family generator builds the coupling graph, the spec's basis, effective
+// timing table, and noise profile carry over, and the machine is named by
+// the spec's label (explicit name= parameter, else the canonical spec
+// string).
 func FromArch(a arch.Arch) (Machine, error) {
 	g, err := a.Build()
 	if err != nil {
 		return Machine{}, err
 	}
-	m := Machine{Name: a.Label(), Graph: g, Basis: a.Basis}
+	m := Machine{Name: a.Label(), Graph: g, Basis: a.Basis, Noise: a.Noise.Clone()}
 	if a.Timing != nil {
 		m.Timing = a.EffectiveTiming()
 	}
@@ -94,6 +105,41 @@ const (
 	RouterStochastic RouterKind = iota
 	// RouterSabre is the SABRE lookahead router (ablation).
 	RouterSabre
+)
+
+// FidelityModel selects how an evaluation estimates the routed circuit's
+// fidelity under the machine's noise profile (Metrics.EstFidelity).
+type FidelityModel int
+
+const (
+	// FidelityOff computes no fidelity (the historical default; fidelity
+	// metric fields stay zero and cache keys are unchanged).
+	FidelityOff FidelityModel = iota
+	// FidelityCount uses the closed-form count model: gate counts and
+	// duration-weighted qubit time, no simulation, any machine width.
+	FidelityCount
+	// FidelityMonteCarlo samples error trajectories through the routed
+	// circuit (noise.MonteCarloEstimator): more faithful — it captures
+	// error spreading and cancellation — but limited to circuits touching
+	// at most sim.MaxQubits qubits.
+	FidelityMonteCarlo
+)
+
+// NoiseRouteMode selects whether routing costs come from per-edge error
+// rates (transpile.NoiseReweightPass) instead of uniform hop distances.
+type NoiseRouteMode int
+
+const (
+	// NoiseRouteOff routes against hop counts (the historical default).
+	NoiseRouteOff NoiseRouteMode = iota
+	// NoiseRoutePure installs the error-weighted cost matrix before
+	// layout, so placement and routing both prefer high-fidelity links.
+	NoiseRoutePure
+	// NoiseRouteBlend routes a hop-count pilot first, measures its SWAP
+	// pressure, then re-places and re-routes under costs that multiply
+	// error weights into pressure weights — pricing a link by both its
+	// quality and its congestion.
+	NoiseRouteBlend
 )
 
 // Options controls an evaluation run.
@@ -158,6 +204,35 @@ type Options struct {
 	// Verified runs always run the full pipeline.
 	Verify bool
 
+	// Noise is the default noise profile for machines that carry none of
+	// their own (Machine.Noise wins when both are set): one -noise flag can
+	// put a whole stock comparison set under the same error model. It is
+	// inert — no metric, artifact, or cache key changes — unless Fidelity
+	// or NoiseRoute asks for it.
+	Noise *arch.NoiseProfile
+
+	// Fidelity selects the estimator that fills Metrics.EstFidelity /
+	// ControlFidelity / DecoherenceFidelity from the routed circuit and the
+	// effective noise profile. FidelityOff (the default) computes nothing
+	// and leaves every historical cache key bit-identical; the other modes
+	// require a non-zero noise profile (machine or Options) and add the
+	// tagged noise/v1 key field. Estimation runs on the *routed* circuit —
+	// the semantic ground truth — not the translated one, whose placeholder
+	// 1Q gates are a counting artifact.
+	Fidelity FidelityModel
+
+	// NoiseShots is the trajectory count for FidelityMonteCarlo (0 →
+	// noise.DefaultShots). Normalized into the cache key the way Trials is,
+	// so the implicit default and an explicit DefaultShots share entries.
+	// Ignored by the count model.
+	NoiseShots int
+
+	// NoiseRoute routes against per-edge error rates instead of hop counts
+	// (see NoiseRouteMode). Like Fidelity it requires a noise profile and
+	// is cache-keyed under noise/v1; unlike Parallelism it changes the
+	// routed circuit itself, so the two routings never share entries.
+	NoiseRoute NoiseRouteMode
+
 	// Cache, when non-nil, memoizes Evaluate results content-addressed by
 	// (machine name, topology fingerprint, basis, circuit fingerprint, seed,
 	// trials, router). Because routing is a pure function of those inputs, a
@@ -198,6 +273,17 @@ type Metrics struct {
 	Total2Q       int     // basis gates after translation
 	Critical2Q    int     // basis gates on the critical path
 	PulseDuration float64 // duration-weighted critical path (1Q free)
+
+	// EstFidelity is the selected estimator's fidelity prediction for the
+	// routed circuit under the effective noise profile, with
+	// ControlFidelity and DecoherenceFidelity the closed-form count-model
+	// factors reported alongside it (their product is the count-model
+	// prediction even when EstFidelity is Monte-Carlo sampled). All three
+	// are zero when Options.Fidelity is FidelityOff — the default — so
+	// historical metrics, goldens, and cache entries are unchanged.
+	EstFidelity         float64
+	ControlFidelity     float64
+	DecoherenceFidelity float64
 }
 
 // String renders a one-line summary.
@@ -328,7 +414,66 @@ func (m Machine) EvaluateKey(c *circuit.Circuit, opt Options) cache.Key {
 			h.WriteFloat(m.Timing[g])
 		}
 	}
+	// Noise-aware evaluation computes additional numbers (fidelity metrics)
+	// or different ones (error-weighted routing) from the same inputs, so it
+	// gets its own tagged field — appended only when a fidelity model or
+	// noise routing is enabled, never for a machine that merely *carries* a
+	// profile, because an inert profile changes nothing: every baseline key
+	// (and both fig11 goldens' warm caches) stays bit-identical to earlier
+	// builds. The field hashes the mode selections plus the effective
+	// profile's parameters; shots join only under the Monte-Carlo model,
+	// normalized so the implicit default and an explicit DefaultShots share
+	// an entry (the count model ignores shots entirely).
+	if opt.Fidelity != FidelityOff || opt.NoiseRoute != NoiseRouteOff {
+		h.WriteString("noise/v1")
+		h.WriteInt(int64(opt.Fidelity))
+		h.WriteInt(int64(opt.NoiseRoute))
+		if opt.Fidelity == FidelityMonteCarlo {
+			shots := opt.NoiseShots
+			if shots <= 0 {
+				shots = noise.DefaultShots
+			}
+			h.WriteString("shots")
+			h.WriteInt(int64(shots))
+		}
+		p := m.effectiveNoise(opt)
+		if !p.IsZero() {
+			h.WriteFloat(p.E2Q)
+			h.WriteFloat(p.TDec)
+			for _, e := range p.Edges() {
+				h.WriteInt(int64(e[0]))
+				h.WriteInt(int64(e[1]))
+				h.WriteFloat(p.EdgeE2Q[e])
+			}
+		}
+	}
 	return h.Sum()
+}
+
+// effectiveNoise resolves the noise profile an evaluation runs under: the
+// machine's own when it has one, else the Options-level default (nil when
+// neither is set).
+func (m Machine) effectiveNoise(opt Options) *arch.NoiseProfile {
+	if !m.Noise.IsZero() {
+		return m.Noise
+	}
+	return opt.Noise
+}
+
+// estimator resolves the Options fidelity-model selection to a
+// noise.Estimator. Monte-Carlo seeds from opt.Seed — the same per-cell
+// derived seed routing uses — and inherits opt.Parallelism for its
+// trajectory fan-out (sweeps pin cells serial, so trajectories never
+// oversubscribe the sweep pool).
+func (opt Options) estimator() (noise.Estimator, error) {
+	switch opt.Fidelity {
+	case FidelityCount:
+		return noise.CountEstimator{}, nil
+	case FidelityMonteCarlo:
+		return noise.MonteCarloEstimator{Shots: opt.NoiseShots, Seed: opt.Seed, Parallelism: opt.Parallelism}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown fidelity model %d", opt.Fidelity)
+	}
 }
 
 // routerFunc resolves the Options router selection to the pipeline's
@@ -348,17 +493,45 @@ func (opt Options) routerFunc() (transpile.RouterFunc, error) {
 // dense layout, routing, optionally the profile-guided feedback loop, then
 // basis translation (Fig. 10, as composable transpile.Pass stages). The
 // default (ProfileGuided off) pipeline is layout → route → translate —
-// byte-identical to the historical monolithic Transpile. Callers composing
-// custom pipelines (extra passes, different order) can run them directly
-// over a transpile.PassContext; this is only the stock arrangement.
+// byte-identical to the historical monolithic Transpile. With NoiseRoute
+// set, the error-weighted cost matrix is installed before layout (pure
+// mode) or after a hop-count pilot whose pressure profile it blends with
+// (blend mode: layout → route → profile → noise-reweight → layout →
+// route); profile-guided iteration, when also requested, stacks on top of
+// the noise-routed result. Callers composing custom pipelines (extra
+// passes, different order) can run them directly over a
+// transpile.PassContext; this is only the stock arrangement.
 func (m Machine) Pipeline(opt Options) (transpile.Pipeline, error) {
 	router, err := opt.routerFunc()
 	if err != nil {
 		return nil, err
 	}
-	pipe := transpile.Pipeline{
+	var noiseErrors func(a, b int) float64
+	if opt.NoiseRoute != NoiseRouteOff {
+		if opt.NoiseRoute != NoiseRoutePure && opt.NoiseRoute != NoiseRouteBlend {
+			return nil, fmt.Errorf("core: unknown noise-route mode %d", opt.NoiseRoute)
+		}
+		p := m.effectiveNoise(opt)
+		if p.IsZero() {
+			return nil, fmt.Errorf("core: %s: noise routing requested but no noise profile (set Options.Noise or the machine's e2q=/tdec= spec keys)", m.Name)
+		}
+		noiseErrors = p.EdgeError
+	}
+	var pipe transpile.Pipeline
+	if opt.NoiseRoute == NoiseRoutePure {
+		pipe = append(pipe, transpile.NoiseReweightPass{Errors: noiseErrors})
+	}
+	pipe = append(pipe,
 		transpile.LayoutPass{},
 		transpile.RoutePass{Router: router},
+	)
+	if opt.NoiseRoute == NoiseRouteBlend {
+		pipe = append(pipe,
+			transpile.ProfilePass{},
+			transpile.NoiseReweightPass{Errors: noiseErrors, Blend: true},
+			transpile.LayoutPass{},
+			transpile.RoutePass{Router: router},
+		)
 	}
 	if opt.ProfileGuided {
 		pipe = append(pipe, transpile.ProfileGuidedPass{
@@ -423,6 +596,26 @@ func (m Machine) TranspileContext(ctx context.Context, c *circuit.Circuit, opt O
 		Total2Q:       translated.CountTwoQubit(),
 		Critical2Q:    transpile.Critical2Q(translated),
 		PulseDuration: transpile.PulseDurationTable(translated, m.GateDurations()),
+	}
+	if opt.Fidelity != FidelityOff {
+		prof := m.effectiveNoise(opt)
+		if prof.IsZero() {
+			return nil, fmt.Errorf("core: %s: fidelity estimation requested but no noise profile (set Options.Noise or the machine's e2q=/tdec= spec keys)", m.Name)
+		}
+		est, err := opt.estimator()
+		if err != nil {
+			return nil, err
+		}
+		// Estimate on the routed circuit — the semantic ground truth the
+		// verifier also checks — charging decoherence with the machine's
+		// timing table, the same source PulseDuration reads.
+		e, err := est.Estimate(ctx, routed.Circuit, noise.FromProfile(prof, m.GateDurations()))
+		if err != nil {
+			return nil, fmt.Errorf("core: %s: %s fidelity: %w", m.Name, est.Name(), err)
+		}
+		met.EstFidelity = e.Fidelity
+		met.ControlFidelity = e.Control
+		met.DecoherenceFidelity = e.Decoherence
 	}
 	return &Transpiled{
 		Layout:     pctx.Layout,

@@ -13,6 +13,7 @@ import (
 	"math/cmplx"
 	"math/rand"
 
+	"repro/internal/circuit"
 	"repro/internal/gates"
 	"repro/internal/linalg"
 	"repro/internal/optimize"
@@ -83,6 +84,38 @@ func TemplateUnitary(n, k int, params []float64) (*linalg.Matrix, error) {
 		t = layer(i).Mul(basis.Mul(t))
 	}
 	return t, nil
+}
+
+// TemplateCircuit materializes the Eq. 10 template as a two-qubit circuit —
+// the same gate sequence TemplateUnitary multiplies out, kept as individual
+// ops so the noise estimators can thread error trajectories through it: u3
+// pairs for each single-qubit layer, and k explicit-unitary n√iSWAP ops
+// (named "siswap" so duration-charging timing tables recognize the n=2
+// case; other roots carry their matrix in Op.U regardless of name).
+func TemplateCircuit(n, k int, params []float64) (*circuit.Circuit, error) {
+	if len(params) != ParamsPerTemplate(k) {
+		return nil, fmt.Errorf("decomp: need %d params for k=%d, got %d", ParamsPerTemplate(k), k, len(params))
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("decomp: invalid root n=%d", n)
+	}
+	basis := gates.NRootISwap(n)
+	name := fmt.Sprintf("n%dsiswap", n)
+	if n == 2 {
+		name = "siswap"
+	}
+	c := circuit.New(2)
+	layer := func(i int) {
+		p := params[6*i : 6*i+6]
+		c.U3(0, p[0], p[1], p[2])
+		c.U3(1, p[3], p[4], p[5])
+	}
+	layer(0)
+	for i := 1; i <= k; i++ {
+		c.Append(circuit.Op{Name: name, Qubits: []int{0, 1}, U: basis})
+		layer(i)
+	}
+	return c, nil
 }
 
 // Decompose optimizes a k-application n√iSWAP template against the target

@@ -107,11 +107,16 @@ const (
 	Codesign
 )
 
-// Point is one (circuit size → metrics) sample.
+// Point is one (circuit size → metrics) sample. Fidelity is the cell's
+// estimated output-state fidelity (core.Metrics.EstFidelity); it is zero —
+// and omitted from every rendering — unless the sweep's Config enables a
+// fidelity model, so noise-off output stays byte-identical to historical
+// runs.
 type Point struct {
 	Size     int
 	Total    float64
 	Critical float64
+	Fidelity float64
 }
 
 // Series is one curve of a figure: a machine/topology on a workload.
@@ -137,6 +142,11 @@ type Series struct {
 //     (core.Options.ProfileGuided), iterated ProfileIterations times;
 //     guided cells are cache-keyed separately from baseline cells, so the
 //     two modes can share a store (or -cachedir) without contamination.
+//   - Noise/Fidelity/NoiseShots/NoiseRoute (core.Options) make the sweep
+//     noise-aware: every cell estimates fidelity (reported per Point) and
+//     optionally routes against error-weighted edges. Noisy cells carry
+//     the tagged noise/v1 cache-key field, so they never collide with the
+//     baseline entries of a shared store.
 type SweepSpec struct {
 	ID        string
 	Kind      SweepKind
@@ -239,7 +249,7 @@ func (s SweepSpec) Run() ([]Series, error) {
 // point projects one cell's metrics onto the pair of values the sweep's
 // Kind reports.
 func (s SweepSpec) point(size int, met core.Metrics) Point {
-	p := Point{Size: size}
+	p := Point{Size: size, Fidelity: met.EstFidelity}
 	switch s.Kind {
 	case SwapCounts:
 		p.Total = float64(met.TotalSwaps)
@@ -657,6 +667,9 @@ func HeadlinesContext(ctx context.Context, cfg Config) (Headline, error) {
 
 // FormatSeries renders sweep results as an aligned text table, one block
 // per workload, one row per machine, matching the paper's figure layout.
+// Workload groups where some point carries a fidelity estimate gain an
+// extra [estFidelity] block; noise-off sweeps render byte-identically to
+// historical output (pinned by the fig11 golden).
 func FormatSeries(series []Series, kind SweepKind) string {
 	totalName, critName := "totalSwaps", "critSwaps"
 	if kind == Codesign {
@@ -686,7 +699,11 @@ func FormatSeries(series []Series, kind SweepKind) string {
 			sizes = append(sizes, sz)
 		}
 		sort.Ints(sizes)
-		for _, metric := range []string{totalName, critName} {
+		metrics := []string{totalName, critName}
+		if seriesHaveFidelity(group) {
+			metrics = append(metrics, "estFidelity")
+		}
+		for _, metric := range metrics {
 			fmt.Fprintf(&sb, "  [%s]\n", metric)
 			fmt.Fprintf(&sb, "  %-24s", "machine\\n")
 			for _, sz := range sizes {
@@ -696,16 +713,23 @@ func FormatSeries(series []Series, kind SweepKind) string {
 			for _, s := range group {
 				fmt.Fprintf(&sb, "  %-24s", s.Label)
 				vals := map[int]float64{}
+				format := "%10.1f"
+				if metric == "estFidelity" {
+					format = "%10.4f"
+				}
 				for _, p := range s.Points {
-					if metric == totalName {
+					switch metric {
+					case totalName:
 						vals[p.Size] = p.Total
-					} else {
+					case "estFidelity":
+						vals[p.Size] = p.Fidelity
+					default:
 						vals[p.Size] = p.Critical
 					}
 				}
 				for _, sz := range sizes {
 					if v, ok := vals[sz]; ok {
-						fmt.Fprintf(&sb, "%10.1f", v)
+						fmt.Fprintf(&sb, format, v)
 					} else {
 						fmt.Fprintf(&sb, "%10s", "-")
 					}
@@ -715,6 +739,21 @@ func FormatSeries(series []Series, kind SweepKind) string {
 		}
 	}
 	return sb.String()
+}
+
+// seriesHaveFidelity reports whether any point in the group carries a
+// fidelity estimate (EstFidelity is never exactly zero for a circuit that
+// evaluated under a fidelity model, and exactly zero when the model is
+// off).
+func seriesHaveFidelity(group []Series) bool {
+	for _, s := range group {
+		for _, p := range s.Points {
+			if p.Fidelity != 0 {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // FormatStats renders Table 1/2 rows.

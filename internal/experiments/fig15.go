@@ -1,14 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand"
 
+	"repro/internal/core"
 	"repro/internal/decomp"
 	"repro/internal/gates"
 	"repro/internal/linalg"
+	"repro/internal/noise"
 	"repro/internal/par"
 )
 
@@ -49,6 +52,16 @@ func fig15CellSeed(seed int64, n, k, sample int) int64 {
 	return int64(h.Sum64())
 }
 
+// fig15MCSeed derives the trajectory-sampling seed of one
+// (n, k, sample, fb-gridpoint) noise estimate, a pure function of its
+// coordinates like fig15CellSeed so the Monte-Carlo study is
+// byte-identical at every parallelism setting.
+func fig15MCSeed(seed int64, n, k, sample, fi int) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "fig15mc/%d/%d/%d/%d/%d", n, k, sample, fi, seed)
+	return int64(h.Sum64())
+}
+
 // RunFig15 reproduces the Fig. 15 study: decompose `samples` Haar-random 2Q
 // unitaries into every (n, k) template, then evaluate the
 // decoherence-vs-approximation trade-off across base fidelities.
@@ -60,9 +73,21 @@ func RunFig15(samples int, seed int64, cfg decomp.Config) (*Fig15Result, error) 
 
 // RunFig15Config is RunFig15 driven by the unified experiment Config: the
 // study seeds its Haar sampling from cfg.Seed and fans decomposition cells
-// over a cfg.Parallelism-bounded pool. Output is byte-identical to
+// over a cfg.Parallelism-bounded pool. With cfg.Fidelity set to
+// core.FidelityMonteCarlo, the bottom panel's per-gate decoherence factor
+// Fb^k is replaced by trajectory sampling through each optimized template
+// (cfg.NoiseShots trajectories; 0 = noise.DefaultShots), capturing the
+// error propagation the closed-form product ignores; any other fidelity
+// setting keeps the historical Eq. 13 arithmetic, byte-identical to
 // RunFig15Parallel(samples, cfg.Seed, dc, cfg.Parallelism).
 func RunFig15Config(samples int, dc decomp.Config, cfg Config) (*Fig15Result, error) {
+	if cfg.Fidelity == core.FidelityMonteCarlo {
+		shots := cfg.NoiseShots
+		if shots <= 0 {
+			shots = noise.DefaultShots
+		}
+		return runFig15(samples, cfg.Seed, dc, cfg.Parallelism, shots)
+	}
 	return RunFig15Parallel(samples, cfg.Seed, dc, cfg.Parallelism)
 }
 
@@ -73,6 +98,18 @@ func RunFig15Config(samples int, dc decomp.Config, cfg Config) (*Fig15Result, er
 // every parallelism setting; the Adam objective is preallocated
 // per-Decompose call, so concurrent cells share no mutable state.
 func RunFig15Parallel(samples int, seed int64, cfg decomp.Config, parallelism int) (*Fig15Result, error) {
+	return runFig15(samples, seed, cfg, parallelism, 0)
+}
+
+// runFig15 is the shared study body. mcShots == 0 runs the closed-form
+// bottom panel (Eq. 13, the historical output, byte-for-byte); mcShots > 0
+// runs the Monte-Carlo bottom panel, where each (n, k, sample) template is
+// rebuilt as a circuit (decomp.TemplateCircuit) and each grid point's
+// per-gate base fidelity becomes a depolarizing error probability
+// 1−Fb(n√iSWAP) sampled through the template. The count estimator's
+// expectation of that very model is exactly Fb^k, so the two panels agree
+// in the mean and differ only by propagation effects and sampling noise.
+func runFig15(samples int, seed int64, cfg decomp.Config, parallelism, mcShots int) (*Fig15Result, error) {
 	if samples < 1 {
 		return nil, fmt.Errorf("experiments: fig15 needs ≥1 sample")
 	}
@@ -87,17 +124,21 @@ func RunFig15Parallel(samples int, seed int64, cfg decomp.Config, parallelism in
 		Ks:      Fig15Ks,
 	}
 	// fidelity[ni][ki][sample] = Fd; infid holds 1−Fd as reported by the
-	// optimizer so averages sum the exact optimizer output.
+	// optimizer so averages sum the exact optimizer output; params keeps
+	// each cell's optimized template for the Monte-Carlo bottom panel.
 	fid := make([][][]float64, len(res.Roots))
 	infid := make([][][]float64, len(res.Roots))
+	params := make([][][][]float64, len(res.Roots))
 	res.AvgInfidelity = make([][]float64, len(res.Roots))
 	for ni := range res.Roots {
 		fid[ni] = make([][]float64, len(res.Ks))
 		infid[ni] = make([][]float64, len(res.Ks))
+		params[ni] = make([][][]float64, len(res.Ks))
 		res.AvgInfidelity[ni] = make([]float64, len(res.Ks))
 		for ki := range res.Ks {
 			fid[ni][ki] = make([]float64, samples)
 			infid[ni][ki] = make([]float64, samples)
+			params[ni][ki] = make([][]float64, samples)
 		}
 	}
 	nCells := len(res.Roots) * len(res.Ks) * samples
@@ -117,6 +158,7 @@ func RunFig15Parallel(samples int, seed int64, cfg decomp.Config, parallelism in
 		}
 		fid[ni][ki][si] = 1 - r.Infidelity
 		infid[ni][ki][si] = r.Infidelity
+		params[ni][ki][si] = r.Params
 		return nil
 	})
 	if err != nil {
@@ -137,6 +179,43 @@ func RunFig15Parallel(samples int, seed int64, cfg decomp.Config, parallelism in
 	for i := range res.FbGrid {
 		res.FbGrid[i] = 0.90 + 0.10*float64(i)/float64(gridN-1)
 	}
+	// noiseFactor[cell][fi] is the per-template decoherence multiplier at
+	// each grid point: nil (closed-form Fb^k inside TotalFidelity) unless
+	// the Monte-Carlo panel sampled one per (n, k, sample, Fb).
+	var noiseFactor [][]float64
+	if mcShots > 0 {
+		noiseFactor = make([][]float64, nCells)
+		err := par.ForEach(nCells, parallelism, func(i int) error {
+			ni, ki, si := cellAt(i)
+			n, k := res.Roots[ni], res.Ks[ki]
+			tc, err := decomp.TemplateCircuit(n, k, params[ni][ki][si])
+			if err != nil {
+				return fmt.Errorf("experiments: fig15 n=%d k=%d: %w", n, k, err)
+			}
+			row := make([]float64, gridN)
+			for fi, fbISwap := range res.FbGrid {
+				// Eq. 12's per-pulse base fidelity becomes the per-gate
+				// depolarizing probability; the estimator runs serially here
+				// because the cells themselves are already fanned out.
+				est := noise.MonteCarloEstimator{
+					Shots:       mcShots,
+					Seed:        fig15MCSeed(seed, n, k, si, fi),
+					Parallelism: 1,
+				}
+				m := noise.Model{GateError: 1 - decomp.BaseFidelity(fbISwap, n)}
+				e, err := est.Estimate(context.Background(), tc, m)
+				if err != nil {
+					return fmt.Errorf("experiments: fig15 n=%d k=%d fb=%g: %w", n, k, fbISwap, err)
+				}
+				row[fi] = e.Fidelity
+			}
+			noiseFactor[i] = row
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
 	res.AvgTotalFidelity = make([][]float64, len(res.Roots))
 	for ni, n := range res.Roots {
 		res.AvgTotalFidelity[ni] = make([]float64, gridN)
@@ -146,7 +225,13 @@ func RunFig15Parallel(samples int, seed int64, cfg decomp.Config, parallelism in
 			for si := 0; si < samples; si++ {
 				best := 0.0
 				for ki, k := range res.Ks {
-					ft := decomp.TotalFidelity(fid[ni][ki][si], fb, k)
+					var ft float64
+					if mcShots > 0 {
+						cell := (ni*len(res.Ks)+ki)*samples + si
+						ft = fid[ni][ki][si] * noiseFactor[cell][fi]
+					} else {
+						ft = decomp.TotalFidelity(fid[ni][ki][si], fb, k)
+					}
 					if ft > best {
 						best = ft
 					}

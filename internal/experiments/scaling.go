@@ -93,17 +93,28 @@ func FormatCorralScaling(rows []CorralScalingRow) string {
 }
 
 // SeriesCSV renders sweep results as CSV with columns
-// workload,machine,size,total,critical.
+// workload,machine,size,total,critical — plus a trailing est_fidelity
+// column when any point carries a fidelity estimate (noise-off output is
+// byte-identical to historical CSV).
 func SeriesCSV(series []Series, kind SweepKind) string {
 	totalName, critName := "total_swaps", "critical_swaps"
 	if kind == Codesign {
 		totalName, critName = "total_2q", "pulse_duration"
 	}
+	withFidelity := seriesHaveFidelity(series)
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "workload,machine,size,%s,%s\n", totalName, critName)
+	fmt.Fprintf(&sb, "workload,machine,size,%s,%s", totalName, critName)
+	if withFidelity {
+		sb.WriteString(",est_fidelity")
+	}
+	sb.WriteString("\n")
 	for _, s := range series {
 		for _, p := range s.Points {
-			fmt.Fprintf(&sb, "%s,%s,%d,%g,%g\n", s.Workload, s.Label, p.Size, p.Total, p.Critical)
+			fmt.Fprintf(&sb, "%s,%s,%d,%g,%g", s.Workload, s.Label, p.Size, p.Total, p.Critical)
+			if withFidelity {
+				fmt.Fprintf(&sb, ",%g", p.Fidelity)
+			}
+			sb.WriteString("\n")
 		}
 	}
 	return sb.String()

@@ -1,0 +1,230 @@
+package noise
+
+import (
+	"context"
+	"math"
+	"math/rand"
+
+	"repro/internal/circuit"
+	"repro/internal/linalg"
+	"repro/internal/par"
+	"repro/internal/sim"
+)
+
+// Estimate is one fidelity prediction, decomposed: Fidelity is the
+// selected estimator's number, and Control/Decoherence are the closed-form
+// count-model factors (CountComponents) reported alongside it so the
+// dominant error regime is visible even when Fidelity came from trajectory
+// sampling. For CountEstimator, Fidelity == Control·Decoherence exactly.
+type Estimate struct {
+	Fidelity    float64
+	Control     float64
+	Decoherence float64
+}
+
+// Estimator predicts the fidelity of running a circuit under a model. The
+// two implementations trade accuracy for cost: CountEstimator is O(ops)
+// arithmetic, MonteCarloEstimator simulates error trajectories through the
+// actual circuit, capturing the error spreading and cancellation the count
+// model ignores. Estimators must be deterministic: the same (circuit,
+// model, estimator configuration) always yields the same Estimate.
+type Estimator interface {
+	Name() string
+	Estimate(ctx context.Context, c *circuit.Circuit, m Model) (Estimate, error)
+}
+
+// CountEstimator is the closed-form count model (CountModelFidelity) as an
+// Estimator: gate counts and duration-weighted qubit time, no simulation,
+// no width limit.
+type CountEstimator struct{}
+
+// Name implements Estimator.
+func (CountEstimator) Name() string { return "count" }
+
+// Estimate implements Estimator.
+func (CountEstimator) Estimate(_ context.Context, c *circuit.Circuit, m Model) (Estimate, error) {
+	control, decoherence := m.CountComponents(c)
+	return Estimate{Fidelity: control * decoherence, Control: control, Decoherence: decoherence}, nil
+}
+
+// DefaultShots is the trajectory count MonteCarloEstimator uses when Shots
+// is unset: enough for the sampling error to sit well under the
+// architecture gaps the sweeps compare (σ ≤ 1/(2·√256) ≈ 3%), small
+// enough that a noisy sweep cell stays interactive.
+const DefaultShots = 256
+
+// MonteCarloEstimator estimates fidelity by Pauli-twirl trajectory
+// sampling. It compiles the circuit once — one ideal sim.Program shared by
+// every trajectory, per-op unitaries and error probabilities resolved up
+// front — then fans Shots trajectories over the internal/par worker pool.
+// Each trajectory derives its own RNG from Seed via double-scrambled
+// splitmix64 (see the derivation comment in Estimate), and the
+// per-trajectory fidelities are summed in index order, so the estimate is
+// byte-identical at every Parallelism setting (serial == parallel, pinned
+// under -race).
+//
+// Trajectories first sample their error events without touching a
+// statevector; the common error-free trajectory (probability Π(1−p) over
+// all channels) contributes fidelity 1 and skips simulation entirely, so
+// at realistic error rates most shots cost only their random draws.
+type MonteCarloEstimator struct {
+	Shots       int   // trajectories (0 → DefaultShots)
+	Seed        int64 // base seed; trajectory t draws from splitmix64(Seed, t)
+	Parallelism int   // worker pool bound (0 = auto, 1 = serial)
+}
+
+// Name implements Estimator.
+func (MonteCarloEstimator) Name() string { return "montecarlo" }
+
+// pauliEvent is one sampled error injection: Pauli pi (index into paulis)
+// on compact qubit q, immediately after op opIdx.
+type pauliEvent struct {
+	opIdx int
+	q     int
+	pi    int
+}
+
+// Estimate implements Estimator.
+func (e MonteCarloEstimator) Estimate(ctx context.Context, c *circuit.Circuit, m Model) (Estimate, error) {
+	shots := e.Shots
+	if shots <= 0 {
+		shots = DefaultShots
+	}
+	if err := ValidateForSim(c); err != nil {
+		return Estimate{}, err
+	}
+	compact, _ := c.CompactQubits()
+	// One compiled program serves every trajectory's ideal reference.
+	prog := sim.Schedule(compact)
+	ideal, err := sim.NewState(compact.N)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if err := ideal.RunProgramCtx(ctx, prog); err != nil {
+		return Estimate{}, err
+	}
+	// Resolve per-op unitaries and error probabilities once, shared
+	// read-only by all trajectories. Error probabilities come from the
+	// original ops (physical qubit indices, where EdgeE2Q speaks); the
+	// unitaries and injection sites from the compact ones.
+	ops := compact.Ops
+	unis := make([]*linalg.Matrix, len(ops))
+	gateErr := make([]float64, len(ops))
+	decoErr := make([]float64, len(ops))
+	durs := m.durations()
+	for i, op := range ops {
+		if unis[i], err = circuit.Unitary(op); err != nil {
+			return Estimate{}, err
+		}
+		gateErr[i] = m.opGateError(c.Ops[i])
+		if m.DecoherenceRate > 0 {
+			if d := durs.Duration(op.Name); d > 0 {
+				decoErr[i] = 1 - math.Exp(-d*m.DecoherenceRate)
+			}
+		}
+	}
+	fids := make([]float64, shots)
+	err = par.ForEachCtx(ctx, shots, e.Parallelism, func(t int) error {
+		// The derived state is scrambled ONCE MORE before use: the generator
+		// itself steps by smGamma per draw, so unscrambled states of the form
+		// base + t·smGamma would put every trajectory on the same arithmetic
+		// progression, merely offset — trajectory t+1 would replay trajectory
+		// t's draws shifted by one, making all shots near-copies of each
+		// other (observed as whole cells reporting fidelity exactly 1). The
+		// extra scramble scatters the starting points across the full 2⁶⁴
+		// state space, where stream overlap is a birthday-bound improbability.
+		rng := rand.New(&splitmix64{state: smScramble(smScramble(uint64(e.Seed)) + uint64(t+1)*smGamma)})
+		// Sample the trajectory's error events first: no events means the
+		// noisy run is the ideal run, fidelity exactly 1, no simulation.
+		var events []pauliEvent
+		for i, op := range ops {
+			if p := gateErr[i]; p > 0 && rng.Float64() < p {
+				k := 1 + rng.Intn(15)
+				if pa := k % 4; pa > 0 {
+					events = append(events, pauliEvent{opIdx: i, q: op.Qubits[0], pi: pa - 1})
+				}
+				if pb := k / 4; pb > 0 {
+					events = append(events, pauliEvent{opIdx: i, q: op.Qubits[1], pi: pb - 1})
+				}
+			}
+			if p := decoErr[i]; p > 0 {
+				for _, q := range op.Qubits {
+					if rng.Float64() < p {
+						events = append(events, pauliEvent{opIdx: i, q: q, pi: rng.Intn(3)})
+					}
+				}
+			}
+		}
+		if len(events) == 0 {
+			fids[t] = 1
+			return nil
+		}
+		st, err := sim.NewState(compact.N)
+		if err != nil {
+			return err
+		}
+		next := 0
+		for i, op := range ops {
+			var err error
+			if len(op.Qubits) == 1 {
+				err = st.Apply1Q(op.Qubits[0], unis[i])
+			} else {
+				err = st.Apply2Q(op.Qubits[0], op.Qubits[1], unis[i])
+			}
+			if err != nil {
+				return err
+			}
+			for next < len(events) && events[next].opIdx == i {
+				if err := st.Apply1Q(events[next].q, paulis[events[next].pi]); err != nil {
+					return err
+				}
+				next++
+			}
+		}
+		f, err := ideal.Fidelity(st)
+		if err != nil {
+			return err
+		}
+		fids[t] = f
+		return nil
+	})
+	if err != nil {
+		return Estimate{}, err
+	}
+	// Fixed-order summation over the index-addressed slots keeps the mean
+	// bit-identical regardless of worker scheduling.
+	total := 0.0
+	for _, f := range fids {
+		total += f
+	}
+	control, decoherence := m.CountComponents(c)
+	return Estimate{Fidelity: total / float64(shots), Control: control, Decoherence: decoherence}, nil
+}
+
+// splitmix64 is a tiny rand.Source64 with O(1) construction — the same
+// generator the router's per-trial RNGs use (transpile keeps its own
+// unexported copy) — so per-trajectory seed derivation costs two integer
+// ops instead of math/rand's 607-step seeding procedure.
+type splitmix64 struct{ state uint64 }
+
+// smGamma is the splitmix64 state increment (Weyl sequence constant).
+const smGamma = 0x9E3779B97F4A7C15
+
+// smScramble is the splitmix64 output function over a raw state value.
+func smScramble(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+func (s *splitmix64) Uint64() uint64 {
+	s.state += smGamma
+	return smScramble(s.state)
+}
+
+func (s *splitmix64) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+func (s *splitmix64) Seed(seed int64) { s.state = uint64(seed) }

@@ -1,0 +1,170 @@
+package noise_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/noise"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func TestCountEstimatorMatchesClosedForm(t *testing.T) {
+	c := workloads.GHZ(6)
+	m := noise.Model{GateError: 0.01, DecoherenceRate: 0.02}
+	est, err := noise.CountEstimator{}.Estimate(context.Background(), c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := noise.CountModelFidelity(c, m); est.Fidelity != want {
+		t.Fatalf("count estimator %g != CountModelFidelity %g", est.Fidelity, want)
+	}
+	if math.Abs(est.Control*est.Decoherence-est.Fidelity) > 1e-15 {
+		t.Fatalf("components %g·%g don't multiply to %g", est.Control, est.Decoherence, est.Fidelity)
+	}
+}
+
+// TestNoiseEquivalence: on small circuits the Monte-Carlo estimate must
+// agree with the closed-form count model within sampling tolerance — the
+// count model is the exact expectation of the sampled channels when every
+// error event zeroes the overlap, and an upper-bias beyond tolerance (or
+// any divergence) means one of the two models drifted. This is the
+// scripts/check.sh noise-equivalence arm.
+func TestNoiseEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		c    *circuit.Circuit
+		m    noise.Model
+	}{
+		{"ghz-control", workloads.GHZ(6), noise.Model{GateError: 0.02}},
+		{"ghz-decoherence", workloads.GHZ(6), noise.Model{DecoherenceRate: 0.02}},
+		{"qft-mixed", workloads.QFT(5, true), noise.Model{GateError: 0.01, DecoherenceRate: 0.01}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			count, err := noise.CountEstimator{}.Estimate(context.Background(), tc.c, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mc, err := noise.MonteCarloEstimator{Shots: 4000, Seed: 7}.Estimate(context.Background(), tc.c, tc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// MC sits at or above the count model (an injected Pauli rarely
+			// zeroes the overlap exactly, never increases the gap), within a
+			// deterministic-fixed-seed tolerance.
+			if mc.Fidelity < count.Fidelity-0.03 || mc.Fidelity > count.Fidelity+0.08 {
+				t.Fatalf("MC %g vs count %g outside tolerance", mc.Fidelity, count.Fidelity)
+			}
+		})
+	}
+}
+
+// TestTrajectoryDeterminism pins the parallel-fan-out contract: the mean
+// over trajectories is byte-identical at every Parallelism setting because
+// each trajectory derives its own seed from its index and the slots are
+// summed in index order.
+func TestTrajectoryDeterminism(t *testing.T) {
+	c := workloads.QFT(5, true)
+	m := noise.Model{GateError: 0.02, DecoherenceRate: 0.01}
+	base := noise.MonteCarloEstimator{Shots: 200, Seed: 11, Parallelism: 1}
+	serial, err := base.Estimate(context.Background(), c, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{0, 2, 7} {
+		e := base
+		e.Parallelism = par
+		got, err := e.Estimate(context.Background(), c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != serial {
+			t.Fatalf("parallelism %d diverged: %+v vs serial %+v", par, got, serial)
+		}
+	}
+}
+
+// TestTrajectorySeedsDecorrelated guards against the arithmetic-progression
+// seeding bug: per-trajectory states stepping by the generator's own
+// increment put every trajectory on one shared stream, collapsing cells to
+// fidelity exactly 1 (no trajectory saw an event) or near 0 (all saw the
+// same one). At these rates the per-trajectory no-event probability is
+// ~0.5, so 256 independent trajectories land strictly between the extremes.
+func TestTrajectorySeedsDecorrelated(t *testing.T) {
+	c := workloads.QFT(5, true)
+	m := noise.Model{GateError: 0.02}
+	for _, seed := range []int64{0, 1, 777, -99887766} {
+		est, err := noise.MonteCarloEstimator{Shots: 256, Seed: seed}.Estimate(context.Background(), c, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Fidelity == 1 || est.Fidelity < 0.1 {
+			t.Fatalf("seed %d: degenerate fidelity %g suggests correlated trajectories", seed, est.Fidelity)
+		}
+	}
+}
+
+func TestValidateForSimRejections(t *testing.T) {
+	// Invalid ops are splice-built: Append validates eagerly, but circuits
+	// assembled field-by-field (or decoded) reach the estimators unchecked.
+	repeat := circuit.New(3)
+	repeat.Ops = append(repeat.Ops, circuit.Op{Name: "cx", Qubits: []int{1, 1}})
+
+	arity := circuit.New(3)
+	arity.Ops = append(arity.Ops, circuit.Op{Name: "ccx", Qubits: []int{0, 1, 2}})
+
+	outOfRange := circuit.New(2)
+	outOfRange.Ops = append(outOfRange.Ops, circuit.Op{Name: "cx", Qubits: []int{0, 5}})
+
+	negative := circuit.New(2)
+	negative.Ops = append(negative.Ops, circuit.Op{Name: "x", Qubits: []int{-1}})
+
+	wide := circuit.New(sim.MaxQubits + 2)
+	for q := 0; q < sim.MaxQubits+1; q++ {
+		wide.H(q)
+	}
+
+	for name, c := range map[string]*circuit.Circuit{
+		"repeated-qubit": repeat,
+		"three-qubit-op": arity,
+		"out-of-range":   outOfRange,
+		"negative-qubit": negative,
+		"too-wide":       wide,
+	} {
+		if err := noise.ValidateForSim(c); err == nil {
+			t.Errorf("%s: circuit accepted", name)
+		}
+		// Both estimators must refuse the same inputs up front.
+		if _, err := (noise.MonteCarloEstimator{Shots: 2}).Estimate(context.Background(), c, noise.Model{}); err == nil {
+			t.Errorf("%s: estimator accepted", name)
+		}
+	}
+
+	// A wide machine circuit that *compacts* under the limit is fine.
+	sparse := circuit.New(100)
+	sparse.CX(10, 90)
+	if err := noise.ValidateForSim(sparse); err != nil {
+		t.Fatalf("compactable circuit rejected: %v", err)
+	}
+}
+
+func TestMonteCarloFidelityRejectsInvalid(t *testing.T) {
+	bad := circuit.New(3)
+	bad.Ops = append(bad.Ops, circuit.Op{Name: "cx", Qubits: []int{2, 2}})
+	if _, err := noise.MonteCarloFidelity(bad, noise.Model{}, 4, nil); err == nil {
+		t.Fatal("repeated-qubit circuit accepted by MonteCarloFidelity")
+	}
+}
+
+func TestMonteCarloEstimatorHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := workloads.QFT(6, true)
+	_, err := noise.MonteCarloEstimator{Shots: 500}.Estimate(ctx, c, noise.Model{GateError: 0.5})
+	if err == nil {
+		t.Fatal("cancelled estimate succeeded")
+	}
+}

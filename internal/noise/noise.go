@@ -9,9 +9,17 @@
 //
 // The model attaches noise to gates (as in standard device-noise models):
 // each two-qubit gate applies a depolarizing channel with probability
-// GateError, and each gate's pulse duration d applies independent Pauli
-// noise with probability 1−exp(−d·DecoherenceRate) on the touched qubits.
-// Idle-qubit decoherence is not modeled (documented simplification).
+// GateError (or a per-coupling override for heterogeneous hardware), and
+// each gate's pulse duration d applies independent Pauli noise with
+// probability 1−exp(−d·DecoherenceRate) on the touched qubits. Idle-qubit
+// decoherence is not modeled (documented simplification).
+//
+// Two pluggable estimators (Estimator) serve the evaluation pipeline:
+// CountEstimator is the closed-form count model, MonteCarloEstimator fans
+// deterministic trajectories over internal/par. Both read gate durations
+// from an arch.Timing table — the same source core.Machine.GateDurations
+// and the transpiler's pulse metrics use — so timing has one source of
+// truth.
 package noise
 
 import (
@@ -34,9 +42,59 @@ type Model struct {
 	// DecoherenceRate converts pulse duration into per-qubit Pauli error
 	// probability: p = 1 − exp(−d·rate) (decoherence regime).
 	DecoherenceRate float64
-	// Durations maps gate names to pulse lengths (missing → 0). Use the
-	// same durations as the transpiler's metrics (√iSWAP 0.5, CX/SYC 1.0).
-	Durations map[string]float64
+	// Timing is the per-gate-type pulse-duration table the decoherence
+	// regime charges from (gates not in the table are free, like 1Q gates
+	// in the paper's model). nil means arch.DefaultTiming() — the same
+	// resolution core.Machine.GateDurations uses, so the transpiler's
+	// duration metrics and the noise charges share one timing source of
+	// truth instead of the old parallel Durations map.
+	Timing arch.Timing
+	// EdgeE2Q overrides GateError on individual physical couplings, keyed
+	// by the (low, high) qubit pair of the *original* circuit the model is
+	// applied to (heterogeneous hardware; see arch.NoiseProfile.EdgeE2Q).
+	// Ops on unlisted pairs charge GateError.
+	EdgeE2Q map[[2]int]float64
+}
+
+// FromProfile builds the gate-attached model an architecture's declarative
+// noise profile describes, charging decoherence with the given timing table
+// (typically core.Machine.GateDurations()). A nil profile yields the
+// noiseless model.
+func FromProfile(p *arch.NoiseProfile, timing arch.Timing) Model {
+	m := Model{Timing: timing}
+	if p != nil {
+		m.GateError = p.E2Q
+		m.DecoherenceRate = p.TDec
+		m.EdgeE2Q = p.EdgeE2Q
+	}
+	return m
+}
+
+// durations resolves the model's timing table (nil → the paper's default).
+func (m Model) durations() arch.Timing {
+	if m.Timing != nil {
+		return m.Timing
+	}
+	return arch.DefaultTiming()
+}
+
+// opGateError returns the control-error probability of one op: the
+// per-edge override when the op's qubit pair has one, else GateError.
+// Non-2Q ops charge nothing.
+func (m Model) opGateError(op circuit.Op) float64 {
+	if !op.Is2Q() {
+		return 0
+	}
+	if len(m.EdgeE2Q) > 0 {
+		a, b := op.Qubits[0], op.Qubits[1]
+		if a > b {
+			a, b = b, a
+		}
+		if e, ok := m.EdgeE2Q[[2]int{a, b}]; ok {
+			return e
+		}
+	}
+	return m.GateError
 }
 
 // StandardDurations returns the paper's pulse-length normalization — the
@@ -49,18 +107,61 @@ func StandardDurations() map[string]float64 {
 
 var paulis = []*linalg.Matrix{gates.X(), gates.Y(), gates.Z()}
 
+// ValidateForSim checks that a circuit is trajectory-simulable, with
+// descriptive errors instead of the silent misbehavior unchecked inputs
+// used to cause (an op on three qubits was skipped without a word; a
+// repeated-qubit op surfaced as a bare simulator error mid-shot): every op
+// must touch one or two distinct qubits inside [0, c.N), and the circuit
+// must compact to at most sim.MaxQubits qubits. Exported so callers can
+// reject a circuit before paying for an ideal-state run.
+func ValidateForSim(c *circuit.Circuit) error {
+	for i, op := range c.Ops {
+		switch len(op.Qubits) {
+		case 1:
+		case 2:
+			if op.Qubits[0] == op.Qubits[1] {
+				return fmt.Errorf("noise: op %d (%s) repeats qubit %d", i, op.Name, op.Qubits[0])
+			}
+		default:
+			return fmt.Errorf("noise: op %d (%s) touches %d qubits (want 1 or 2)", i, op.Name, len(op.Qubits))
+		}
+		for _, q := range op.Qubits {
+			if q < 0 || q >= c.N {
+				return fmt.Errorf("noise: op %d (%s) touches qubit %d outside [0,%d)", i, op.Name, q, c.N)
+			}
+		}
+	}
+	touched := 0
+	seen := make(map[int]bool, c.N)
+	for _, op := range c.Ops {
+		for _, q := range op.Qubits {
+			if !seen[q] {
+				seen[q] = true
+				touched++
+			}
+		}
+	}
+	if touched > sim.MaxQubits {
+		return fmt.Errorf("noise: circuit touches %d qubits (max %d simulable)", touched, sim.MaxQubits)
+	}
+	return nil
+}
+
 // MonteCarloFidelity estimates the state fidelity |⟨ideal|noisy⟩|² of a
 // circuit run from |0..0⟩ under the model, averaged over `shots`
-// trajectories. The circuit is compacted to its touched qubits first, so
-// physical circuits on large machines stay simulable.
+// trajectories drawn from the caller's rng (one shared serial stream; for
+// the parallel, per-trajectory-seeded estimator see MonteCarloEstimator).
+// The circuit is compacted to its touched qubits first, so physical
+// circuits on large machines stay simulable; per-edge error overrides are
+// resolved against the original (pre-compaction) qubit indices.
 func MonteCarloFidelity(c *circuit.Circuit, m Model, shots int, rng *rand.Rand) (float64, error) {
 	if shots < 1 {
 		return 0, fmt.Errorf("noise: need at least one shot")
 	}
-	compact, _ := c.CompactQubits()
-	if compact.N > sim.MaxQubits {
-		return 0, fmt.Errorf("noise: circuit touches %d qubits (max %d)", compact.N, sim.MaxQubits)
+	if err := ValidateForSim(c); err != nil {
+		return 0, err
 	}
+	compact, _ := c.CompactQubits()
 	ideal, err := sim.RunCircuit(compact)
 	if err != nil {
 		return 0, err
@@ -71,7 +172,7 @@ func MonteCarloFidelity(c *circuit.Circuit, m Model, shots int, rng *rand.Rand) 
 		if err != nil {
 			return 0, err
 		}
-		for _, op := range compact.Ops {
+		for i, op := range compact.Ops {
 			u, err := circuit.Unitary(op)
 			if err != nil {
 				return 0, err
@@ -85,7 +186,9 @@ func MonteCarloFidelity(c *circuit.Circuit, m Model, shots int, rng *rand.Rand) 
 			if err != nil {
 				return 0, err
 			}
-			if err := m.injectErrors(st, op, rng); err != nil {
+			// The compact op places the errors; the original op names the
+			// physical coupling the per-edge override table speaks about.
+			if err := m.injectErrors(st, op, m.opGateError(c.Ops[i]), rng); err != nil {
 				return 0, err
 			}
 		}
@@ -99,10 +202,10 @@ func MonteCarloFidelity(c *circuit.Circuit, m Model, shots int, rng *rand.Rand) 
 }
 
 // injectErrors applies the model's stochastic channels after one gate.
-func (m Model) injectErrors(st *sim.State, op circuit.Op, rng *rand.Rand) error {
+func (m Model) injectErrors(st *sim.State, op circuit.Op, gateErr float64, rng *rand.Rand) error {
 	// Control error: two-qubit depolarizing (uniform non-identity Pauli
 	// pair on the two qubits).
-	if op.Is2Q() && m.GateError > 0 && rng.Float64() < m.GateError {
+	if op.Is2Q() && gateErr > 0 && rng.Float64() < gateErr {
 		// Pick a uniformly random non-identity two-qubit Pauli.
 		k := 1 + rng.Intn(15)
 		pa, pb := k%4, k/4
@@ -119,7 +222,7 @@ func (m Model) injectErrors(st *sim.State, op circuit.Op, rng *rand.Rand) error 
 	}
 	// Decoherence: duration-proportional per-qubit Pauli noise.
 	if m.DecoherenceRate > 0 {
-		d := m.Durations[op.Name]
+		d := m.durations().Duration(op.Name)
 		if d > 0 {
 			p := 1 - math.Exp(-d*m.DecoherenceRate)
 			for _, q := range op.Qubits {
@@ -134,17 +237,31 @@ func (m Model) injectErrors(st *sim.State, op circuit.Op, rng *rand.Rand) error 
 	return nil
 }
 
-// CountModelFidelity is the closed-form approximation the paper reasons
-// with: F ≈ (1−GateError)^(#2Q) · exp(−DecoherenceRate·Σ qubit-seconds).
-// Used as a sanity bound for the Monte-Carlo estimate.
-func CountModelFidelity(c *circuit.Circuit, m Model) float64 {
-	n2q := 0
+// CountComponents returns the two closed-form factors of the count model:
+// the control component Π(1−p_g) over the circuit's two-qubit gates (with
+// per-edge overrides applied) and the decoherence component
+// exp(−rate·Σ d·|qubits|). Their product is CountModelFidelity; the
+// evaluation pipeline reports them separately so the dominant error regime
+// of an architecture is visible per cell.
+func (m Model) CountComponents(c *circuit.Circuit) (control, decoherence float64) {
+	control = 1.0
 	qubitTime := 0.0
+	durs := m.durations()
 	for _, op := range c.Ops {
 		if op.Is2Q() {
-			n2q++
+			if p := m.opGateError(op); p > 0 {
+				control *= 1 - p
+			}
 		}
-		qubitTime += m.Durations[op.Name] * float64(len(op.Qubits))
+		qubitTime += durs.Duration(op.Name) * float64(len(op.Qubits))
 	}
-	return math.Pow(1-m.GateError, float64(n2q)) * math.Exp(-m.DecoherenceRate*qubitTime)
+	return control, math.Exp(-m.DecoherenceRate * qubitTime)
+}
+
+// CountModelFidelity is the closed-form approximation the paper reasons
+// with: F ≈ Π(1−p_gate) · exp(−DecoherenceRate·Σ qubit-seconds). Used as a
+// sanity bound for the Monte-Carlo estimate.
+func CountModelFidelity(c *circuit.Circuit, m Model) float64 {
+	control, decoherence := m.CountComponents(c)
+	return control * decoherence
 }

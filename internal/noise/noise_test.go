@@ -1,4 +1,4 @@
-package noise
+package noise_test
 
 import (
 	"math"
@@ -8,12 +8,13 @@ import (
 	"repro/internal/arch"
 	"repro/internal/circuit"
 	"repro/internal/core"
+	"repro/internal/noise"
 	"repro/internal/workloads"
 )
 
 func TestNoiselessIsPerfect(t *testing.T) {
 	c := workloads.GHZ(6)
-	f, err := MonteCarloFidelity(c, Model{Durations: StandardDurations()}, 5, rand.New(rand.NewSource(1)))
+	f, err := noise.MonteCarloFidelity(c, noise.Model{}, 5, rand.New(rand.NewSource(1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,17 +25,17 @@ func TestNoiselessIsPerfect(t *testing.T) {
 
 func TestGateErrorDegradesWithCount(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
-	m := Model{GateError: 0.02, Durations: StandardDurations()}
+	m := noise.Model{GateError: 0.02}
 	short := workloads.GHZ(6) // 5 CX
 	long := circuit.New(6)
 	for i := 0; i < 4; i++ {
 		long.AppendCircuit(workloads.GHZ(6))
 	}
-	fShort, err := MonteCarloFidelity(short, m, 300, rng)
+	fShort, err := noise.MonteCarloFidelity(short, m, 300, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fLong, err := MonteCarloFidelity(long, m, 300, rng)
+	fLong, err := noise.MonteCarloFidelity(long, m, 300, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestGateErrorDegradesWithCount(t *testing.T) {
 		t.Fatalf("more gates should mean lower fidelity: %g vs %g", fLong, fShort)
 	}
 	// Closed-form count model is a reasonable predictor for small p.
-	pred := CountModelFidelity(short, m)
+	pred := noise.CountModelFidelity(short, m)
 	if math.Abs(fShort-pred) > 0.08 {
 		t.Errorf("MC %g vs count model %g diverge too far", fShort, pred)
 	}
@@ -50,7 +51,6 @@ func TestGateErrorDegradesWithCount(t *testing.T) {
 
 func TestDecoherenceChargesDuration(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	durs := StandardDurations()
 	// Same gate count, different durations: 4 CX vs 4 √iSWAP.
 	cx := circuit.New(2)
 	si := circuit.New(2)
@@ -58,12 +58,12 @@ func TestDecoherenceChargesDuration(t *testing.T) {
 		cx.CX(0, 1)
 		si.SqrtISwap(0, 1)
 	}
-	m := Model{DecoherenceRate: 0.05, Durations: durs}
-	fCX, err := MonteCarloFidelity(cx, m, 400, rng)
+	m := noise.Model{DecoherenceRate: 0.05}
+	fCX, err := noise.MonteCarloFidelity(cx, m, 400, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fSI, err := MonteCarloFidelity(si, m, 400, rng)
+	fSI, err := noise.MonteCarloFidelity(si, m, 400, rng)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +80,7 @@ func TestCompactionAllowsWideMachines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := MonteCarloFidelity(tr.Translated, Model{Durations: StandardDurations()}, 3, rand.New(rand.NewSource(4)))
+	f, err := noise.MonteCarloFidelity(tr.Translated, noise.Model{}, 3, rand.New(rand.NewSource(4)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,16 +102,16 @@ func TestCodesignFidelityAdvantage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for name, m := range map[string]Model{
-		"control":     {GateError: 0.01, Durations: StandardDurations()},
-		"decoherence": {DecoherenceRate: 0.01, Durations: StandardDurations()},
+	for name, m := range map[string]noise.Model{
+		"control":     {GateError: 0.01},
+		"decoherence": {DecoherenceRate: 0.01},
 	} {
 		rng := rand.New(rand.NewSource(5))
-		fHH, err := MonteCarloFidelity(hh.Translated, m, 200, rng)
+		fHH, err := noise.MonteCarloFidelity(hh.Translated, m, 200, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
-		fTree, err := MonteCarloFidelity(tree.Translated, m, 200, rng)
+		fTree, err := noise.MonteCarloFidelity(tree.Translated, m, 200, rng)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -122,7 +122,7 @@ func TestCodesignFidelityAdvantage(t *testing.T) {
 }
 
 func TestShotValidation(t *testing.T) {
-	if _, err := MonteCarloFidelity(workloads.GHZ(3), Model{}, 0, rand.New(rand.NewSource(1))); err == nil {
+	if _, err := noise.MonteCarloFidelity(workloads.GHZ(3), noise.Model{}, 0, rand.New(rand.NewSource(1))); err == nil {
 		t.Fatal("zero shots accepted")
 	}
 }
@@ -135,7 +135,7 @@ func TestStandardDurationsPinned(t *testing.T) {
 		"cx": 1.0, "syc": 1.0, "iswap": 1.0, "siswap": 0.5,
 		"swap": 1.5, "su4": 1.0,
 	}
-	got := StandardDurations()
+	got := noise.StandardDurations()
 	if len(got) != len(want) {
 		t.Fatalf("StandardDurations has %d entries, want %d: %v", len(got), len(want), got)
 	}

@@ -22,6 +22,42 @@ func (g *Graph) UniformWeights() EdgeWeights {
 	return w
 }
 
+// ErrorWeights converts per-edge two-qubit error rates into routing edge
+// weights, the noise analogue of EdgeProfile.Weights: each edge's raw cost
+// is c(e) = −ln(1−p(e)) — the additive log-fidelity charge of one gate on
+// that coupling, so a shortest path under these weights is (up to the hop
+// term) a maximum-fidelity path — and weights take the normalized form
+// w(e) = 1 + alpha·c(e)/max(c), which keeps hop count as the tie-break and
+// never produces the zero/negative weights WeightedDistances rejects.
+// errAt(a, b) reports the error rate of edge (a, b); rates must lie in
+// [0,1). A noiseless or uniform-error graph yields uniform weights (every
+// c(e) equals the max), as does alpha ≤ 0.
+func (g *Graph) ErrorWeights(errAt func(a, b int) float64, alpha float64) (EdgeWeights, error) {
+	w := g.UniformWeights()
+	if alpha <= 0 {
+		return w, nil
+	}
+	costs := make([]float64, len(g.edges))
+	cmax := 0.0
+	for i, e := range g.edges {
+		p := errAt(e[0], e[1])
+		if p < 0 || p >= 1 || math.IsNaN(p) {
+			return nil, fmt.Errorf("topology: edge %v error rate %g outside [0,1)", e, p)
+		}
+		costs[i] = -math.Log1p(-p)
+		if costs[i] > cmax {
+			cmax = costs[i]
+		}
+	}
+	if cmax == 0 {
+		return w, nil
+	}
+	for i, c := range costs {
+		w[i] = 1 + alpha*c/cmax
+	}
+	return w, nil
+}
+
 // weightedDistCacheMax bounds the per-graph weighted-distance cache. Unlike
 // the single hop-distance matrix, weight vectors vary per profiled circuit,
 // so the cache is a bounded map keyed by weight fingerprint; when full it is

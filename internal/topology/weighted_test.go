@@ -148,3 +148,79 @@ func TestWeightedDistancesConcurrent(t *testing.T) {
 		}
 	}
 }
+
+func TestErrorWeightsUniformErrorIsUniform(t *testing.T) {
+	g := SquareLattice16()
+	// Uniform error rates normalize to uniform weights: every edge's cost
+	// equals the max, so w = 1 + alpha for all edges — the same routing as
+	// hop counts.
+	w, err := g.ErrorWeights(func(a, b int) float64 { return 0.01 }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range w {
+		if math.Abs(v-3) > 1e-12 {
+			t.Fatalf("edge %d weight %g, want 3 (1 + alpha)", i, v)
+		}
+	}
+	// Noiseless and alpha <= 0 both collapse to uniform ones.
+	zero, err := g.ErrorWeights(func(a, b int) float64 { return 0 }, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := g.ErrorWeights(func(a, b int) float64 { return 0.5 }, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range zero {
+		if zero[i] != 1 || off[i] != 1 {
+			t.Fatalf("edge %d: zero-error %g / alpha-off %g, want 1", i, zero[i], off[i])
+		}
+	}
+}
+
+func TestErrorWeightsPriceBadEdges(t *testing.T) {
+	g := SquareLattice16()
+	edges := g.Edges()
+	bad := edges[3]
+	w, err := g.ErrorWeights(func(a, b int) float64 {
+		if (a == bad[0] && b == bad[1]) || (a == bad[1] && b == bad[0]) {
+			return 0.2
+		}
+		return 0.001
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The bad edge carries the max cost, so w = 1 + alpha; clean edges are
+	// barely above 1.
+	if math.Abs(w[3]-3) > 1e-12 {
+		t.Fatalf("bad edge weight %g, want 3", w[3])
+	}
+	for i := range w {
+		if i == 3 {
+			continue
+		}
+		if w[i] >= 1.1 || w[i] <= 1 {
+			t.Fatalf("clean edge %d weight %g, want barely above 1", i, w[i])
+		}
+	}
+	// The weighted matrix must route around the bad edge: its two endpoints
+	// are farther apart than one hop now.
+	d, err := g.WeightedDistances(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d[bad[0]][bad[1]] <= 1.1 {
+		t.Fatalf("distance across bad edge %g: still routed through it", d[bad[0]][bad[1]])
+	}
+}
+
+func TestErrorWeightsRejectBadRates(t *testing.T) {
+	g := SquareLattice16()
+	for _, p := range []float64{-0.1, 1.0, 1.5, math.NaN()} {
+		if _, err := g.ErrorWeights(func(a, b int) float64 { return p }, 1); err == nil {
+			t.Errorf("error rate %g accepted", p)
+		}
+	}
+}

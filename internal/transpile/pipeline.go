@@ -216,6 +216,61 @@ func (p ReweightPass) Apply(ctx *PassContext) error {
 	return nil
 }
 
+// DefaultNoiseAlpha scales how strongly per-edge error rates inflate edge
+// costs in NoiseReweightPass (w = 1 + alpha·c/max where c = −ln(1−p)): 2.0
+// makes the worst coupling read three hops long, enough to steer traffic
+// off a bad link without making every detour free.
+const DefaultNoiseAlpha = 2.0
+
+// NoiseReweightPass is the noise-aware ReweightPass source: it converts
+// per-edge two-qubit error rates into a weighted all-pairs cost matrix
+// (Graph.ErrorWeights → Graph.WeightedDistances) and installs it as
+// ctx.Cost, so subsequent layout/route passes prefer high-fidelity
+// couplings the way pressure-weighted passes avoid congested ones. Placed
+// before the first LayoutPass it routes against error rates alone ("pure"
+// mode); with Blend set it multiplies the error weights into the measured
+// SWAP-pressure weights of ctx.Profile, pricing a link by both its
+// congestion and its quality — blend mode therefore requires a profile
+// pass upstream. Errors supplies the rate per physical coupling (a, b);
+// rates must lie in [0,1). Alpha ≤ 0 uses DefaultNoiseAlpha.
+type NoiseReweightPass struct {
+	Errors func(a, b int) float64
+	Alpha  float64
+	Blend  bool
+}
+
+// Name implements Pass.
+func (NoiseReweightPass) Name() string { return "noise-reweight" }
+
+// Apply implements Pass.
+func (p NoiseReweightPass) Apply(ctx *PassContext) error {
+	if p.Errors == nil {
+		return fmt.Errorf("no error-rate source (set NoiseReweightPass.Errors)")
+	}
+	alpha := p.Alpha
+	if alpha <= 0 {
+		alpha = DefaultNoiseAlpha
+	}
+	w, err := ctx.Graph.ErrorWeights(p.Errors, alpha)
+	if err != nil {
+		return err
+	}
+	if p.Blend {
+		if ctx.Profile == nil {
+			return fmt.Errorf("no pressure profile to blend (run a profile pass first)")
+		}
+		for i, pw := range ctx.Profile.Weights(DefaultPressureAlpha) {
+			w[i] *= pw
+		}
+	}
+	cost, err := ctx.Graph.WeightedDistances(w)
+	if err != nil {
+		return err
+	}
+	ctx.Cost = cost
+	return nil
+}
+
 // TranslatePass rewrites the routed circuit into the machine's native basis
 // with TranslateToBasis.
 type TranslatePass struct{}

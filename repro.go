@@ -311,6 +311,7 @@ type (
 	RoutePass         = transpile.RoutePass
 	ProfilePass       = transpile.ProfilePass
 	ReweightPass      = transpile.ReweightPass
+	NoiseReweightPass = transpile.NoiseReweightPass
 	ProfileGuidedPass = transpile.ProfileGuidedPass
 	VerifyPass        = transpile.VerifyPass
 	TranslatePass     = transpile.TranslatePass
@@ -360,6 +361,50 @@ var ScheduleCircuit = sim.Schedule
 // proportional decoherence).
 type NoiseModel = noise.Model
 
+// NoiseProfile is the declarative per-architecture noise description the
+// spec grammar's e2q=/tdec=/e2q-<a>-<b>= keys parse into; Machine.Noise and
+// Options.Noise carry it, and NoiseModelFromProfile turns it into a
+// NoiseModel charged with a machine's timing table.
+type NoiseProfile = arch.NoiseProfile
+
+// FidelityEstimator predicts circuit fidelity under a NoiseModel: the
+// closed-form CountEstimator or the trajectory-sampling
+// MonteCarloEstimator (Options.Fidelity picks one inside the evaluation
+// pipeline; custom pipelines can call either directly).
+type FidelityEstimator = noise.Estimator
+
+// CountEstimator and MonteCarloEstimator are the two stock fidelity
+// estimators behind FidelityCount and FidelityMonteCarlo.
+type (
+	CountEstimator      = noise.CountEstimator
+	MonteCarloEstimator = noise.MonteCarloEstimator
+)
+
+// FidelityModel selects the evaluation pipeline's fidelity estimator
+// (Options.Fidelity); NoiseRouteMode selects error-weighted routing
+// (Options.NoiseRoute).
+type (
+	FidelityModel  = core.FidelityModel
+	NoiseRouteMode = core.NoiseRouteMode
+)
+
+// The noise-aware evaluation modes: fidelity estimation off / closed-form /
+// Monte-Carlo, and noise routing off / purely error-weighted / error
+// weights blended into measured SWAP pressure.
+const (
+	FidelityOff        = core.FidelityOff
+	FidelityCount      = core.FidelityCount
+	FidelityMonteCarlo = core.FidelityMonteCarlo
+
+	NoiseRouteOff   = core.NoiseRouteOff
+	NoiseRoutePure  = core.NoiseRoutePure
+	NoiseRouteBlend = core.NoiseRouteBlend
+)
+
+// DefaultNoiseShots is the Monte-Carlo trajectory count used when
+// Options.NoiseShots is zero.
+const DefaultNoiseShots = noise.DefaultShots
+
 var (
 	NewState      = sim.NewState
 	NewBasisState = sim.NewBasisState
@@ -367,6 +412,19 @@ var (
 
 	MonteCarloFidelity = noise.MonteCarloFidelity
 	StandardDurations  = noise.StandardDurations
+
+	// ParseNoise parses a standalone noise-profile string in the spec
+	// grammar ("e2q=0.002,tdec=0.001,e2q-0-1=0.05") — the qcbench -noise
+	// flag's parser.
+	ParseNoise = arch.ParseNoise
+	// NoiseModelFromProfile builds the gate-attached NoiseModel a profile
+	// describes, charging decoherence with the given timing table
+	// (typically Machine.GateDurations()).
+	NoiseModelFromProfile = noise.FromProfile
+	// ValidateForSim rejects circuits the trajectory simulators cannot
+	// run (bad arities, repeated or out-of-range qubits, too wide after
+	// compaction) with descriptive errors.
+	ValidateForSim = noise.ValidateForSim
 )
 
 // ---- OpenQASM 2.0 interop ----

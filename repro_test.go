@@ -97,7 +97,7 @@ func TestFacadeQASMRoundTrip(t *testing.T) {
 func TestFacadeNoiseAndPeephole(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	c := GHZ(6)
-	f, err := MonteCarloFidelity(c, NoiseModel{GateError: 0.01, Durations: StandardDurations()}, 50, rng)
+	f, err := MonteCarloFidelity(c, NoiseModel{GateError: 0.01}, 50, rng)
 	if err != nil {
 		t.Fatal(err)
 	}

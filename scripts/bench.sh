@@ -29,6 +29,10 @@
 # disk_retries_per_op / degraded come from the fault-injected disk-tier
 # benchmark (BenchmarkCacheDiskFaultRetry): retries absorbed per op, and
 # whether the error budget ever quarantined the disk tier (0/1).
+# est_fidelity / noisy_eval_ns_per_op come from the noise-aware evaluation
+# benchmark (BenchmarkNoisyEvaluate): the deterministic Monte-Carlo fidelity
+# estimate (so snapshots catch silent model drift) and the per-evaluation
+# wall-clock under a schema-stable name; null elsewhere.
 #
 # The scaling section records wall-clock of one quick `qcbench -fig 12`
 # sweep at GOMAXPROCS 1/2/4 (the ROADMAP multi-core scaling demo); on a
@@ -103,6 +107,7 @@ function jsonnum(line, key,   s) {
     b = "null"; allocs = "null"; chits = "null"; cmisses = "null"; swaps = "null"
     lshare = "null"; rshare = "null"; tshare = "null"
     dretries = "null"; degraded = "null"
+    estfid = "null"; noisyns = "null"
     for (i = 3; i <= NF; i++) {
         if ($(i) == "ns/op")           ns = $(i - 1)
         if ($(i) == "B/op")            b = $(i - 1)
@@ -115,10 +120,12 @@ function jsonnum(line, key,   s) {
         if ($(i) == "translate_share") tshare = $(i - 1)
         if ($(i) == "disk_retries/op") dretries = $(i - 1)
         if ($(i) == "degraded")        degraded = $(i - 1)
+        if ($(i) == "est_fidelity")    estfid = $(i - 1)
+        if ($(i) == "noisy_eval_ns/op") noisyns = $(i - 1)
     }
     n++
-    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s, \"layout_share\": %s, \"route_share\": %s, \"translate_share\": %s, \"disk_retries_per_op\": %s, \"degraded\": %s}",
-                       name, iters, ns, b, allocs, chits, cmisses, swaps, lshare, rshare, tshare, dretries, degraded)
+    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s, \"layout_share\": %s, \"route_share\": %s, \"translate_share\": %s, \"disk_retries_per_op\": %s, \"degraded\": %s, \"est_fidelity\": %s, \"noisy_eval_ns_per_op\": %s}",
+                       name, iters, ns, b, allocs, chits, cmisses, swaps, lshare, rshare, tshare, dretries, degraded, estfid, noisyns)
     names[n] = name; nsval[n] = ns; allocval[n] = allocs
 }
 END {

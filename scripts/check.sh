@@ -15,6 +15,11 @@
 #     parse and build its smoke spec into a connected graph, with no
 #     duplicate family names or fingerprint-identical smoke topologies
 #     (TestRegistryIntegrity in internal/arch).
+#   * noise-equivalence arm: the Monte-Carlo trajectory estimator must
+#     agree with the closed-form count model within sampling tolerance on
+#     small circuits (TestNoiseEquivalence in internal/noise) — the count
+#     model is the exact expectation of the sampled channels, so drift
+#     means one of the two models broke.
 #   * chaos arm: the fault-injection suite — panic isolation, injected
 #     disk faults and corruption self-heal, cell timeouts, crash-resume
 #     byte-identity — run under the race detector (-run 'Fault|Chaos|Resume').
@@ -23,8 +28,10 @@
 #     transpile pass pipeline with its parallel router trials and
 #     per-worker routing scratch, and the sim package including the
 #     sharded fusion kernels — TestShardedKernelsByteIdentical forces the
-#     parallel arms with 4 workers), pinned to GOMAXPROCS=4 so races
-#     reproduce even on single-core runners.
+#     parallel arms with 4 workers, and the noise package whose Monte-Carlo
+#     trajectories fan out over the same pool — TestTrajectoryDeterminism
+#     pins serial == parallel), pinned to GOMAXPROCS=4 so races reproduce
+#     even on single-core runners.
 #
 # Run directly, or via scripts/bench.sh which uses it as its preflight.
 set -euo pipefail
@@ -99,12 +106,16 @@ fi
 echo "check: architecture registry integrity (smoke builds, unique names + fingerprints)"
 go test -count=1 -run 'TestRegistryIntegrity' ./internal/arch
 
+echo "check: noise-model equivalence (Monte-Carlo vs closed-form count model)"
+go test -count=1 -run 'TestNoiseEquivalence' ./internal/noise
+
 echo "check: chaos suite under the race detector (-run 'Fault|Chaos|Resume')"
 GOMAXPROCS=4 go test -race -count=1 -run 'Fault|Chaos|Resume' ./internal/...
 
-echo "check: race-testing cache + sweep engine + transpile pipeline + sim kernels (GOMAXPROCS=4)"
+echo "check: race-testing cache + sweep engine + transpile pipeline + sim kernels + noise estimators (GOMAXPROCS=4)"
 GOMAXPROCS=4 go test -race -count=1 \
     ./internal/cache/... ./internal/experiments/... ./internal/faultinject/... \
-    ./internal/par/... ./internal/transpile/... ./internal/sim/...
+    ./internal/par/... ./internal/transpile/... ./internal/sim/... \
+    ./internal/noise/...
 
 echo "check: ok"
