@@ -418,6 +418,7 @@ func BenchmarkStatevectorFusion(b *testing.B) {
 		a := rng.Intn(n - 1)
 		c.SU4(a, a+1, gates.RandomSU4(rng))
 	}
+	stats := sim.Schedule(c).Stats()
 	for _, tc := range []struct {
 		name string
 		run  func(s *sim.State) error
@@ -434,6 +435,16 @@ func BenchmarkStatevectorFusion(b *testing.B) {
 				if err := tc.run(s); err != nil {
 					b.Fatal(err)
 				}
+			}
+			if tc.name == "fused" {
+				// Layer-batching shape of the schedule under test (ISSUE 9):
+				// how many fkLayer steps the circuit compiled to, the mean
+				// members per layer, and the fraction of kernel applications
+				// that run inside layers. Constant per circuit; recorded so
+				// BENCH snapshots catch scheduler drift.
+				b.ReportMetric(float64(stats.Layers), "layers_per_circuit")
+				b.ReportMetric(stats.AvgWidth, "batch_width_avg")
+				b.ReportMetric(stats.LayerShare, "fused_layer_share")
 			}
 		})
 	}

@@ -4,9 +4,9 @@ import (
 	"context"
 	"math"
 	"math/rand"
+	"sort"
 
 	"repro/internal/circuit"
-	"repro/internal/linalg"
 	"repro/internal/par"
 	"repro/internal/sim"
 )
@@ -54,14 +54,18 @@ func (CountEstimator) Estimate(_ context.Context, c *circuit.Circuit, m Model) (
 const DefaultShots = 256
 
 // MonteCarloEstimator estimates fidelity by Pauli-twirl trajectory
-// sampling. It compiles the circuit once — one ideal sim.Program shared by
-// every trajectory, per-op unitaries and error probabilities resolved up
-// front — then fans Shots trajectories over the internal/par worker pool.
-// Each trajectory derives its own RNG from Seed via double-scrambled
-// splitmix64 (see the derivation comment in Estimate), and the
-// per-trajectory fidelities are summed in index order, so the estimate is
-// byte-identical at every Parallelism setting (serial == parallel, pinned
-// under -race).
+// sampling. It compiles the circuit once — one fused, layer-batched
+// sim.Program shared read-only by the ideal reference and every noisy
+// trajectory, error probabilities resolved up front — then fans Shots
+// trajectories over the internal/par worker pool. A noisy trajectory runs
+// the compiled program in segments (sim.RunProgramSteps), injecting its
+// sampled Pauli errors at the fused-step boundaries sim.StepForOp names,
+// so trajectories get the full benefit of fusion and layer batching
+// instead of re-walking the circuit op by op. Each trajectory derives its
+// own RNG from Seed via double-scrambled splitmix64 (see the derivation
+// comment in Estimate), and the per-trajectory fidelities are summed in
+// index order, so the estimate is byte-identical at every Parallelism
+// setting (serial == parallel, pinned under -race).
 //
 // Trajectories first sample their error events without touching a
 // statevector; the common error-free trajectory (probability Π(1−p) over
@@ -103,19 +107,21 @@ func (e MonteCarloEstimator) Estimate(ctx context.Context, c *circuit.Circuit, m
 	if err := ideal.RunProgramCtx(ctx, prog); err != nil {
 		return Estimate{}, err
 	}
-	// Resolve per-op unitaries and error probabilities once, shared
+	// Resolve per-op error probabilities and injection steps once, shared
 	// read-only by all trajectories. Error probabilities come from the
 	// original ops (physical qubit indices, where EdgeE2Q speaks); the
-	// unitaries and injection sites from the compact ones.
+	// injection sites from the compact ones, mapped to the compiled
+	// program's fused-step boundaries — an error "after op i" lands after
+	// the schedule step that executes op i (the ops fused alongside it
+	// commute with or are disjoint from it, so the placement is exact up
+	// to the Pauli-twirl approximation already being sampled).
 	ops := compact.Ops
-	unis := make([]*linalg.Matrix, len(ops))
 	gateErr := make([]float64, len(ops))
 	decoErr := make([]float64, len(ops))
+	injStep := make([]int, len(ops))
 	durs := m.durations()
 	for i, op := range ops {
-		if unis[i], err = circuit.Unitary(op); err != nil {
-			return Estimate{}, err
-		}
+		injStep[i] = prog.StepForOp(i)
 		gateErr[i] = m.opGateError(c.Ops[i])
 		if m.DecoherenceRate > 0 {
 			if d := durs.Duration(op.Name); d > 0 {
@@ -163,23 +169,29 @@ func (e MonteCarloEstimator) Estimate(ctx context.Context, c *circuit.Circuit, m
 		if err != nil {
 			return err
 		}
-		next := 0
-		for i, op := range ops {
-			var err error
-			if len(op.Qubits) == 1 {
-				err = st.Apply1Q(op.Qubits[0], unis[i])
-			} else {
-				err = st.Apply2Q(op.Qubits[0], op.Qubits[1], unis[i])
-			}
-			if err != nil {
+		// Run the shared compiled program in segments, stopping after each
+		// step that an event is attached to. Fusion and layering may place
+		// a later op in an earlier step, so order events by step (stable:
+		// ties keep sampling order).
+		sort.SliceStable(events, func(a, b int) bool {
+			return injStep[events[a].opIdx] < injStep[events[b].opIdx]
+		})
+		cur := 0
+		for next := 0; next < len(events); {
+			step := injStep[events[next].opIdx]
+			if err := st.RunProgramSteps(prog, cur, step+1); err != nil {
 				return err
 			}
-			for next < len(events) && events[next].opIdx == i {
+			cur = step + 1
+			for next < len(events) && injStep[events[next].opIdx] == step {
 				if err := st.Apply1Q(events[next].q, paulis[events[next].pi]); err != nil {
 					return err
 				}
 				next++
 			}
+		}
+		if err := st.RunProgramSteps(prog, cur, prog.Steps()); err != nil {
+			return err
 		}
 		f, err := ideal.Fidelity(st)
 		if err != nil {

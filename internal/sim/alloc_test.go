@@ -54,3 +54,43 @@ func TestKernelAllocs(t *testing.T) {
 		}
 	}
 }
+
+// TestLayerKernelAllocs guards the serial layer engine: executing a full
+// fkLayer step — cross-tile 1Q tile-pair mixes, the quad and mixed fused
+// pairs, riders of every tile-local kind, and the standalone global 2Q
+// sweeps — must not allocate. The layer kernels run millions of times per
+// sweep cell, so even one allocation per pass would dominate small-state
+// throughput and thrash the GC on big ones.
+func TestLayerKernelAllocs(t *testing.T) {
+	n := layerTileExp + 2 // two cross-tile bits (qubits 0 and 1)
+	s, err := NewState(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	su4 := gates.RandomSU4(rng)
+	layer := &fusedOp{kind: fkLayer, members: []layerMember{
+		{kind: lmMat1Q, qa: 0, u: gates.H()},             // cross-tile 2×2
+		{kind: lmX, qa: 1},                               // cross-tile exchange
+		{kind: lmMat1Q, qa: n - 1, u: gates.H()},         // tile-local pair half
+		{kind: lmMat1Q, qa: n - 2, u: gates.H()},         // tile-local pair half
+		{kind: lmDiag1Q, qa: 2, d: [4]complex128{1, 1i}}, // diagonal rider
+		{kind: lmDiag2Q, qa: 0, qb: n - 3, d: [4]complex128{1, 1, 1, -1}},
+		{kind: lmMat2Q, qa: n - 4, qb: n - 5, u: su4}, // tile-local 4×4
+		{kind: lmCX, qa: n - 6, qb: n - 7},
+		{kind: lmSwap, qa: n - 8, qb: n - 9},
+		{kind: lmMix, qa: n - 10, qb: n - 11, d: [4]complex128{iswapDiag, iswapOff}},
+		{kind: lmMat2Q, qa: 1, qb: n - 1, u: su4}, // cross-tile: standalone sweep
+	}}
+	if err := s.applyLayer(layer); err != nil { // warm up and sanity-check
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := s.applyLayer(layer); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("applyLayer allocates %.1f times per pass; want 0", allocs)
+	}
+}

@@ -156,13 +156,15 @@ func TestScheduleShapes(t *testing.T) {
 	if p := Schedule(c); len(p.ops) != 1 || p.ops[0].kind != fkDiag1Q {
 		t.Fatalf("z·s·t: got %+v, want one fkDiag1Q", p.ops)
 	}
-	// cp ladder on one pair merges even across diagonals on other qubits.
+	// cp ladder on one pair merges even across diagonals on other qubits
+	// (pinned on the pass-1 schedule; layering would batch the leftover z
+	// with the merged diagonal).
 	c = circuit.New(3)
 	c.CP(0, 1, 0.3)
 	c.Z(2)
 	c.CP(0, 1, 0.4)
 	c.CP(1, 0, 0.5) // opposite orientation still merges
-	p := Schedule(c)
+	p := scheduleUnlayered(c)
 	nDiag2 := 0
 	for _, f := range p.ops {
 		if f.kind == fkDiag2Q {
@@ -196,19 +198,20 @@ func TestScheduleShapes(t *testing.T) {
 // to be bit-identical to the serial arms: disjoint index ranges, same
 // arithmetic per amplitude.
 func TestShardedKernelsByteIdentical(t *testing.T) {
-	defer func(th, w int) { fusionShardThreshold, fusionShardWorkers = th, w }(fusionShardThreshold, fusionShardWorkers)
+	defer restoreShardOverrides()()
 
 	rng := rand.New(rand.NewSource(17))
 	const n = 11
 	c := randomCircuit(n, 220, rng)
 	prog := Schedule(c)
 
-	fusionShardThreshold = 1 << 30 // force serial
+	fusionShardThreshold.Store(1 << 30) // force serial
 	serial, _ := NewState(n)
 	if err := serial.RunProgram(prog); err != nil {
 		t.Fatal(err)
 	}
-	fusionShardThreshold, fusionShardWorkers = 1, 4 // force sharding
+	fusionShardThreshold.Store(1) // force sharding
+	fusionShardWorkers.Store(4)
 	sharded, _ := NewState(n)
 	if err := sharded.RunProgram(prog); err != nil {
 		t.Fatal(err)
@@ -217,6 +220,16 @@ func TestShardedKernelsByteIdentical(t *testing.T) {
 		if serial.Amp[i] != sharded.Amp[i] {
 			t.Fatalf("amplitude %d: serial %v != sharded %v (must be byte-identical)", i, serial.Amp[i], sharded.Amp[i])
 		}
+	}
+}
+
+// restoreShardOverrides snapshots the atomic shard overrides and returns a
+// func that restores them (for defer in tests that force shard arms).
+func restoreShardOverrides() func() {
+	th, w := fusionShardThreshold.Load(), fusionShardWorkers.Load()
+	return func() {
+		fusionShardThreshold.Store(th)
+		fusionShardWorkers.Store(w)
 	}
 }
 

@@ -33,6 +33,12 @@
 # benchmark (BenchmarkNoisyEvaluate): the deterministic Monte-Carlo fidelity
 # estimate (so snapshots catch silent model drift) and the per-evaluation
 # wall-clock under a schema-stable name; null elsewhere.
+# layers_per_circuit / batch_width_avg / fused_layer_share come from the
+# fused arm of BenchmarkStatevectorFusion (sim.Program.Stats): fkLayer
+# steps per compiled bench circuit, mean members per layer, and the
+# fraction of kernel applications executed inside layers — the shape of
+# the layer-batching scheduler, recorded so snapshots catch drift; null
+# elsewhere.
 #
 # The scaling section records wall-clock of one quick `qcbench -fig 12`
 # sweep at GOMAXPROCS 1/2/4 (the ROADMAP multi-core scaling demo); on a
@@ -108,6 +114,7 @@ function jsonnum(line, key,   s) {
     lshare = "null"; rshare = "null"; tshare = "null"
     dretries = "null"; degraded = "null"
     estfid = "null"; noisyns = "null"
+    layers = "null"; bwidth = "null"; lshareop = "null"
     for (i = 3; i <= NF; i++) {
         if ($(i) == "ns/op")           ns = $(i - 1)
         if ($(i) == "B/op")            b = $(i - 1)
@@ -122,10 +129,13 @@ function jsonnum(line, key,   s) {
         if ($(i) == "degraded")        degraded = $(i - 1)
         if ($(i) == "est_fidelity")    estfid = $(i - 1)
         if ($(i) == "noisy_eval_ns/op") noisyns = $(i - 1)
+        if ($(i) == "layers_per_circuit") layers = $(i - 1)
+        if ($(i) == "batch_width_avg")    bwidth = $(i - 1)
+        if ($(i) == "fused_layer_share")  lshareop = $(i - 1)
     }
     n++
-    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s, \"layout_share\": %s, \"route_share\": %s, \"translate_share\": %s, \"disk_retries_per_op\": %s, \"degraded\": %s, \"est_fidelity\": %s, \"noisy_eval_ns_per_op\": %s}",
-                       name, iters, ns, b, allocs, chits, cmisses, swaps, lshare, rshare, tshare, dretries, degraded, estfid, noisyns)
+    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s, \"layout_share\": %s, \"route_share\": %s, \"translate_share\": %s, \"disk_retries_per_op\": %s, \"degraded\": %s, \"est_fidelity\": %s, \"noisy_eval_ns_per_op\": %s, \"layers_per_circuit\": %s, \"batch_width_avg\": %s, \"fused_layer_share\": %s}",
+                       name, iters, ns, b, allocs, chits, cmisses, swaps, lshare, rshare, tshare, dretries, degraded, estfid, noisyns, layers, bwidth, lshareop)
     names[n] = name; nsval[n] = ns; allocval[n] = allocs
 }
 END {

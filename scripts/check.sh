@@ -112,6 +112,11 @@ go test -count=1 -run 'TestNoiseEquivalence' ./internal/noise
 echo "check: chaos suite under the race detector (-run 'Fault|Chaos|Resume')"
 GOMAXPROCS=4 go test -race -count=1 -run 'Fault|Chaos|Resume' ./internal/...
 
+echo "check: layered statevector kernels under the race detector (forced-shard + forced-4-worker arms)"
+GOMAXPROCS=4 go test -race -count=1 \
+    -run 'TestLayered|TestBuildLayers|TestLayerKernelAllocs|TestShardedKernelsByteIdentical|TestScheduleBackwardAbsorption' \
+    ./internal/sim
+
 echo "check: race-testing cache + sweep engine + transpile pipeline + sim kernels + noise estimators (GOMAXPROCS=4)"
 GOMAXPROCS=4 go test -race -count=1 \
     ./internal/cache/... ./internal/experiments/... ./internal/faultinject/... \
