@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+)
+
+// Repro: cross members [X, mat, mat] with odd tile-local mat count —
+// reserved tile-local member should be applied exactly once.
+func TestReservedDropRepro(t *testing.T) {
+	n := layerTileExp + 3 // qubits 0..2 are cross-tile bits
+	c := circuit.New(n)
+	c.Add(circuit.Op{Name: "x", Qubits: []int{0}})
+	c.Add(circuit.Op{Name: "h", Qubits: []int{1}})
+	c.Add(circuit.Op{Name: "h", Qubits: []int{2}})
+	// three tile-local h's -> nTile odd
+	c.Add(circuit.Op{Name: "h", Qubits: []int{n - 1}})
+	c.Add(circuit.Op{Name: "h", Qubits: []int{n - 2}})
+	c.Add(circuit.Op{Name: "h", Qubits: []int{n - 3}})
+
+	prog := Schedule(c)
+	layered := 0
+	for i := range prog.ops {
+		if prog.ops[i].kind == fkLayer {
+			layered++
+		}
+	}
+	t.Logf("layers=%d steps=%d", layered, len(prog.ops))
+
+	fused, _ := NewState(n)
+	if err := fused.RunProgram(prog); err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := NewState(n)
+	if err := ref.RunUnfused(c); err != nil {
+		t.Fatal(err)
+	}
+	d := 0.0
+	for i := range fused.Amp {
+		if dd := cmplxAbs(fused.Amp[i] - ref.Amp[i]); dd > d {
+			d = dd
+		}
+	}
+	if d > 1e-12 {
+		t.Fatalf("layered deviates from unfused by %g", d)
+	}
+}
+
+func cmplxAbs(c complex128) float64 {
+	return math.Hypot(real(c), imag(c))
+}
