@@ -6,14 +6,17 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/decomp"
 	"repro/internal/dynamics"
 	"repro/internal/experiments"
@@ -583,4 +586,76 @@ func BenchmarkNoisyEvaluate(b *testing.B) {
 	}
 	b.ReportMetric(met.EstFidelity, "est_fidelity")
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N), "noisy_eval_ns/op")
+}
+
+// ---- Evaluation service (qcbenchd) ----
+
+// BenchmarkDaemonWarmEvaluate measures the evaluation service's serving
+// overhead end to end: an in-process qcbenchd takes one cold batch of 32
+// identical concurrent requests (collapsing to a single evaluation via
+// cross-client dedup), then the timed loop measures warm request latency —
+// HTTP round trip plus memory-tier cache hit, no routing. Reports
+// daemon_warm_eval_us (microseconds per warm request) and
+// daemon_dedup_per_op (dedup-or-hit joins per cold request; ~31/32 means
+// the whole batch cost one evaluation). Both land in the bench JSON
+// (scripts/bench.sh).
+func BenchmarkDaemonWarmEvaluate(b *testing.B) {
+	srv, err := daemon.New(daemon.Config{Logf: func(format string, args ...any) {}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	addr, err := srv.Listen()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ctx) }()
+	defer func() {
+		cancel()
+		if err := <-done; err != nil {
+			b.Error(err)
+		}
+	}()
+	base := "http://" + addr
+	req := daemon.EvaluateRequest{
+		Machine:  "grid:rows=2,cols=2,name=bench",
+		Workload: "GHZ",
+		Size:     4,
+		Seed:     1,
+		Trials:   1,
+	}
+	const cold = 32
+	var wg sync.WaitGroup
+	errs := make([]error, cold)
+	for i := 0; i < cold; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := daemon.NewClient(base)
+			c.JitterSeed = uint64(i + 1)
+			_, errs[i] = c.Evaluate(context.Background(), req)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := srv.Store().Snapshot()
+	if st.Fills != 1 {
+		b.Fatalf("cold batch cost %d evaluations, want 1", st.Fills)
+	}
+	dedup := float64(st.Dedups+st.MemHits+st.DiskHits) / float64(cold)
+	client := daemon.NewClient(base)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Evaluate(context.Background(), req); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Microseconds())/float64(b.N), "daemon_warm_eval_us")
+	b.ReportMetric(dedup, "daemon_dedup_per_op")
 }

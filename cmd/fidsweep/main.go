@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -82,7 +83,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cfg.Parallelism = *parallelism
 	cfg.Fidelity = fidelity
 	cfg.NoiseShots = *shots
-	res, err := experiments.RunFig15Config(*samples, decomp.Config{}, cfg)
+	// Ctrl-C / SIGTERM cancel the study's worker pools instead of being
+	// ridden out: a long -samples run dies promptly and cleanly.
+	ctx, stop := cli.NotifyContext(context.Background())
+	defer stop()
+	res, err := experiments.RunFig15ConfigContext(ctx, *samples, decomp.Config{}, cfg)
 	if err != nil {
 		return err
 	}

@@ -86,13 +86,13 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"strconv"
 	"strings"
 
 	"repro/internal/arch"
 	"repro/internal/cli"
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/experiments"
 )
 
@@ -132,6 +132,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		"journal file for crash-resumable -fig sweeps (created if missing; journaled cells replay instead of recomputing)")
 	machines := fs.String("machines", "",
 		"replace a -fig sweep's machine set with architecture specs, e.g. \"corral:posts=11,basis=sqrtiswap;hypercube:dim=5\" (specs separated by ';' or by ',' before a family name; see README)")
+	server := fs.String("server", "",
+		"qcbenchd base URL (e.g. http://127.0.0.1:8123): run the -fig sweep on the evaluation service instead of locally; output is byte-identical to a local run")
 	noiseFlag := fs.String("noise", "",
 		"noise profile for every machine in a -fig sweep, e.g. \"e2q=0.002,tdec=0.001,e2q-0-1=0.05\" (machines whose specs carry their own e2q=/tdec= keys keep them)")
 	noiseModel := fs.String("noise-model", "",
@@ -256,6 +258,26 @@ func run(args []string, stdout, stderr io.Writer) error {
 	default:
 		return cli.Usagef("unknown -noise-route %q: want pure or blend", *noiseRoute)
 	}
+	// Remote sweeps hand cache, journal, and pool sizing to the daemon;
+	// flags that would silently do nothing (or fight the server) are
+	// rejected rather than ignored.
+	if *server != "" {
+		if *fig == 0 {
+			return cli.Usagef("-server only applies to -fig sweeps; it would be ignored under %s", modes[0])
+		}
+		if *cachedir != "" {
+			return cli.Usagef("-cachedir does not apply with -server: the daemon owns the result cache")
+		}
+		if *resume != "" {
+			return cli.Usagef("-resume does not apply with -server: the daemon journals sweeps server-side (qcbenchd -journaldir)")
+		}
+		if *parallelism != 0 {
+			return cli.Usagef("-parallelism does not apply with -server: the daemon sizes its own worker pool")
+		}
+		if noiseConfigured {
+			return cli.Usagef("noise flags are not supported with -server yet; run the sweep locally")
+		}
+	}
 	postSizes, err := parsePosts(*posts)
 	if err != nil {
 		return cli.Usagef("bad -posts: %v", err)
@@ -290,10 +312,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	// Ctrl-C cancels cooperatively instead of killing the process: every
-	// in-flight cell stops at its next poll, and the deferred cache-stats
-	// (and, under -tolerant, partial-results) paths still run.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C and SIGTERM cancel cooperatively instead of killing the
+	// process: every in-flight cell stops at its next poll, and the
+	// deferred cache-stats (and, under -tolerant, partial-results) paths
+	// still run.
+	ctx, stop := cli.NotifyContext(context.Background())
 	defer stop()
 
 	// One unified experiment configuration feeds every mode: the CLI flags
@@ -358,6 +381,21 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *trialsFlag > 0 {
 			spec.Trials = *trialsFlag
 		}
+		headerSuffix := fmt.Sprintf("%s mode%s%s", mode(quick), profiledSuffix(*profile), noiseSuffix(fidelity, routeMode))
+		if *server != "" {
+			series, err := remoteSweep(ctx, *server, *fig, *machines, spec)
+			if err != nil && !spec.Tolerant {
+				var ce experiments.CellErrors
+				if errors.As(err, &ce) && len(ce) > 0 {
+					// Mirror the local fail-fast surface: one cell error,
+					// with the sweep coordinates, instead of a partial print.
+					c := ce[0]
+					return fmt.Errorf("experiments: %s/%s/%s(%d): %w", spec.ID, c.Machine, c.Workload, c.Size, c.Err)
+				}
+				return err
+			}
+			return printSweep(stdout, stderr, *csv, *fig, headerSuffix, spec.Kind, series, err)
+		}
 		if *resume != "" {
 			j, err := experiments.OpenJournal(*resume)
 			if err != nil {
@@ -372,34 +410,83 @@ func run(args []string, stdout, stderr io.Writer) error {
 			spec.Journal = j
 		}
 		series, err := spec.RunContext(ctx)
-		if err != nil {
-			// A tolerant sweep still returns its surviving cells: print them
-			// as partial results before reporting the aggregate failure.
-			var ce experiments.CellErrors
-			if !errors.As(err, &ce) {
-				return err
-			}
-			if *csv {
-				fmt.Fprint(stdout, experiments.SeriesCSV(series, spec.Kind))
-			} else {
-				fmt.Fprintf(stdout, "Figure %d (%s mode%s%s) — PARTIAL, %d cells failed\n",
-					*fig, mode(quick), profiledSuffix(*profile), noiseSuffix(fidelity, routeMode), len(ce))
-				fmt.Fprint(stdout, experiments.FormatSeries(series, spec.Kind))
-			}
-			for _, c := range ce {
-				fmt.Fprintf(stderr, "cell failed: %v\n", c)
-			}
-			return err
-		}
-		if *csv {
-			fmt.Fprint(stdout, experiments.SeriesCSV(series, spec.Kind))
-			return nil
-		}
-		fmt.Fprintf(stdout, "Figure %d (%s mode%s%s)\n",
-			*fig, mode(quick), profiledSuffix(*profile), noiseSuffix(fidelity, routeMode))
-		fmt.Fprint(stdout, experiments.FormatSeries(series, spec.Kind))
+		return printSweep(stdout, stderr, *csv, *fig, headerSuffix, spec.Kind, series, err)
 	}
 	return nil
+}
+
+// printSweep renders a completed -fig sweep: the full table or CSV when err
+// is nil, the PARTIAL header plus surviving cells when err is a tolerant
+// sweep's experiments.CellErrors aggregate (per-cell failures then go to
+// stderr), and the bare error otherwise. Local and remote sweeps share this
+// one path, so a -server run's output is byte-identical to a local run's.
+func printSweep(stdout, stderr io.Writer, useCSV bool, fig int, headerSuffix string, kind experiments.SweepKind, series []experiments.Series, err error) error {
+	if err != nil {
+		var ce experiments.CellErrors
+		if !errors.As(err, &ce) {
+			return err
+		}
+		if useCSV {
+			fmt.Fprint(stdout, experiments.SeriesCSV(series, kind))
+		} else {
+			fmt.Fprintf(stdout, "Figure %d (%s) — PARTIAL, %d cells failed\n", fig, headerSuffix, len(ce))
+			fmt.Fprint(stdout, experiments.FormatSeries(series, kind))
+		}
+		for _, c := range ce {
+			fmt.Fprintf(stderr, "cell failed: %v\n", c)
+		}
+		return err
+	}
+	if useCSV {
+		fmt.Fprint(stdout, experiments.SeriesCSV(series, kind))
+		return nil
+	}
+	fmt.Fprintf(stdout, "Figure %d (%s)\n", fig, headerSuffix)
+	fmt.Fprint(stdout, experiments.FormatSeries(series, kind))
+	return nil
+}
+
+// remoteSweep runs a -fig sweep on a qcbenchd server instead of locally.
+// The wire request carries the same spec the local path would run — the
+// figure's machines as declarative specs (FigMachineSpecs round-trips the
+// stock sets name-and-fingerprint-identically), the spec's pinned seed and
+// explicit trial count, and the same profile knobs — so cell seeds, cache
+// keys, and therefore every metric match a local run exactly.
+func remoteSweep(ctx context.Context, server string, fig int, machineSpecs string, spec experiments.SweepSpec) ([]experiments.Series, error) {
+	specList := machineSpecs
+	if specList == "" {
+		var err error
+		if specList, err = experiments.FigMachineSpecs(fig); err != nil {
+			return nil, err
+		}
+	}
+	kindName := "swaps"
+	if spec.Kind == experiments.Codesign {
+		kindName = "codesign"
+	}
+	routerName := ""
+	if spec.Router == core.RouterSabre {
+		routerName = "sabre"
+	}
+	req := daemon.SweepRequest{
+		ID:                spec.ID,
+		Kind:              kindName,
+		Machines:          specList,
+		Workloads:         spec.Workloads,
+		Sizes:             spec.Sizes,
+		Seed:              spec.Seed,
+		Trials:            spec.Trials,
+		Router:            routerName,
+		Profile:           spec.ProfileGuided,
+		ProfileIterations: spec.ProfileIterations,
+		CellTimeoutMS:     spec.CellTimeout.Milliseconds(),
+	}
+	if spec.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, spec.Deadline)
+		defer cancel()
+	}
+	return daemon.NewClient(strings.TrimRight(server, "/")).SweepSeries(ctx, req)
 }
 
 func mode(quick bool) string {

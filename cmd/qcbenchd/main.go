@@ -1,0 +1,243 @@
+// Command qcbenchd runs the evaluation service: an HTTP/JSON daemon that
+// owns one two-tier result cache and serves concurrent evaluation and
+// sweep requests with admission control, load shedding, cross-client
+// deduplication, fault containment, and graceful SIGTERM drain (see
+// package internal/daemon).
+//
+//	qcbenchd -addr 127.0.0.1:8123 -cachedir /var/cache/qcbench
+//
+// Endpoints: POST /evaluate (one machine/workload/size evaluation → JSON
+// metrics), POST /sweep (streaming NDJSON figure sweep with journal-backed
+// resume when -journaldir is set), GET /healthz (liveness), GET /readyz
+// (readiness: 503 while draining or while the disk cache tier is
+// quarantined), GET /metrics (Prometheus text).
+//
+// -probe N -target URL flips the binary into client mode: it fires N
+// concurrent identical /evaluate requests at a running daemon and verifies
+// the contract the daemon exists for — all responses byte-identical, and
+// the /metrics counters showing the batch cost at most one evaluation
+// (exactly one when the key was cold, zero when warm). Used by the check
+// script's smoke arm; exits nonzero on any violation.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/core"
+	"repro/internal/daemon"
+)
+
+func main() {
+	cli.Exit("qcbenchd", run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole program behind a single exit point, in the house CLI
+// style: usage errors for conflicting flags, runtime errors otherwise.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := cli.NewFlagSet("qcbenchd", stderr)
+	addr := fs.String("addr", "127.0.0.1:0",
+		"listen address (host:port; port 0 picks an ephemeral port, printed on startup)")
+	cachedir := fs.String("cachedir", "",
+		"directory for the on-disk result cache tier (\"\" = memory-only)")
+	cacheEntries := fs.Int("cache-entries", 0,
+		"in-memory cache entry bound (0 = default)")
+	parallelism := fs.Int("parallelism", 0,
+		"evaluation worker slots (0 = all cores)")
+	queue := fs.Int("queue", 0,
+		"evaluations that may wait for a slot before /evaluate sheds with 429 (0 = 4x slots)")
+	maxTimeout := fs.Duration("max-timeout", 0,
+		"upper bound on any request's evaluation deadline (0 = 2m)")
+	drainTimeout := fs.Duration("drain-timeout", 0,
+		"how long a SIGTERM drain waits for in-flight work (0 = 15s)")
+	journaldir := fs.String("journaldir", "",
+		"directory for /sweep resume journals (\"\" = sweeps are not journaled)")
+	probe := fs.Int("probe", 0,
+		"client mode: fire N concurrent identical /evaluate requests at -target and verify single-evaluation dedup")
+	target := fs.String("target", "",
+		"daemon base URL for -probe, e.g. http://127.0.0.1:8123")
+	if err := fs.Parse(args); err != nil {
+		return cli.WrapParse(err)
+	}
+	if fs.NArg() > 0 {
+		return cli.Usagef("unexpected arguments %q (qcbenchd takes flags only)", fs.Args())
+	}
+	if *probe < 0 {
+		return cli.Usagef("-probe must be ≥ 0, got %d", *probe)
+	}
+	if (*probe > 0) != (*target != "") {
+		return cli.Usagef("-probe and -target go together: both or neither")
+	}
+	if *probe > 0 {
+		return runProbe(*probe, *target, stdout)
+	}
+	if *parallelism < 0 {
+		return cli.Usagef("-parallelism must be ≥ 0 (0 = all cores), got %d", *parallelism)
+	}
+	if *queue < 0 {
+		return cli.Usagef("-queue must be ≥ 0 (0 = default), got %d", *queue)
+	}
+	srv, err := daemon.New(daemon.Config{
+		Addr:         *addr,
+		CacheEntries: *cacheEntries,
+		CacheDir:     *cachedir,
+		Parallelism:  *parallelism,
+		QueueDepth:   *queue,
+		MaxTimeout:   *maxTimeout,
+		DrainTimeout: *drainTimeout,
+		JournalDir:   *journaldir,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	bound, err := srv.Listen()
+	if err != nil {
+		return err
+	}
+	// The listening line goes to stdout so scripted callers (the smoke arm)
+	// can bind :0 and parse the real address.
+	fmt.Fprintf(stdout, "qcbenchd listening on http://%s\n", bound)
+	if f, ok := stdout.(interface{ Sync() error }); ok {
+		f.Sync() //nolint:errcheck // best-effort flush for pipe readers
+	}
+	ctx, stop := cli.NotifyContext(context.Background())
+	defer stop()
+	return srv.Serve(ctx)
+}
+
+// probeRequest is the tiny fixed evaluation the probe hammers: small
+// enough to finish in milliseconds, identical across invocations so the
+// batch collapses to one fill (cold) or zero (warm).
+func probeRequest() daemon.EvaluateRequest {
+	return daemon.EvaluateRequest{
+		Machine:  "grid:rows=2,cols=2,name=probe",
+		Workload: "GHZ",
+		Size:     4,
+		Seed:     1,
+		Trials:   1,
+	}
+}
+
+// counterOf extracts one counter value from a Prometheus text exposition.
+func counterOf(metrics, name string) (uint64, error) {
+	sc := bufio.NewScanner(strings.NewReader(metrics))
+	for sc.Scan() {
+		line := sc.Text()
+		rest, ok := strings.CutPrefix(line, name+" ")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSpace(rest), 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("qcbenchd: bad %s value %q", name, rest)
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("qcbenchd: metric %s not found", name)
+}
+
+// cacheCounters snapshots the dedup-accounting counters from /metrics.
+type cacheCounters struct {
+	fills, dedups, memHits, diskHits uint64
+}
+
+func fetchCounters(ctx context.Context, baseURL string) (cacheCounters, error) {
+	var c cacheCounters
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return c, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return c, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return c, err
+	}
+	text := string(data)
+	for _, f := range []struct {
+		name string
+		dst  *uint64
+	}{
+		{"qcbenchd_cache_fills_total", &c.fills},
+		{"qcbenchd_cache_dedups_total", &c.dedups},
+		{"qcbenchd_cache_mem_hits_total", &c.memHits},
+		{"qcbenchd_cache_disk_hits_total", &c.diskHits},
+	} {
+		v, err := counterOf(text, f.name)
+		if err != nil {
+			return c, err
+		}
+		*f.dst = v
+	}
+	return c, nil
+}
+
+// runProbe fires n concurrent identical evaluations and verifies the
+// dedup contract via /metrics deltas: the whole batch costs at most one
+// evaluation, every other request is a dedup join or a cache hit, and all
+// responses are byte-identical.
+func runProbe(n int, target string, stdout io.Writer) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	baseURL := strings.TrimRight(target, "/")
+	before, err := fetchCounters(ctx, baseURL)
+	if err != nil {
+		return err
+	}
+	req := probeRequest()
+	type result struct {
+		met core.Metrics
+		err error
+	}
+	results := make([]result, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// One independent client per goroutine: no shared retry state,
+			// like N separate qcbench processes.
+			c := daemon.NewClient(baseURL)
+			c.JitterSeed = uint64(i + 1)
+			results[i].met, results[i].err = c.Evaluate(ctx, req)
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r.err != nil {
+			return fmt.Errorf("qcbenchd: probe request %d: %w", i, r.err)
+		}
+		if r.met != results[0].met {
+			return fmt.Errorf("qcbenchd: probe responses diverge: %+v vs %+v", r.met, results[0].met)
+		}
+	}
+	after, err := fetchCounters(ctx, baseURL)
+	if err != nil {
+		return err
+	}
+	fills := after.fills - before.fills
+	served := (after.dedups - before.dedups) + (after.memHits - before.memHits) + (after.diskHits - before.diskHits)
+	if fills > 1 {
+		return fmt.Errorf("qcbenchd: probe cost %d evaluations, want ≤ 1", fills)
+	}
+	if fills+served < uint64(n) {
+		return fmt.Errorf("qcbenchd: probe accounting short: %d fills + %d dedup/hits < %d requests", fills, served, n)
+	}
+	fmt.Fprintf(stdout, "probe ok: %d requests, fills=%d dedup_or_hits=%d\n", n, fills, served)
+	return nil
+}

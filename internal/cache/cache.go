@@ -151,8 +151,13 @@ type Stats struct {
 	DiskErrs    uint64 // disk-tier op failures after retries (cache stays best-effort)
 	Retries     uint64 // extra disk-op attempts spent recovering from transient failures
 	Quarantines uint64 // times the error budget tripped and the disk tier was benched
-	Degraded    bool   // disk tier currently quarantined (store is memory-only)
-	Entries     int    // current in-memory entry count
+	// DegradedServes counts requests answered (memory hit or fresh fill)
+	// while the disk tier was quarantined — the work the store kept serving
+	// that a fail-hard design would have refused. Always zero for a
+	// memory-only store, which has no tier to lose.
+	DegradedServes uint64
+	Degraded       bool // disk tier currently quarantined (store is memory-only)
+	Entries        int  // current in-memory entry count
 }
 
 // Hits is the total number of requests served from cache.
@@ -240,6 +245,7 @@ type Store[V any] struct {
 	dedups, fills             atomic.Uint64
 	evictions, diskErrs       atomic.Uint64
 	retriesN, quarantines     atomic.Uint64
+	degradedServes            atomic.Uint64
 }
 
 type lruEntry[V any] struct {
@@ -371,6 +377,7 @@ func (s *Store[V]) getMem(k Key) (V, bool) {
 		v := el.Value.(*lruEntry[V]).val
 		s.mu.Unlock()
 		s.memHits.Add(1)
+		s.noteDegradedServe()
 		return v, true
 	}
 	s.mu.Unlock()
@@ -468,13 +475,32 @@ func (s *Store[V]) fill(k Key, c *call[V], fn func() (V, error)) {
 	c.val, c.err = fn()
 	s.fills.Add(1)
 	if c.err == nil {
+		s.noteDegradedServe()
 		s.Put(k, c.val)
 	}
 	finish()
 }
 
+// noteDegradedServe counts one successfully answered request while the
+// disk tier is quarantined — the degraded-mode traffic /metrics-style
+// consumers watch to size the blast radius of a sick disk.
+func (s *Store[V]) noteDegradedServe() {
+	if s.dir != "" && s.degraded.Load() {
+		s.degradedServes.Add(1)
+	}
+}
+
 // Stats snapshots the counters. Safe to call concurrently with cache use.
-func (s *Store[V]) Stats() Stats {
+// It is an alias for Snapshot, kept for existing call sites.
+func (s *Store[V]) Stats() Stats { return s.Snapshot() }
+
+// Snapshot reads every counter atomically into one Stats value, safe to
+// call concurrently with fills, hits, and quarantine transitions — the
+// read a metrics endpoint should take instead of loading fields piecemeal
+// around racing updates. Each counter is monotone (only Degraded and
+// Entries move both ways), so deltas between two snapshots are
+// meaningful even under load.
+func (s *Store[V]) Snapshot() Stats {
 	if s == nil {
 		return Stats{}
 	}
@@ -482,17 +508,18 @@ func (s *Store[V]) Stats() Stats {
 	n := s.lru.Len()
 	s.mu.Unlock()
 	return Stats{
-		MemHits:     s.memHits.Load(),
-		DiskHits:    s.diskHits.Load(),
-		Misses:      s.misses.Load(),
-		Dedups:      s.dedups.Load(),
-		Fills:       s.fills.Load(),
-		Evictions:   s.evictions.Load(),
-		DiskErrs:    s.diskErrs.Load(),
-		Retries:     s.retriesN.Load(),
-		Quarantines: s.quarantines.Load(),
-		Degraded:    s.degraded.Load(),
-		Entries:     n,
+		MemHits:        s.memHits.Load(),
+		DiskHits:       s.diskHits.Load(),
+		Misses:         s.misses.Load(),
+		Dedups:         s.dedups.Load(),
+		Fills:          s.fills.Load(),
+		Evictions:      s.evictions.Load(),
+		DiskErrs:       s.diskErrs.Load(),
+		Retries:        s.retriesN.Load(),
+		Quarantines:    s.quarantines.Load(),
+		DegradedServes: s.degradedServes.Load(),
+		Degraded:       s.degraded.Load(),
+		Entries:        n,
 	}
 }
 

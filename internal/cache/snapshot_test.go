@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotConcurrentWithFills hammers every mutating path — Put, Get,
+// Do fills and dedups — while another goroutine takes Snapshots, so the
+// race detector proves the snapshot read is safe against concurrent
+// counter updates. The final snapshot must balance: every Do call is
+// accounted as exactly one of hit/dedup/fill.
+func TestSnapshotConcurrentWithFills(t *testing.T) {
+	s := NewMemory[payload](64)
+	const (
+		workers = 8
+		ops     = 200
+	)
+	stop := make(chan struct{})
+	var snaps sync.WaitGroup
+	snaps.Add(1)
+	go func() {
+		defer snaps.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				st := s.Snapshot()
+				if st.Entries < 0 || st.Entries > 64 {
+					panic(fmt.Sprintf("snapshot entries out of bounds: %+v", st))
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				k := key(fmt.Sprintf("k%d", i%32))
+				switch i % 3 {
+				case 0:
+					s.Put(k, payload{A: i})
+				case 1:
+					s.Get(k)
+				default:
+					if _, err := s.Do(k, func() (payload, error) {
+						return payload{A: i}, nil
+					}); err != nil {
+						panic(err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	snaps.Wait()
+	st := s.Snapshot()
+	total := st.Hits() + st.Dedups + st.Fills + st.Misses
+	if total == 0 {
+		t.Fatalf("no traffic recorded: %+v", st)
+	}
+	if st.DegradedServes != 0 {
+		t.Fatalf("memory-only store counted degraded serves: %+v", st)
+	}
+}
+
+// TestSnapshotCountsDegradedServes quarantines the disk tier (error budget
+// 1, dead disk) and checks that memory hits and fresh fills served during
+// the quarantine are counted — the traffic a fail-hard design would have
+// refused — and that Stats remains an alias of Snapshot.
+func TestSnapshotCountsDegradedServes(t *testing.T) {
+	bfs := &brokenFS{}
+	s, err := New[payload](0, t.TempDir(),
+		WithFS(bfs), WithRetry(0, 0), WithErrorBudget(1), WithProbeInterval(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfs.broken.Store(true)
+	// First Put's disk write fails, trips the one-failure budget, and
+	// quarantines the tier; the value still lands in memory.
+	s.Put(key("a"), payload{A: 1})
+	if st := s.Snapshot(); !st.Degraded || st.DegradedServes != 0 {
+		t.Fatalf("expected quarantined tier before any degraded serve: %+v", st)
+	}
+	// A memory hit and a fresh fill while degraded both count as serves.
+	if _, ok := s.Get(key("a")); !ok {
+		t.Fatal("memory tier lost the value")
+	}
+	if _, err := s.Do(key("b"), func() (payload, error) { return payload{A: 2}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Snapshot()
+	if st.DegradedServes != 2 {
+		t.Fatalf("DegradedServes = %d, want 2 (one hit + one fill): %+v", st.DegradedServes, st)
+	}
+	if st != s.Stats() {
+		t.Fatalf("Stats diverged from Snapshot: %+v vs %+v", s.Stats(), st)
+	}
+}

@@ -7,11 +7,14 @@
 package cli
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 )
 
 // UsageError marks a bad flag value or combination (exit status 2, like
@@ -66,6 +69,17 @@ func Exit(tool string, err error) {
 		os.Exit(2)
 	}
 	os.Exit(1)
+}
+
+// NotifyContext derives the graceful-shutdown context every long-running
+// tool shares: cancelled on SIGINT (Ctrl-C) or SIGTERM (the fleet
+// scheduler's drain signal), so in-flight work stops at its next
+// cooperative poll and deferred reporting paths still run. The returned
+// stop function releases the signal registration; a second signal after
+// cancellation falls through to the default handler and kills the
+// process, so a wedged drain is still interruptible.
+func NotifyContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
 }
 
 // NewFlagSet returns a ContinueOnError FlagSet writing usage text to

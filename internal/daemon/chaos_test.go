@@ -1,0 +1,208 @@
+package daemon
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/faultinject"
+)
+
+// switchFS routes disk-tier operations to a faulty filesystem while broken
+// is set and to the healthy one otherwise. faultinject.FaultFS fixes its
+// probabilities at construction (mutating them mid-test is a race), so
+// degrade/recover tests flip this atomic gate instead.
+type switchFS struct {
+	broken  atomic.Bool
+	faulty  cache.FS
+	healthy cache.FS
+}
+
+func (s *switchFS) pick() cache.FS {
+	if s.broken.Load() {
+		return s.faulty
+	}
+	return s.healthy
+}
+
+func (s *switchFS) ReadFile(path string) ([]byte, error) { return s.pick().ReadFile(path) }
+func (s *switchFS) WriteFile(dir, path string, data []byte) error {
+	return s.pick().WriteFile(dir, path, data)
+}
+func (s *switchFS) Remove(path string) error { return s.pick().Remove(path) }
+
+// readyzOf exercises the readiness handler directly and returns its status
+// and body.
+func readyzOf(srv *Server) (int, string) {
+	rec := httptest.NewRecorder()
+	srv.handleReadyz(rec, httptest.NewRequest(http.MethodGet, readyzPath, nil))
+	return rec.Code, rec.Body.String()
+}
+
+// TestChaosDiskFaultDegradesAndRecovers drives the full disk-tier failure
+// lifecycle through the HTTP surface: injected filesystem faults trip the
+// cache's error budget and quarantine the tier; /readyz flips to 503 while
+// /healthz stays 200 and requests keep being served memory-only; healing
+// the filesystem lets the next probe re-enable the tier and /readyz
+// recovers.
+func TestChaosDiskFaultDegradesAndRecovers(t *testing.T) {
+	fs := &switchFS{
+		faulty:  faultinject.NewFaultFS(cache.OSFS{}, 1), // everything fails
+		healthy: cache.OSFS{},
+	}
+	fs.faulty.(*faultinject.FaultFS).ReadFail = 1
+	fs.faulty.(*faultinject.FaultFS).WriteFail = 1
+	srv, base, _ := startServer(t, Config{
+		Parallelism: 1,
+		CacheDir:    t.TempDir(),
+		CacheOpts: []cache.Option{
+			cache.WithFS(fs),
+			cache.WithRetry(0, 0),      // no retries: faults surface immediately
+			cache.WithErrorBudget(2),   // two consecutive failures quarantine
+			cache.WithProbeInterval(0), // probe on every access: prompt recovery
+		},
+	})
+
+	// Healthy filesystem first: baseline evaluation lands on disk.
+	if _, err := NewClient(base).Evaluate(context.Background(), testEvaluateRequest()); err != nil {
+		t.Fatalf("baseline evaluate: %v", err)
+	}
+	if code, body := readyzOf(srv); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz healthy: %d %q, want 200 ready", code, body)
+	}
+
+	// Break the disk. Distinct keys force disk lookups and fills; each op
+	// fails, and the error budget quarantines the tier.
+	fs.broken.Store(true)
+	for i := 0; i < 3; i++ {
+		req := testEvaluateRequest()
+		req.Seed = int64(100 + i) // fresh keys: must miss memory and touch disk
+		if _, err := NewClient(base).Evaluate(context.Background(), req); err != nil {
+			t.Fatalf("evaluate %d under disk faults: %v (mem-only serving must continue)", i, err)
+		}
+	}
+	st := srv.Store().Snapshot()
+	if !st.Degraded {
+		t.Fatalf("disk tier not quarantined after %d failed ops: %+v", st.DiskErrs, st)
+	}
+	if st.Quarantines == 0 || st.DiskErrs == 0 {
+		t.Errorf("fault accounting empty: %+v", st)
+	}
+	if code, body := readyzOf(srv); code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Errorf("readyz degraded: %d %q, want 503 degraded", code, body)
+	}
+	if code, body := httpGetBody(t, base+healthzPath); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz degraded: %d %q, want 200 ok (liveness must not restart a degraded server)", code, body)
+	}
+	// Degraded serving is counted and exported.
+	if code, body := httpGetBody(t, base+metricsPath); code != http.StatusOK ||
+		!strings.Contains(body, "qcbenchd_cache_degraded 1") {
+		t.Errorf("metrics during quarantine should export qcbenchd_cache_degraded 1:\n%s", body)
+	}
+
+	// Heal the filesystem: the next disk-touching request probes (interval
+	// 0), the probe succeeds, and the tier re-enables.
+	fs.broken.Store(false)
+	req := testEvaluateRequest()
+	req.Seed = 999
+	if _, err := NewClient(base).Evaluate(context.Background(), req); err != nil {
+		t.Fatalf("evaluate after heal: %v", err)
+	}
+	if st := srv.Store().Snapshot(); st.Degraded {
+		t.Fatalf("disk tier still quarantined after heal: %+v", st)
+	}
+	if code, body := readyzOf(srv); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("readyz after heal: %d %q, want 200 ready", code, body)
+	}
+}
+
+// TestChaosPanicCellsSweep fans a panic-injecting hook under a sweep:
+// failures stay confined to their cells (5xx-equivalent in-band errors),
+// the sweep completes, the process survives, and the surviving cells are
+// byte-identical to a clean run.
+func TestChaosPanicCellsSweep(t *testing.T) {
+	inject := faultinject.PanicCells(7, 0.4)
+	_, base, _ := startServer(t, Config{
+		Parallelism: 2,
+		EvalHook:    inject,
+	})
+	req := testSweepRequest()
+	c := NewClient(base)
+	c.Retries = 0 // panics are deterministic per cell; retrying re-panics
+	res, err := c.Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("sweep under panic injection: %v", err)
+	}
+	if res.Summary.Failed == 0 {
+		t.Fatalf("panic injection at p=0.4 over %d cells produced no failures; injection not reaching the evaluator", res.Summary.Cells)
+	}
+	if res.Summary.Completed == 0 {
+		t.Fatalf("every cell failed; injection should be partial at p=0.4")
+	}
+	if res.Summary.Completed+res.Summary.Failed != res.Summary.Cells {
+		t.Errorf("summary does not add up: %+v", res.Summary)
+	}
+	for i, cell := range res.Cells {
+		if cell.Error != "" && !strings.Contains(cell.Error, "panic") {
+			t.Errorf("cell %d failed with %q, want a contained panic", i, cell.Error)
+		}
+	}
+
+	// The process is still healthy, and a clean server produces identical
+	// metrics for every cell that survived the chaos run.
+	if code, body := httpGetBody(t, base+healthzPath); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz after contained panics: %d %q", code, body)
+	}
+	_, cleanBase, _ := startServer(t, Config{Parallelism: 2})
+	clean, err := NewClient(cleanBase).Sweep(context.Background(), req)
+	if err != nil {
+		t.Fatalf("clean sweep: %v", err)
+	}
+	for i, cell := range res.Cells {
+		if cell.Metrics == nil {
+			continue // the injected failure
+		}
+		if *cell.Metrics != *clean.Cells[i].Metrics {
+			t.Errorf("surviving cell %d diverged from clean run: %+v vs %+v", i, cell.Metrics, clean.Cells[i].Metrics)
+		}
+	}
+}
+
+// TestChaosFaultFSWithRetryHeals proves the retry budget rides over
+// transient disk faults without quarantining: a 30%-failure filesystem
+// under WithRetry keeps the tier enabled and every request served.
+func TestChaosFaultFSWithRetryHeals(t *testing.T) {
+	faulty := faultinject.NewFaultFS(cache.OSFS{}, 42)
+	faulty.ReadFail = 0.3
+	faulty.WriteFail = 0.3
+	srv, base, _ := startServer(t, Config{
+		Parallelism: 1,
+		CacheDir:    t.TempDir(),
+		CacheOpts: []cache.Option{
+			cache.WithFS(faulty),
+			cache.WithRetry(8, 0), // ample budget, no backoff wait in tests
+			cache.WithErrorBudget(50),
+		},
+	})
+	for i := 0; i < 6; i++ {
+		req := testEvaluateRequest()
+		req.Seed = int64(i + 1)
+		if _, err := NewClient(base).Evaluate(context.Background(), req); err != nil {
+			t.Fatalf("evaluate %d under transient faults: %v", i, err)
+		}
+	}
+	st := srv.Store().Snapshot()
+	if st.Degraded {
+		t.Errorf("transient faults under retry quarantined the tier: %+v", st)
+	}
+	if faulty.InjectedFails.Load() == 0 {
+		t.Skip("seeded schedule injected no faults at these op counts; nothing exercised")
+	}
+	if st.Retries == 0 {
+		t.Errorf("injected %d faults but cache recorded no retries: %+v", faulty.InjectedFails.Load(), st)
+	}
+}

@@ -1,0 +1,173 @@
+package daemon
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cache"
+)
+
+// latencyBuckets are the per-endpoint request-duration histogram bounds in
+// seconds, spanning cache hits (sub-millisecond) through full routing
+// evaluations (tens of seconds).
+var latencyBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 10, 30}
+
+// histogram is a fixed-bucket latency histogram with atomic counters, the
+// minimal Prometheus-compatible shape: cumulative bucket counts, a sum, and
+// a total count, all updated lock-free on the request path.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1; last is the +Inf bucket
+	sumNS  atomic.Int64
+	n      atomic.Int64
+}
+
+func newHistogram() *histogram {
+	return &histogram{bounds: latencyBuckets, counts: make([]atomic.Int64, len(latencyBuckets)+1)}
+}
+
+// observe records one request duration.
+func (h *histogram) observe(d time.Duration) {
+	sec := d.Seconds()
+	i := sort.SearchFloat64s(h.bounds, sec)
+	h.counts[i].Add(1)
+	h.sumNS.Add(int64(d))
+	h.n.Add(1)
+}
+
+// write renders the histogram in Prometheus text exposition format with
+// cumulative le buckets.
+func (h *histogram) write(w io.Writer, name, endpoint string) {
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=%q} %d\n", name, endpoint, trimFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{endpoint=%q,le=\"+Inf\"} %d\n", name, endpoint, cum)
+	fmt.Fprintf(w, "%s_sum{endpoint=%q} %g\n", name, endpoint, time.Duration(h.sumNS.Load()).Seconds())
+	fmt.Fprintf(w, "%s_count{endpoint=%q} %d\n", name, endpoint, h.n.Load())
+}
+
+// trimFloat formats a bucket bound without trailing zeros ("0.5", "1", "2.5").
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }
+
+// reqLabel keys the per-endpoint, per-status request counter.
+type reqLabel struct {
+	endpoint string
+	code     int
+}
+
+// serverMetrics aggregates everything /metrics exports beyond the cache's
+// own Snapshot: admission-control state, fault counters, and per-endpoint
+// request accounting.
+type serverMetrics struct {
+	sheds    atomic.Int64 // requests refused with 429 by admission control
+	panics   atomic.Int64 // evaluation panics contained by the fill recover
+	inflight atomic.Int64 // evaluations currently holding a worker slot
+
+	mu       sync.Mutex
+	requests map[reqLabel]int64
+	latency  map[string]*histogram
+}
+
+func newServerMetrics(endpoints ...string) *serverMetrics {
+	m := &serverMetrics{
+		requests: make(map[reqLabel]int64),
+		latency:  make(map[string]*histogram, len(endpoints)),
+	}
+	for _, e := range endpoints {
+		m.latency[e] = newHistogram()
+	}
+	return m
+}
+
+// observe records one finished request.
+func (m *serverMetrics) observe(endpoint string, code int, d time.Duration) {
+	m.mu.Lock()
+	m.requests[reqLabel{endpoint, code}]++
+	m.mu.Unlock()
+	if h := m.latency[endpoint]; h != nil {
+		h.observe(d)
+	}
+}
+
+// gauges is the point-in-time server state /metrics snapshots alongside the
+// counters.
+type gauges struct {
+	queued     int64
+	queueLimit int64
+	draining   bool
+}
+
+// writeMetrics renders the full exposition: cache-tier counters straight
+// from cache.Stats, admission/fault counters, and request histograms. The
+// output is deterministic (sorted label sets) so tests can diff it.
+func (m *serverMetrics) writeMetrics(w io.Writer, st cache.Stats, g gauges) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("qcbenchd_cache_mem_hits_total", "Gets served from the in-memory LRU.", st.MemHits)
+	counter("qcbenchd_cache_disk_hits_total", "Gets served from the disk tier.", st.DiskHits)
+	counter("qcbenchd_cache_misses_total", "Gets that found nothing in either tier.", st.Misses)
+	counter("qcbenchd_cache_dedups_total", "Do calls that joined an in-flight evaluation.", st.Dedups)
+	counter("qcbenchd_cache_fills_total", "Do calls that ran the evaluation.", st.Fills)
+	counter("qcbenchd_cache_evictions_total", "Entries dropped by the LRU bound.", st.Evictions)
+	counter("qcbenchd_cache_disk_errors_total", "Disk-tier failures after retries.", st.DiskErrs)
+	counter("qcbenchd_cache_retries_total", "Extra disk-op attempts spent on transient failures.", st.Retries)
+	counter("qcbenchd_cache_quarantines_total", "Times the disk tier's error budget tripped.", st.Quarantines)
+	counter("qcbenchd_cache_degraded_serves_total", "Requests answered while the disk tier was quarantined.", st.DegradedServes)
+	degraded := int64(0)
+	if st.Degraded {
+		degraded = 1
+	}
+	gauge("qcbenchd_cache_degraded", "1 while the disk tier is quarantined (memory-only serving).", degraded)
+	gauge("qcbenchd_cache_entries", "Current in-memory cache entries.", int64(st.Entries))
+	gauge("qcbenchd_queue_depth", "Evaluations admitted and waiting for or holding a worker slot.", g.queued)
+	gauge("qcbenchd_queue_limit", "Admission bound: evaluations beyond this are shed with 429.", g.queueLimit)
+	gauge("qcbenchd_inflight", "Evaluations currently holding a worker slot.", m.inflight.Load())
+	counter("qcbenchd_sheds_total", "Requests refused with 429 by admission control.", uint64(m.sheds.Load()))
+	counter("qcbenchd_panics_total", "Evaluation panics contained without killing the process.", uint64(m.panics.Load()))
+	drainingV := int64(0)
+	if g.draining {
+		drainingV = 1
+	}
+	gauge("qcbenchd_draining", "1 once SIGTERM drain has begun (no new work admitted).", drainingV)
+
+	m.mu.Lock()
+	labels := make([]reqLabel, 0, len(m.requests))
+	for l := range m.requests {
+		labels = append(labels, l)
+	}
+	counts := make(map[reqLabel]int64, len(labels))
+	for l, v := range m.requests {
+		counts[l] = v
+	}
+	m.mu.Unlock()
+	sort.Slice(labels, func(i, j int) bool {
+		if labels[i].endpoint != labels[j].endpoint {
+			return labels[i].endpoint < labels[j].endpoint
+		}
+		return labels[i].code < labels[j].code
+	})
+	fmt.Fprintf(w, "# HELP qcbenchd_requests_total Requests served, by endpoint and status code.\n# TYPE qcbenchd_requests_total counter\n")
+	for _, l := range labels {
+		fmt.Fprintf(w, "qcbenchd_requests_total{endpoint=%q,code=\"%d\"} %d\n", l.endpoint, l.code, counts[l])
+	}
+	endpoints := make([]string, 0, len(m.latency))
+	for e := range m.latency {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	fmt.Fprintf(w, "# HELP qcbenchd_request_seconds Request latency by endpoint.\n# TYPE qcbenchd_request_seconds histogram\n")
+	for _, e := range endpoints {
+		m.latency[e].write(w, "qcbenchd_request_seconds", e)
+	}
+}

@@ -222,23 +222,39 @@ func (e CellErrors) Unwrap() []error {
 	return out
 }
 
-// circuitFor builds the benchmark circuit deterministically per
+// BenchmarkCircuit builds the benchmark circuit deterministically per
 // (workload, size), independent of machine, so every machine routes the
-// exact same logical circuit.
-func circuitFor(name string, size int, baseSeed int64) (*circuit.Circuit, error) {
+// exact same logical circuit. Exported because it is half of the sweep
+// determinism contract: any process that reproduces a sweep cell —
+// including the qcbenchd evaluation service — must generate the identical
+// circuit from the identical coordinates.
+func BenchmarkCircuit(name string, size int, baseSeed int64) (*circuit.Circuit, error) {
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%s/%d/%d", name, size, baseSeed)
 	rng := rand.New(rand.NewSource(int64(h.Sum64())))
 	return workloads.Generate(name, size, rng)
 }
 
-// taskSeed derives the routing seed of one (workload, size, machine) cell
-// from the sweep coordinates via FNV, mirroring circuitFor: the seed is a
-// pure function of what is being evaluated, never of execution order.
-func (s SweepSpec) taskSeed(workload string, size int, machine string) int64 {
+// circuitFor is the historical internal name for BenchmarkCircuit.
+func circuitFor(name string, size int, baseSeed int64) (*circuit.Circuit, error) {
+	return BenchmarkCircuit(name, size, baseSeed)
+}
+
+// TaskSeed derives the routing seed of one (workload, size, machine) cell
+// from the sweep coordinates via FNV, mirroring BenchmarkCircuit: the
+// seed is a pure function of what is being evaluated, never of execution
+// order. It is the other half of the determinism contract (see
+// BenchmarkCircuit) — a remote evaluation service seeding cells with
+// TaskSeed produces metrics byte-identical to a local sweep's.
+func TaskSeed(id, workload string, size int, machine string, baseSeed int64) int64 {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s/%s/%d/%s/%d", s.ID, workload, size, machine, s.Seed)
+	fmt.Fprintf(h, "%s/%s/%d/%s/%d", id, workload, size, machine, baseSeed)
 	return int64(h.Sum64())
+}
+
+// taskSeed applies TaskSeed to this sweep's ID and base seed.
+func (s SweepSpec) taskSeed(workload string, size int, machine string) int64 {
+	return TaskSeed(s.ID, workload, size, machine, s.Seed)
 }
 
 // Run executes the sweep, returning one Series per (machine, workload).
@@ -246,11 +262,12 @@ func (s SweepSpec) Run() ([]Series, error) {
 	return s.RunContext(context.Background())
 }
 
-// point projects one cell's metrics onto the pair of values the sweep's
-// Kind reports.
-func (s SweepSpec) point(size int, met core.Metrics) Point {
+// PointFromMetrics projects one cell's metrics onto the pair of values a
+// sweep Kind reports. Exported so remote sweep clients assemble Series
+// from streamed metrics exactly the way the local engine does.
+func PointFromMetrics(kind SweepKind, size int, met core.Metrics) Point {
 	p := Point{Size: size, Fidelity: met.EstFidelity}
-	switch s.Kind {
+	switch kind {
 	case SwapCounts:
 		p.Total = float64(met.TotalSwaps)
 		p.Critical = float64(met.CriticalSwaps)
@@ -259,6 +276,69 @@ func (s SweepSpec) point(size int, met core.Metrics) Point {
 		p.Critical = met.PulseDuration
 	}
 	return p
+}
+
+// point applies PointFromMetrics to this sweep's Kind.
+func (s SweepSpec) point(size int, met core.Metrics) Point {
+	return PointFromMetrics(s.Kind, size, met)
+}
+
+// SweepCell locates one evaluation of a sweep: indices into the spec's
+// Workloads and Machines, the circuit size, the cell's position in the
+// sweep's fixed enumeration order, and which output Series it lands in.
+type SweepCell struct {
+	Index    int // position in the fixed (workload, machine, size) order
+	Workload int // index into SweepSpec.Workloads
+	Machine  int // index into SweepSpec.Machines
+	Series   int // index into the RunContext result slice
+	Size     int
+}
+
+// Cells enumerates the sweep's evaluations in the fixed nested-loop order
+// — workload outermost, then machine, then size, skipping sizes that
+// exceed a machine's qubit count. This order is part of the determinism
+// contract: RunContext assembles results by it, and the daemon's /sweep
+// endpoint streams cells indexed by it, so both sides agree on which cell
+// is which without shipping coordinates out of band.
+func (s SweepSpec) Cells() []SweepCell {
+	var cells []SweepCell
+	series := 0
+	for wi := range s.Workloads {
+		for mi := range s.Machines {
+			for _, size := range s.Sizes {
+				if size > s.Machines[mi].Graph.N() {
+					continue
+				}
+				cells = append(cells, SweepCell{
+					Index:    len(cells),
+					Workload: wi,
+					Machine:  mi,
+					Series:   series,
+					Size:     size,
+				})
+			}
+			series++
+		}
+	}
+	return cells
+}
+
+// NumSeries reports how many Series RunContext returns: one per
+// (workload, machine) pair, whether or not any cell fits the machine.
+func (s SweepSpec) NumSeries() int { return len(s.Workloads) * len(s.Machines) }
+
+// CellOptions resolves the evaluation options of one cell: the spec's
+// Options with the cell's FNV-derived seed, the mode-resolved trial
+// count, and a serial router-trial pool (cells already saturate the sweep
+// workers). Every evaluator of a sweep cell — the local engine and the
+// remote daemon — must build its options exactly this way for cache keys
+// and metrics to agree.
+func (s SweepSpec) CellOptions(c SweepCell) core.Options {
+	opt := s.Options
+	opt.Seed = s.taskSeed(s.Workloads[c.Workload], c.Size, s.Machines[c.Machine].Name)
+	opt.Trials = s.effectiveTrials()
+	opt.Parallelism = 1
+	return opt
 }
 
 // RunContext is Run with cancellation: the sweep stops dispatching cells
@@ -311,41 +391,21 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 		circs[k] = genOut[i]
 	}
 	// Stage 2: evaluate every (workload, machine, size) cell that fits the
-	// machine. Each cell routes with its own FNV-derived seed; the router's
-	// internal trial pool stays serial to avoid oversubscribing the sweep
-	// pool when cells already saturate it.
-	type cell struct {
-		w, m, series int
-		size         int
-	}
-	var cells []cell
-	nSeries := 0
-	for wi := range s.Workloads {
-		for mi := range s.Machines {
-			for _, size := range s.Sizes {
-				if size > s.Machines[mi].Graph.N() {
-					continue
-				}
-				cells = append(cells, cell{w: wi, m: mi, series: nSeries, size: size})
-			}
-			nSeries++
-		}
-	}
+	// machine, in the shared Cells() enumeration order. Each cell routes
+	// with its own FNV-derived seed (CellOptions); the router's internal
+	// trial pool stays serial to avoid oversubscribing the sweep pool when
+	// cells already saturate it.
+	cells := s.Cells()
 	points := make([]Point, len(cells))
 	runCell := func(i int) error {
 		t := cells[i]
-		w, m := s.Workloads[t.w], s.Machines[t.m]
-		// Each cell evaluates under the spec's Options with its own
-		// FNV-derived seed; the router's internal trial pool stays serial
-		// (cells already saturate the sweep pool). Trials resolves through
-		// the Config contract (0 = mode default, 5 quick / 20 full) so a
-		// hand-built SweepSpec{Config: QuickConfig()} sweeps at the same
-		// trial count as Headlines/CorralScaling under that Config.
-		opt := s.Options
-		opt.Seed = s.taskSeed(w, t.size, m.Name)
-		opt.Trials = s.effectiveTrials()
-		opt.Parallelism = 1
-		c := circs[circKey{t.w, t.size}]
+		w, m := s.Workloads[t.Workload], s.Machines[t.Machine]
+		// CellOptions resolves Trials through the Config contract (0 = mode
+		// default, 5 quick / 20 full) so a hand-built
+		// SweepSpec{Config: QuickConfig()} sweeps at the same trial count as
+		// Headlines/CorralScaling under that Config.
+		opt := s.CellOptions(t)
+		c := circs[circKey{t.Workload, t.Size}]
 		// Resume: a journaled cell replays its recorded metrics verbatim —
 		// no evaluation, no CellHook — so a restarted sweep neither redoes
 		// nor re-breaks work it already finished.
@@ -353,7 +413,7 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 		if s.Journal != nil {
 			key = m.EvaluateKey(c, opt)
 			if met, ok := s.Journal.Lookup(key); ok {
-				points[i] = s.point(t.size, met)
+				points[i] = s.point(t.Size, met)
 				return nil
 			}
 		}
@@ -367,7 +427,7 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 			opt.CellTimeout = 0
 		}
 		if s.CellHook != nil {
-			if err := s.CellHook(cctx, w, t.size, m.Name); err != nil {
+			if err := s.CellHook(cctx, w, t.Size, m.Name); err != nil {
 				return err
 			}
 		}
@@ -380,7 +440,7 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 				return err
 			}
 		}
-		points[i] = s.point(t.size, met)
+		points[i] = s.point(t.Size, met)
 		return nil
 	}
 	var (
@@ -397,9 +457,9 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 			t := cells[i]
 			failed[i] = true
 			cellErrs = append(cellErrs, CellError{
-				Workload: s.Workloads[t.w],
-				Machine:  s.Machines[t.m].Name,
-				Size:     t.size,
+				Workload: s.Workloads[t.Workload],
+				Machine:  s.Machines[t.Machine].Name,
+				Size:     t.Size,
 				Err:      cerr,
 			})
 		}
@@ -408,7 +468,7 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 			if err := runCell(i); err != nil {
 				t := cells[i]
 				return fmt.Errorf("experiments: %s/%s/%s(%d): %w",
-					s.ID, s.Machines[t.m].Name, s.Workloads[t.w], t.size, err)
+					s.ID, s.Machines[t.Machine].Name, s.Workloads[t.Workload], t.Size, err)
 			}
 			return nil
 		})
@@ -418,7 +478,7 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 	}
 	// Assemble in the fixed (workload, machine, size) order; a tolerant
 	// run's failed cells leave holes, never shifted or zero-filled points.
-	out := make([]Series, nSeries)
+	out := make([]Series, s.NumSeries())
 	for wi, w := range s.Workloads {
 		for mi, m := range s.Machines {
 			out[wi*len(s.Machines)+mi] = Series{Label: m.Name, Workload: w}
@@ -428,7 +488,7 @@ func (s SweepSpec) RunContext(ctx context.Context) ([]Series, error) {
 		if failed != nil && failed[i] {
 			continue
 		}
-		out[t.series].Points = append(out[t.series].Points, points[i])
+		out[t.Series].Points = append(out[t.Series].Points, points[i])
 	}
 	if len(cellErrs) > 0 {
 		return out, cellErrs

@@ -81,14 +81,22 @@ func RunFig15(samples int, seed int64, cfg decomp.Config) (*Fig15Result, error) 
 // setting keeps the historical Eq. 13 arithmetic, byte-identical to
 // RunFig15Parallel(samples, cfg.Seed, dc, cfg.Parallelism).
 func RunFig15Config(samples int, dc decomp.Config, cfg Config) (*Fig15Result, error) {
+	return RunFig15ConfigContext(context.Background(), samples, dc, cfg)
+}
+
+// RunFig15ConfigContext is RunFig15Config with cancellation: the study
+// stops dispatching decomposition (and Monte-Carlo) cells once ctx is done
+// and returns its error, so Ctrl-C or a scheduler's SIGTERM interrupts a
+// long sensitivity sweep instead of riding it to completion.
+func RunFig15ConfigContext(ctx context.Context, samples int, dc decomp.Config, cfg Config) (*Fig15Result, error) {
 	if cfg.Fidelity == core.FidelityMonteCarlo {
 		shots := cfg.NoiseShots
 		if shots <= 0 {
 			shots = noise.DefaultShots
 		}
-		return runFig15(samples, cfg.Seed, dc, cfg.Parallelism, shots)
+		return runFig15(ctx, samples, cfg.Seed, dc, cfg.Parallelism, shots)
 	}
-	return RunFig15Parallel(samples, cfg.Seed, dc, cfg.Parallelism)
+	return runFig15(ctx, samples, cfg.Seed, dc, cfg.Parallelism, 0)
 }
 
 // RunFig15Parallel is RunFig15 with an explicit worker bound for the
@@ -98,7 +106,7 @@ func RunFig15Config(samples int, dc decomp.Config, cfg Config) (*Fig15Result, er
 // every parallelism setting; the Adam objective is preallocated
 // per-Decompose call, so concurrent cells share no mutable state.
 func RunFig15Parallel(samples int, seed int64, cfg decomp.Config, parallelism int) (*Fig15Result, error) {
-	return runFig15(samples, seed, cfg, parallelism, 0)
+	return runFig15(context.Background(), samples, seed, cfg, parallelism, 0)
 }
 
 // runFig15 is the shared study body. mcShots == 0 runs the closed-form
@@ -109,7 +117,7 @@ func RunFig15Parallel(samples int, seed int64, cfg decomp.Config, parallelism in
 // 1−Fb(n√iSWAP) sampled through the template. The count estimator's
 // expectation of that very model is exactly Fb^k, so the two panels agree
 // in the mean and differ only by propagation effects and sampling noise.
-func runFig15(samples int, seed int64, cfg decomp.Config, parallelism, mcShots int) (*Fig15Result, error) {
+func runFig15(ctx context.Context, samples int, seed int64, cfg decomp.Config, parallelism, mcShots int) (*Fig15Result, error) {
 	if samples < 1 {
 		return nil, fmt.Errorf("experiments: fig15 needs ≥1 sample")
 	}
@@ -148,7 +156,7 @@ func runFig15(samples int, seed int64, cfg decomp.Config, parallelism, mcShots i
 		ki = i % len(res.Ks)
 		return i / len(res.Ks), ki, si
 	}
-	err := par.ForEach(nCells, parallelism, func(i int) error {
+	err := par.ForEachCtx(ctx, nCells, parallelism, func(i int) error {
 		ni, ki, si := cellAt(i)
 		n, k := res.Roots[ni], res.Ks[ki]
 		cellRng := rand.New(rand.NewSource(fig15CellSeed(seed, n, k, si)))
@@ -185,7 +193,7 @@ func runFig15(samples int, seed int64, cfg decomp.Config, parallelism, mcShots i
 	var noiseFactor [][]float64
 	if mcShots > 0 {
 		noiseFactor = make([][]float64, nCells)
-		err := par.ForEach(nCells, parallelism, func(i int) error {
+		err := par.ForEachCtx(ctx, nCells, parallelism, func(i int) error {
 			ni, ki, si := cellAt(i)
 			n, k := res.Roots[ni], res.Ks[ki]
 			tc, err := decomp.TemplateCircuit(n, k, params[ni][ki][si])
@@ -203,7 +211,7 @@ func runFig15(samples int, seed int64, cfg decomp.Config, parallelism, mcShots i
 					Parallelism: 1,
 				}
 				m := noise.Model{GateError: 1 - decomp.BaseFidelity(fbISwap, n)}
-				e, err := est.Estimate(context.Background(), tc, m)
+				e, err := est.Estimate(ctx, tc, m)
 				if err != nil {
 					return fmt.Errorf("experiments: fig15 n=%d k=%d fb=%g: %w", n, k, fbISwap, err)
 				}

@@ -105,7 +105,11 @@ func (j *Journal) Lookup(k cache.Key) (core.Metrics, bool) {
 
 // Record appends one completed cell to the journal and its in-memory
 // index; recording a key that is already present is a no-op, so replayed
-// cells never duplicate lines. Safe on a nil *Journal (no-op).
+// cells never duplicate lines. Safe for concurrent writers — each record
+// is one O_APPEND write under the journal lock, so parallel sweep cells
+// (or a daemon's concurrent /sweep handlers) never interleave partial
+// lines — and safe on a nil *Journal (no-op). Recording after Close is an
+// error, not a silent write on a dead handle.
 func (j *Journal) Record(k cache.Key, met core.Metrics) error {
 	if j == nil {
 		return nil
@@ -116,6 +120,9 @@ func (j *Journal) Record(k cache.Key, met core.Metrics) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("experiments: journal record after Close")
+	}
 	if _, dup := j.seen[k]; dup {
 		return nil
 	}
@@ -141,10 +148,46 @@ func (j *Journal) Len() int {
 	return len(j.seen)
 }
 
-// Close releases the journal's file handle. Safe on a nil *Journal.
+// Sync flushes recorded cells to stable storage, so a drain point (e.g. a
+// daemon stopping on SIGTERM) can guarantee the journal survives a
+// machine crash, not just a process exit. Safe on a nil or closed
+// *Journal (no-op).
+func (j *Journal) Sync() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("experiments: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and releases the journal's file handle; later Records fail
+// and later Closes are no-ops. Taken under the journal lock so a Close
+// racing concurrent writers never yanks the handle mid-append. Safe on a
+// nil *Journal.
 func (j *Journal) Close() error {
 	if j == nil {
 		return nil
 	}
-	return j.f.Close()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	syncErr := f.Sync()
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("experiments: journal close: %w", err)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("experiments: journal sync on close: %w", syncErr)
+	}
+	return nil
 }

@@ -33,3 +33,50 @@ func MachinesFromSpecs(list string) ([]core.Machine, error) {
 	}
 	return out, nil
 }
+
+// figMachineSpecs maps each paper figure to the declarative spec list that
+// rebuilds its machine comparison set — same names, same topology
+// fingerprints, same bases as the hand-wired Fig*Spec constructors (a test
+// holds the two in lockstep). Having the sets as data lets a remote sweep
+// request carry its machines as a plain string instead of shipping Go
+// values over the wire.
+var figMachineSpecs = map[int]string{
+	4: "heavyhex:rows=5,cols=14,name=Heavy-Hex;" +
+		"hex:rows=7,cols=12,name=Hex-Lattice;" +
+		"grid:rows=7,cols=12,name=Square-Lattice;" +
+		"altdiag:rows=7,cols=12,name=Lattice+AltDiag;" +
+		"hypercube:dim=7,trim=84,name=Hypercube",
+	11: "grid:rows=4,cols=4,name=Square-Lattice;" +
+		"hypercube:dim=4,name=Hypercube;" +
+		"tree:levels=2,name=Tree;" +
+		"tree-rr:levels=2,name=Tree-RR;" +
+		"corral:posts=8,strides=1+1,name=Corral(1,1);" +
+		"corral:posts=8,strides=1+3,name=Corral(1,2)",
+	12: "heavyhex:rows=5,cols=14,name=Heavy-Hex;" +
+		"grid:rows=7,cols=12,name=Square-Lattice;" +
+		"tree:levels=3,name=Tree;" +
+		"tree-rr:levels=3,name=Tree-RR;" +
+		"hypercube:dim=7,trim=84,name=Hypercube",
+	13: "heavyhex:fragment=20,name=Heavy-Hex-CX;" +
+		"grid:rows=4,cols=4,basis=syc,name=Square-Lattice-SYC;" +
+		"tree:levels=2,basis=sqrtiswap,name=Tree-sqrtISWAP;" +
+		"tree-rr:levels=2,basis=sqrtiswap,name=Tree-RR-sqrtISWAP;" +
+		"hypercube:dim=4,basis=sqrtiswap,name=Hypercube-sqrtISWAP;" +
+		"corral:posts=8,strides=1+1,basis=sqrtiswap,name=Corral11-sqrtISWAP",
+	14: "heavyhex:rows=5,cols=14,name=Heavy-Hex-CX;" +
+		"grid:rows=7,cols=12,basis=syc,name=Square-Lattice-SYC;" +
+		"tree:levels=3,basis=sqrtiswap,name=Tree-sqrtISWAP;" +
+		"tree-rr:levels=3,basis=sqrtiswap,name=Tree-RR-sqrtISWAP;" +
+		"hypercube:dim=7,trim=84,basis=sqrtiswap,name=Hypercube-sqrtISWAP",
+}
+
+// FigMachineSpecs returns the declarative architecture spec list (the
+// MachinesFromSpecs grammar) that reproduces the machine set of the given
+// paper figure, or an error for figures that have no sweep machine set.
+func FigMachineSpecs(fig int) (string, error) {
+	s, ok := figMachineSpecs[fig]
+	if !ok {
+		return "", fmt.Errorf("experiments: no machine spec list for figure %d", fig)
+	}
+	return s, nil
+}

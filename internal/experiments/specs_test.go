@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFigMachineSpecsMatchFigSpecs holds the declarative per-figure spec
+// lists in lockstep with the hand-wired Fig*Spec machine sets: same order,
+// same machine names, same topology fingerprints, same bases. A drift in
+// either direction would silently make remote sweeps evaluate different
+// hardware than local ones, so this is the guard on that equivalence.
+func TestFigMachineSpecsMatchFigSpecs(t *testing.T) {
+	stock := map[int][]core.Machine{
+		4:  Fig4Spec(true).Machines,
+		11: Fig11Spec(true).Machines,
+		12: Fig12Spec(true).Machines,
+		13: Fig13Spec(true).Machines,
+		14: Fig14Spec(true).Machines,
+	}
+	for fig, want := range stock {
+		list, err := FigMachineSpecs(fig)
+		if err != nil {
+			t.Fatalf("fig %d: %v", fig, err)
+		}
+		got, err := MachinesFromSpecs(list)
+		if err != nil {
+			t.Fatalf("fig %d: parse spec list: %v", fig, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("fig %d: %d machines from specs, want %d", fig, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Name != want[i].Name {
+				t.Errorf("fig %d machine %d: name %q, want %q", fig, i, got[i].Name, want[i].Name)
+			}
+			if got[i].Graph.Fingerprint() != want[i].Graph.Fingerprint() {
+				t.Errorf("fig %d machine %d (%s): topology fingerprint %x, want %x",
+					fig, i, want[i].Name, got[i].Graph.Fingerprint(), want[i].Graph.Fingerprint())
+			}
+			if got[i].Basis != want[i].Basis {
+				t.Errorf("fig %d machine %d (%s): basis %v, want %v",
+					fig, i, want[i].Name, got[i].Basis, want[i].Basis)
+			}
+		}
+	}
+	if _, err := FigMachineSpecs(15); err == nil {
+		t.Fatal("FigMachineSpecs(15) succeeded; fig 15 has no sweep machine set")
+	}
+}

@@ -383,12 +383,26 @@ func (s *State) layerPass(members []layerMember, pos [layerMaxCross]uint, cross 
 		}
 	}
 	// When this round leaves both an unpaired cross mat1Q AND an unpaired
-	// tile-local mat1Q (greedy pairing leaves at most one of each), fuse the
-	// two leftovers into one mixed pass over the cross member's tile pairs
-	// instead of paying two separate sweeps. The tile-local leftover under
-	// greedy in-order pairing is always the last tile-local mat1Q member.
+	// tile-local mat1Q, fuse the two leftovers into one mixed pass over the
+	// cross member's tile pairs instead of paying two separate sweeps. The
+	// cross leftover must come from replaying the greedy pairing walk below
+	// — lmX members break pair adjacency, so an odd mat1Q count does NOT
+	// mean the last cross member is unpaired (e.g. [X, mat, mat] pairs both
+	// mats and leaves nothing). The tile-local leftover under greedy
+	// in-order pairing is always the last tile-local mat1Q member.
+	crossLeftover := -1
+	for ci := 0; ci < nCross; {
+		if members[crossIdx[ci]].kind == lmMat1Q {
+			if ci+1 < nCross && members[crossIdx[ci+1]].kind == lmMat1Q {
+				ci += 2
+				continue
+			}
+			crossLeftover = ci
+		}
+		ci++
+	}
 	reserved := -1
-	if riders && nCross%2 == 1 && members[crossIdx[nCross-1]].kind == lmMat1Q {
+	if riders && crossLeftover >= 0 {
 		nTile := 0
 		for mi := range members {
 			m := &members[mi]
@@ -409,7 +423,7 @@ func (s *State) layerPass(members []layerMember, pos [layerMaxCross]uint, cross 
 		// pass allocation-free — a closure here would escape into
 		// par.ForEach and be heap-allocated even when unused.
 		for sb := 0; sb < sbCount; sb++ {
-			s.layerPassSB(sb, members, pos, cross, riders, tile, crossIdx, nCross, reserved)
+			s.layerPassSB(sb, members, pos, cross, riders, tile, crossIdx, nCross, crossLeftover, reserved)
 		}
 		return
 	}
@@ -420,14 +434,14 @@ func (s *State) layerPass(members []layerMember, pos [layerMaxCross]uint, cross 
 			hi = sbCount
 		}
 		for sb := lo; sb < hi; sb++ {
-			s.layerPassSB(sb, members, pos, cross, riders, tile, crossIdx, nCross, reserved)
+			s.layerPassSB(sb, members, pos, cross, riders, tile, crossIdx, nCross, crossLeftover, reserved)
 		}
 		return nil
 	})
 }
 
 // layerPassSB processes one superblock of a layer pass (see layerPass).
-func (s *State) layerPassSB(sb int, members []layerMember, pos [layerMaxCross]uint, cross int, riders bool, tile int, crossIdx [layerMaxCross]int, nCross, reserved int) {
+func (s *State) layerPassSB(sb int, members []layerMember, pos [layerMaxCross]uint, cross int, riders bool, tile int, crossIdx [layerMaxCross]int, nCross, crossLeftover, reserved int) {
 	amp := s.Amp
 	sbTiles := 1 << cross
 	{
@@ -470,7 +484,7 @@ func (s *State) layerPassSB(sb int, members []layerMember, pos [layerMaxCross]ui
 				switch {
 				case mx.kind == lmX:
 					crossX(amp[ta:ta+tile], amp[tb:tb+tile])
-				case ci == nCross-1 && reserved >= 0:
+				case ci == crossLeftover && reserved >= 0:
 					mr := &members[reserved]
 					crossTileMat1QPair(amp[ta:ta+tile], amp[tb:tb+tile], mx.u, s.maskOf(mr.qa), mr.u)
 				default:

@@ -12,13 +12,13 @@ import (
 func TestReservedDropRepro(t *testing.T) {
 	n := layerTileExp + 3 // qubits 0..2 are cross-tile bits
 	c := circuit.New(n)
-	c.Add(circuit.Op{Name: "x", Qubits: []int{0}})
-	c.Add(circuit.Op{Name: "h", Qubits: []int{1}})
-	c.Add(circuit.Op{Name: "h", Qubits: []int{2}})
+	c.Append(circuit.Op{Name: "x", Qubits: []int{0}})
+	c.Append(circuit.Op{Name: "h", Qubits: []int{1}})
+	c.Append(circuit.Op{Name: "h", Qubits: []int{2}})
 	// three tile-local h's -> nTile odd
-	c.Add(circuit.Op{Name: "h", Qubits: []int{n - 1}})
-	c.Add(circuit.Op{Name: "h", Qubits: []int{n - 2}})
-	c.Add(circuit.Op{Name: "h", Qubits: []int{n - 3}})
+	c.Append(circuit.Op{Name: "h", Qubits: []int{n - 1}})
+	c.Append(circuit.Op{Name: "h", Qubits: []int{n - 2}})
+	c.Append(circuit.Op{Name: "h", Qubits: []int{n - 3}})
 
 	prog := Schedule(c)
 	layered := 0

@@ -33,6 +33,11 @@
 # benchmark (BenchmarkNoisyEvaluate): the deterministic Monte-Carlo fidelity
 # estimate (so snapshots catch silent model drift) and the per-evaluation
 # wall-clock under a schema-stable name; null elsewhere.
+# daemon_warm_eval_us / daemon_dedup_per_op come from the evaluation-service
+# benchmark (BenchmarkDaemonWarmEvaluate): end-to-end warm /evaluate latency
+# in microseconds (HTTP round trip + memory-tier hit, no routing) and the
+# fraction of a 32-way cold batch served by dedup-or-hit joins (~0.97 means
+# the batch cost one evaluation); null elsewhere.
 # layers_per_circuit / batch_width_avg / fused_layer_share come from the
 # fused arm of BenchmarkStatevectorFusion (sim.Program.Stats): fkLayer
 # steps per compiled bench circuit, mean members per layer, and the
@@ -115,6 +120,7 @@ function jsonnum(line, key,   s) {
     dretries = "null"; degraded = "null"
     estfid = "null"; noisyns = "null"
     layers = "null"; bwidth = "null"; lshareop = "null"
+    dwarm = "null"; ddedup = "null"
     for (i = 3; i <= NF; i++) {
         if ($(i) == "ns/op")           ns = $(i - 1)
         if ($(i) == "B/op")            b = $(i - 1)
@@ -132,10 +138,12 @@ function jsonnum(line, key,   s) {
         if ($(i) == "layers_per_circuit") layers = $(i - 1)
         if ($(i) == "batch_width_avg")    bwidth = $(i - 1)
         if ($(i) == "fused_layer_share")  lshareop = $(i - 1)
+        if ($(i) == "daemon_warm_eval_us") dwarm = $(i - 1)
+        if ($(i) == "daemon_dedup_per_op") ddedup = $(i - 1)
     }
     n++
-    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s, \"layout_share\": %s, \"route_share\": %s, \"translate_share\": %s, \"disk_retries_per_op\": %s, \"degraded\": %s, \"est_fidelity\": %s, \"noisy_eval_ns_per_op\": %s, \"layers_per_circuit\": %s, \"batch_width_avg\": %s, \"fused_layer_share\": %s}",
-                       name, iters, ns, b, allocs, chits, cmisses, swaps, lshare, rshare, tshare, dretries, degraded, estfid, noisyns, layers, bwidth, lshareop)
+    lines[n] = sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"b_per_op\": %s, \"allocs_per_op\": %s, \"cache_hits_per_op\": %s, \"cache_misses_per_op\": %s, \"swaps_per_op\": %s, \"layout_share\": %s, \"route_share\": %s, \"translate_share\": %s, \"disk_retries_per_op\": %s, \"degraded\": %s, \"est_fidelity\": %s, \"noisy_eval_ns_per_op\": %s, \"layers_per_circuit\": %s, \"batch_width_avg\": %s, \"fused_layer_share\": %s, \"daemon_warm_eval_us\": %s, \"daemon_dedup_per_op\": %s}",
+                       name, iters, ns, b, allocs, chits, cmisses, swaps, lshare, rshare, tshare, dretries, degraded, estfid, noisyns, layers, bwidth, lshareop, dwarm, ddedup)
     names[n] = name; nsval[n] = ns; allocval[n] = allocs
 }
 END {

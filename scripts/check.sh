@@ -8,9 +8,9 @@
 #     leading words that look like code identifiers (camel-case with an
 #     internal capital) are compared, so prose-first comments never trip.
 #   * no-sleep lint: tests of the concurrency packages (cache, par,
-#     faultinject, experiments) must synchronize on channels, contexts, or
-#     atomics — a time.Sleep there is a latent flake and is rejected.
-#     (Library code may sleep; the retry backoff does.)
+#     faultinject, experiments, daemon) must synchronize on channels,
+#     contexts, or atomics — a time.Sleep there is a latent flake and is
+#     rejected. (Library code may sleep; the retry backoff does.)
 #   * registry-integrity arm: every registered architecture family must
 #     parse and build its smoke spec into a connected graph, with no
 #     duplicate family names or fingerprint-identical smoke topologies
@@ -23,6 +23,11 @@
 #   * chaos arm: the fault-injection suite — panic isolation, injected
 #     disk faults and corruption self-heal, cell timeouts, crash-resume
 #     byte-identity — run under the race detector (-run 'Fault|Chaos|Resume').
+#   * daemon smoke arm: build qcbenchd + qcbench, boot the daemon on an
+#     ephemeral port, prove 32 concurrent identical /evaluate requests cost
+#     exactly one evaluation (cold) and zero (warm) via the /metrics dedup
+#     counters, prove a -server sweep's stdout is byte-identical to a local
+#     run, then SIGTERM it and require a clean drain (exit 0).
 #   * race-detector runs of the packages with real concurrency surface
 #     (the content-addressed cache, the parallel sweep engine, the
 #     transpile pass pipeline with its parallel router trials and
@@ -96,6 +101,7 @@ echo "check: no time.Sleep in concurrency-package tests"
 SLEEPS="$(grep -n 'time\.Sleep' \
     internal/cache/*_test.go internal/par/*_test.go \
     internal/faultinject/*_test.go internal/experiments/*_test.go \
+    internal/daemon/*_test.go \
     2>/dev/null || true)"
 if [[ -n "$SLEEPS" ]]; then
     echo "$SLEEPS"
@@ -121,6 +127,59 @@ echo "check: race-testing cache + sweep engine + transpile pipeline + sim kernel
 GOMAXPROCS=4 go test -race -count=1 \
     ./internal/cache/... ./internal/experiments/... ./internal/faultinject/... \
     ./internal/par/... ./internal/transpile/... ./internal/sim/... \
-    ./internal/noise/...
+    ./internal/noise/... ./internal/daemon/...
+
+echo "check: qcbenchd smoke (ephemeral port, 32-way dedup probe, byte-identical remote sweep, SIGTERM drain)"
+SMOKEDIR="$(mktemp -d)"
+DPID=""
+cleanup_smoke() {
+    [[ -n "$DPID" ]] && kill "$DPID" 2>/dev/null || true
+    rm -rf "$SMOKEDIR"
+}
+trap cleanup_smoke EXIT
+go build -o "$SMOKEDIR/qcbenchd" ./cmd/qcbenchd
+go build -o "$SMOKEDIR/qcbench" ./cmd/qcbench
+"$SMOKEDIR/qcbenchd" -addr 127.0.0.1:0 -cachedir "$SMOKEDIR/cache" \
+    >"$SMOKEDIR/daemon.out" 2>"$SMOKEDIR/daemon.err" &
+DPID=$!
+BASE=""
+for _ in $(seq 1 100); do
+    BASE="$(sed -n 's/^qcbenchd listening on \(.*\)$/\1/p' "$SMOKEDIR/daemon.out")"
+    [[ -n "$BASE" ]] && break
+    kill -0 "$DPID" 2>/dev/null || break
+    sleep 0.1
+done
+if [[ -z "$BASE" ]]; then
+    echo "check: FAILED — qcbenchd did not report its listen address"
+    cat "$SMOKEDIR/daemon.err"
+    exit 1
+fi
+COLD="$("$SMOKEDIR/qcbenchd" -probe 32 -target "$BASE")"
+echo "  $COLD"
+if [[ "$COLD" != *"fills=1"* ]]; then
+    echo "check: FAILED — cold probe should cost exactly one evaluation: $COLD"
+    exit 1
+fi
+WARM="$("$SMOKEDIR/qcbenchd" -probe 32 -target "$BASE")"
+echo "  $WARM"
+if [[ "$WARM" != *"fills=0"* ]]; then
+    echo "check: FAILED — warm probe should cost zero evaluations: $WARM"
+    exit 1
+fi
+SWEEP_ARGS=(-fig 11 -machines "grid:rows=4,cols=4,name=Square-Lattice" -trials 1)
+"$SMOKEDIR/qcbench" "${SWEEP_ARGS[@]}" >"$SMOKEDIR/local.txt"
+"$SMOKEDIR/qcbench" -server "$BASE" "${SWEEP_ARGS[@]}" >"$SMOKEDIR/remote.txt"
+if ! cmp -s "$SMOKEDIR/local.txt" "$SMOKEDIR/remote.txt"; then
+    echo "check: FAILED — -server sweep output diverged from the local run"
+    diff "$SMOKEDIR/local.txt" "$SMOKEDIR/remote.txt" || true
+    exit 1
+fi
+kill -TERM "$DPID"
+if ! wait "$DPID"; then
+    echo "check: FAILED — qcbenchd did not drain cleanly on SIGTERM"
+    cat "$SMOKEDIR/daemon.err"
+    exit 1
+fi
+DPID=""
 
 echo "check: ok"
